@@ -1,0 +1,127 @@
+// Command pyxis-app runs the application side of a real two-process
+// Pyxis deployment: it compiles the same partition as pyxis-dbserver,
+// connects to its database and control-transfer ports over TCP, and
+// invokes an entry method with the given scalar arguments.
+//
+// Usage (after starting pyxis-dbserver with the same -src/-schema/-budget):
+//
+//	pyxis-app -src order.pyxj -budget 1.0 -schema schema.sql \
+//	    -db localhost:7001 -ctl localhost:7002 \
+//	    -new Order -args 7 -call Order.placeOrder -callargs 3,0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pyxis"
+	"pyxis/internal/dbapi"
+	"pyxis/internal/pdg"
+	"pyxis/internal/rpc"
+	"pyxis/internal/runtime"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+func main() {
+	var (
+		srcPath  = flag.String("src", "", "PyxJ source file (required)")
+		budget   = flag.Float64("budget", 1.0, "budget fraction (must match pyxis-dbserver)")
+		schema   = flag.String("schema", "", "schema file (must match pyxis-dbserver; used only for profiling)")
+		dbAddr   = flag.String("db", "localhost:7001", "database server wire address")
+		ctlAddr  = flag.String("ctl", "localhost:7002", "control-transfer server address")
+		newClass = flag.String("new", "", "class to instantiate (required)")
+		ctorArgs = flag.String("args", "", "comma-separated constructor arguments")
+		call     = flag.String("call", "", "entry method Class.method to invoke (required)")
+		callArgs = flag.String("callargs", "", "comma-separated entry arguments")
+	)
+	flag.Parse()
+	if *srcPath == "" || *newClass == "" || *call == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := pyxis.Load(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	profDB := sqldb.Open()
+	if *schema != "" {
+		ddl, err := os.ReadFile(*schema)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pyxis.ExecScript(profDB, string(ddl)); err != nil {
+			fatal(err)
+		}
+	}
+	if err := sys.ProfileSynthetic(profDB); err != nil {
+		fatal(err)
+	}
+	part, err := sys.PartitionAt(*budget)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pyxis-app: partition {%s}\n", part.Describe())
+
+	dbWire, err := rpc.Dial(*dbAddr)
+	if err != nil {
+		fatal(fmt.Errorf("dial db: %w", err))
+	}
+	defer dbWire.Close()
+	ctlWire, err := rpc.Dial(*ctlAddr)
+	if err != nil {
+		fatal(fmt.Errorf("dial ctl: %w", err))
+	}
+	defer ctlWire.Close()
+
+	peer := runtime.NewPeer(part.Compiled, pdg.App, dbapi.NewClient(dbWire), os.Stdout)
+	client := &runtime.Client{Peer: peer, Remote: ctlWire}
+
+	oid, err := client.NewObject(*newClass, parseArgs(*ctorArgs)...)
+	if err != nil {
+		fatal(err)
+	}
+	ret, err := client.CallEntry(*call, oid, parseArgs(*callArgs)...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pyxis-app: %s returned %s\n", *call, ret)
+	ctl := ctlWire.Stats()
+	db := dbWire.Stats()
+	fmt.Printf("pyxis-app: control transfers=%d (%d B), app-side db round trips=%d (%d B)\n",
+		ctl.Calls, ctl.BytesSent+ctl.BytesRecv, db.Calls, db.BytesSent+db.BytesRecv)
+}
+
+// parseArgs converts "7,0.9,true,hi" into scalar values.
+func parseArgs(s string) []val.Value {
+	if s == "" {
+		return nil
+	}
+	var out []val.Value
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if i, err := strconv.ParseInt(part, 10, 64); err == nil {
+			out = append(out, val.IntV(i))
+		} else if f, err := strconv.ParseFloat(part, 64); err == nil {
+			out = append(out, val.DoubleV(f))
+		} else if b, err := strconv.ParseBool(part); err == nil {
+			out = append(out, val.BoolV(b))
+		} else {
+			out = append(out, val.StrV(part))
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pyxis-app:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command pyxis-dbserver runs the database side of a real two-process
+// Pyxis deployment: an in-memory database plus the DB-side Pyxis
+// runtime, both served over TCP. It is the stand-in for "MySQL + the
+// stored-procedure JVM" of the paper's testbed.
+//
+// It listens on two ports: -db serves the database wire protocol
+// (what a JDBC-like client or an APP-side partition connects to), and
+// -ctl serves Pyxis control transfers. The PyxJ source, schema and
+// budget must match the ones pyxis-app uses so both sides compile the
+// identical partition.
+//
+// Usage:
+//
+//	pyxis-dbserver -src order.pyxj -budget 1.0 -schema schema.sql \
+//	    -db :7001 -ctl :7002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"pyxis"
+	"pyxis/internal/dbapi"
+	"pyxis/internal/pdg"
+	"pyxis/internal/rpc"
+	"pyxis/internal/runtime"
+	"pyxis/internal/sqldb"
+)
+
+func main() {
+	var (
+		srcPath = flag.String("src", "", "PyxJ source file (required)")
+		budget  = flag.Float64("budget", 1.0, "budget fraction used to generate the partition")
+		schema  = flag.String("schema", "", "file with ';'-separated SQL statements to initialize the database")
+		dbAddr  = flag.String("db", ":7001", "database wire protocol listen address")
+		ctlAddr = flag.String("ctl", ":7002", "Pyxis control-transfer listen address")
+	)
+	flag.Parse()
+	if *srcPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := pyxis.Load(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	db := sqldb.Open()
+	if *schema != "" {
+		ddl, err := os.ReadFile(*schema)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pyxis.ExecScript(db, string(ddl)); err != nil {
+			fatal(err)
+		}
+	}
+	profDB := sqldb.Open()
+	if *schema != "" {
+		ddl, _ := os.ReadFile(*schema)
+		if err := pyxis.ExecScript(profDB, string(ddl)); err != nil {
+			fatal(err)
+		}
+	}
+	if err := sys.ProfileSynthetic(profDB); err != nil {
+		fatal(err)
+	}
+	part, err := sys.PartitionAt(*budget)
+	if err != nil {
+		fatal(err)
+	}
+
+	dbSrv, err := rpc.NewServer(*dbAddr, func() rpc.Handler { return dbapi.NewHandler(db) })
+	if err != nil {
+		fatal(err)
+	}
+	defer dbSrv.Close()
+
+	ctlSrv, err := rpc.NewServer(*ctlAddr, func() rpc.Handler {
+		peer := runtime.NewPeer(part.Compiled, pdg.DB, dbapi.NewLocal(db), os.Stdout)
+		return runtime.Handler(peer)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer ctlSrv.Close()
+
+	fmt.Printf("pyxis-dbserver: db=%s ctl=%s partition={%s}\n",
+		dbSrv.Addr(), ctlSrv.Addr(), part.Describe())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pyxis-dbserver:", err)
+	os.Exit(1)
+}

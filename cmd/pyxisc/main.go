@@ -1,0 +1,129 @@
+// Command pyxisc is the Pyxis partitioning compiler CLI: it loads a
+// PyxJ source file, profiles it against a workload script, solves the
+// placement problem at one or more budgets, and prints the requested
+// artifacts (PyxIL, partition graph DOT, execution blocks, reports).
+//
+// Profiles normally come from running the application; for CLI use a
+// synthetic profile is built by invoking every entry method once with
+// zero arguments against an empty database unless -schema provides
+// DDL/DML to preload (semicolon-separated statements).
+//
+// Usage:
+//
+//	pyxisc -src order.pyxj -budget 0.5 -pyxil
+//	pyxisc -src order.pyxj -dot > graph.dot
+//	pyxisc -src order.pyxj -budget 0,0.5,1 -report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pyxis"
+	"pyxis/internal/interp"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+func main() {
+	var (
+		srcPath  = flag.String("src", "", "PyxJ source file (required)")
+		budgets  = flag.String("budget", "1.0", "comma-separated budget fractions of total load")
+		schema   = flag.String("schema", "", "file with ';'-separated SQL statements to preload the profiling database")
+		showPyx  = flag.Bool("pyxil", false, "print the PyxIL program per budget")
+		showDot  = flag.Bool("dot", false, "print the partition graph in Graphviz DOT")
+		showBlk  = flag.Bool("blocks", false, "print the compiled execution blocks per budget")
+		showRpt  = flag.Bool("report", true, "print the partition report per budget")
+		showProf = flag.Bool("profile", false, "print the collected profile")
+	)
+	flag.Parse()
+	if *srcPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := pyxis.Load(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	db := sqldb.Open()
+	if *schema != "" {
+		ddl, err := os.ReadFile(*schema)
+		if err != nil {
+			fatal(err)
+		}
+		sess := db.NewSession()
+		for _, stmt := range strings.Split(string(ddl), ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if _, err := sess.Exec(stmt); err != nil {
+				fatal(fmt.Errorf("schema: %s: %w", stmt, err))
+			}
+		}
+	}
+
+	// Synthetic profile: call every entry method once with zero values.
+	err = sys.ProfileWorkload(db, func(ip *interp.Interp) error {
+		for _, m := range sys.Prog.EntryMethods() {
+			obj, err := ip.NewObject(m.Class.Name)
+			if err != nil {
+				continue // class without nullary construction; skip
+			}
+			args := make([]val.Value, len(m.Params))
+			for i, p := range m.Params {
+				args[i] = p.Type.Zero()
+			}
+			if _, err := ip.CallEntry(m, obj, args...); err != nil {
+				fmt.Fprintf(os.Stderr, "pyxisc: profiling %s: %v (profile may be partial)\n", m.QName(), err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *showProf {
+		fmt.Println(sys.Profile.String())
+	}
+	if *showDot {
+		fmt.Print(sys.EnsureGraph().DOT(nil))
+	}
+	fmt.Printf("partition graph: %s\n", sys.EnsureGraph().Stats())
+
+	for _, bs := range strings.Split(*budgets, ",") {
+		frac, err := strconv.ParseFloat(strings.TrimSpace(bs), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad budget %q: %w", bs, err))
+		}
+		part, err := sys.PartitionAt(frac)
+		if err != nil {
+			fatal(err)
+		}
+		if *showRpt {
+			fmt.Printf("budget %.2f: %s\n", frac, part.Describe())
+		}
+		if *showPyx {
+			fmt.Printf("--- PyxIL (budget %.2f) ---\n", frac)
+			if err := part.WritePyxIL(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *showBlk {
+			fmt.Printf("--- execution blocks (budget %.2f) ---\n%s", frac, part.Compiled.Disassemble())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pyxisc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Quickstart: partition the paper's running example (Fig. 2, the
+// Order class) at three budgets and watch the round-trip counts drop
+// as code migrates to the database server — the paper's §3 walkthrough
+// end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pyxis"
+	"pyxis/internal/interp"
+	"pyxis/internal/runtime"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+const orderSrc = `
+class Order {
+    int id;
+    double[] realCosts;
+    double totalCost;
+
+    Order(int id) {
+        this.id = id;
+    }
+
+    entry double placeOrder(int cid, double dct) {
+        totalCost = 0;
+        computeTotalCost(dct);
+        updateAccount(cid, totalCost);
+        return totalCost;
+    }
+
+    void computeTotalCost(double dct) {
+        int i = 0;
+        double[] costs = getCosts();
+        realCosts = new double[costs.length];
+        for (double itemCost : costs) {
+            double realCost;
+            realCost = itemCost * dct;
+            totalCost += realCost;
+            realCosts[i] = realCost;
+            insertNewLineItem(id, i, realCost);
+            i++;
+        }
+    }
+
+    double[] getCosts() {
+        table t = db.query("SELECT cost FROM line_items WHERE order_id = ? ORDER BY num", id);
+        double[] costs = new double[t.rows()];
+        for (int r = 0; r < t.rows(); r++) {
+            costs[r] = t.getDouble(r, 0);
+        }
+        return costs;
+    }
+
+    void insertNewLineItem(int oid, double num, double cost) {
+        db.update("INSERT INTO new_line_items VALUES (?, ?, ?)", oid, num, cost);
+    }
+
+    void updateAccount(int cid, double total) {
+        db.update("UPDATE accounts SET balance = balance - ? WHERE cid = ?", total, cid);
+    }
+}
+`
+
+const schema = `
+CREATE TABLE line_items (order_id INT, num INT, cost DOUBLE, PRIMARY KEY (order_id, num));
+CREATE TABLE new_line_items (order_id INT, num INT, cost DOUBLE, PRIMARY KEY (order_id, num));
+CREATE TABLE accounts (cid INT PRIMARY KEY, balance DOUBLE);
+INSERT INTO accounts VALUES (3, 1000.0);
+INSERT INTO line_items VALUES (7, 0, 10.0);
+INSERT INTO line_items VALUES (7, 1, 11.0);
+INSERT INTO line_items VALUES (7, 2, 12.0);
+INSERT INTO line_items VALUES (7, 3, 13.0);
+INSERT INTO line_items VALUES (7, 4, 14.0)
+`
+
+func freshDB() *sqldb.DB {
+	db := sqldb.Open()
+	if err := pyxis.ExecScript(db, schema); err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+func main() {
+	sys, err := pyxis.Load(orderSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Profile a representative workload (paper §4.1).
+	err = sys.ProfileWorkload(freshDB(), func(ip *interp.Interp) error {
+		obj, err := ip.NewObject("Order", interp.Scalar(val.IntV(7)))
+		if err != nil {
+			return err
+		}
+		_, err = ip.CallEntry(sys.Prog.Method("Order", "placeOrder"), obj, val.IntV(3), val.DoubleV(0.9))
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("partition graph:", sys.EnsureGraph().Stats())
+	fmt.Println()
+
+	// 2. Partition at three budgets and run each deployment.
+	for _, frac := range []float64{0, 0.7, 1.0} {
+		part, err := sys.PartitionAt(frac)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db := freshDB()
+		dep := part.Deploy(db, runtime.Options{})
+		oid, err := dep.Client.NewObject("Order", val.IntV(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		total, err := dep.Client.CallEntry("Order.placeOrder", oid, val.IntV(3), val.DoubleV(0.9))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctl, dbw := dep.WireStats()
+		fmt.Printf("budget %.1f: total=%s  control-transfers=%d  db-round-trips=%d  bytes=%d\n",
+			frac, total, ctl.Calls, dbw.Calls, dep.TotalBytes())
+		fmt.Printf("  %s\n", part.Describe())
+	}
+
+	// 3. Show the PyxIL for the mid partition (Fig. 3 style).
+	part, err := sys.PartitionAt(0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- PyxIL at budget 0.7 ---")
+	if err := part.WritePyxIL(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

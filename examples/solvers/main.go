@@ -1,0 +1,59 @@
+// Solver comparison: sweep the DB instruction budget over the TPC-C
+// partition graph and show, per solver, the objective (estimated
+// seconds of network time per profiling run), the placement split, and
+// the solve time — the paper's "multiple partitions under multiple
+// budgets" machinery (§4.3) made visible. The LP relaxation bound is
+// printed where the instance is small enough for the simplex.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pyxis/internal/bench"
+	"pyxis/internal/core"
+	"pyxis/internal/solver"
+)
+
+func main() {
+	cfg := bench.DefaultTPCC()
+	part, err := cfg.PyxisPartition(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := part.System
+	g := sys.EnsureGraph()
+	fmt.Println("TPC-C partition graph:", g.Stats())
+	fmt.Printf("total statement load: %.0f\n\n", sys.TotalLoad())
+
+	solvers := []solver.Solver{
+		solver.Auto{},
+		&solver.MinCutSolver{},
+		&solver.Greedy{},
+	}
+	fmt.Printf("%-10s %-22s %-14s %-12s %s\n", "budget", "solver", "objective(ms)", "db/app", "time")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		budget := sys.TotalLoad() * frac
+		for _, s := range solvers {
+			pt := core.New(g)
+			pt.Solver = s
+			_, rep, err := pt.Partition(budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10.2f %-22s %-14.3f %3d/%-8d %v\n",
+				frac, s.Name(), rep.Objective*1e3, rep.DBNodes, rep.AppNodes, rep.SolveTime.Round(10000))
+		}
+	}
+
+	// LP relaxation lower bound on a mid-budget instance.
+	prob, _, err := core.Lower(g, sys.TotalLoad()*0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if lower, _, err := solver.LPRelaxation(prob); err == nil {
+		fmt.Printf("\nLP relaxation lower bound at budget 0.5: %.3f ms\n", lower*1e3)
+	} else {
+		fmt.Println("\nLP relaxation skipped:", err)
+	}
+}

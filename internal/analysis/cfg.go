@@ -1,0 +1,310 @@
+// Package analysis implements the static analyses Pyxis needs to build
+// the partition graph (paper §4.2): control-flow graphs,
+// post-dominator-based control dependence, an Andersen-style points-to
+// analysis, and interprocedural def/use (reaching definitions plus
+// field update/use and array-element dependencies).
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"pyxis/internal/source"
+)
+
+// CFG is the control-flow graph of one method. Node 0 is the synthetic
+// entry; node 1 is the synthetic exit; the remaining nodes are
+// statements.
+type CFG struct {
+	Method *source.Method
+	Nodes  []CFGNode
+	// ByStmt maps statement NodeIDs to CFG node indices.
+	ByStmt map[source.NodeID]int
+}
+
+// CFGNode is one CFG vertex.
+type CFGNode struct {
+	Stmt  source.Stmt // nil for entry/exit
+	Succs []int
+	Preds []int
+}
+
+// Entry and Exit are the indices of the synthetic entry/exit nodes.
+const (
+	Entry = 0
+	Exit  = 1
+)
+
+// BuildCFG constructs the CFG of m.
+func BuildCFG(m *source.Method) *CFG {
+	g := &CFG{Method: m, ByStmt: map[source.NodeID]int{}}
+	g.Nodes = append(g.Nodes, CFGNode{}, CFGNode{}) // entry, exit
+
+	b := &cfgBuilder{g: g}
+	frontier := []int{Entry}
+	frontier = b.block(m.Body, frontier)
+	for _, f := range frontier {
+		b.edge(f, Exit)
+	}
+	// Augment: entry → exit, so exit post-dominates everything even
+	// with infinite loops (standard CD augmentation).
+	b.edge(Entry, Exit)
+	return g
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	breaks [][]int // stack of break-target collectors
+}
+
+func (b *cfgBuilder) newNode(s source.Stmt) int {
+	idx := len(b.g.Nodes)
+	b.g.Nodes = append(b.g.Nodes, CFGNode{Stmt: s})
+	b.g.ByStmt[s.ID()] = idx
+	return idx
+}
+
+func (b *cfgBuilder) edge(from, to int) {
+	b.g.Nodes[from].Succs = append(b.g.Nodes[from].Succs, to)
+	b.g.Nodes[to].Preds = append(b.g.Nodes[to].Preds, from)
+}
+
+// block threads the frontier (dangling edges) through the statements
+// of a block and returns the new frontier.
+func (b *cfgBuilder) block(blk *source.Block, frontier []int) []int {
+	for _, s := range blk.Stmts {
+		frontier = b.stmt(s, frontier)
+	}
+	return frontier
+}
+
+func (b *cfgBuilder) stmt(s source.Stmt, frontier []int) []int {
+	switch st := s.(type) {
+	case *source.IfStmt:
+		cond := b.newNode(s)
+		for _, f := range frontier {
+			b.edge(f, cond)
+		}
+		thenOut := b.block(st.Then, []int{cond})
+		if st.Else != nil {
+			elseOut := b.block(st.Else, []int{cond})
+			return append(thenOut, elseOut...)
+		}
+		return append(thenOut, cond)
+
+	case *source.WhileStmt:
+		head := b.newNode(s)
+		for _, f := range frontier {
+			b.edge(f, head)
+		}
+		b.breaks = append(b.breaks, nil)
+		bodyOut := b.block(st.Body, []int{head})
+		for _, f := range bodyOut {
+			b.edge(f, head) // back edge
+		}
+		broke := b.breaks[len(b.breaks)-1]
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		return append([]int{head}, broke...)
+
+	case *source.ForEachStmt:
+		head := b.newNode(s)
+		for _, f := range frontier {
+			b.edge(f, head)
+		}
+		b.breaks = append(b.breaks, nil)
+		bodyOut := b.block(st.Body, []int{head})
+		for _, f := range bodyOut {
+			b.edge(f, head)
+		}
+		broke := b.breaks[len(b.breaks)-1]
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		return append([]int{head}, broke...)
+
+	case *source.ReturnStmt:
+		n := b.newNode(s)
+		for _, f := range frontier {
+			b.edge(f, n)
+		}
+		b.edge(n, Exit)
+		return nil
+
+	case *source.BreakStmt:
+		n := b.newNode(s)
+		for _, f := range frontier {
+			b.edge(f, n)
+		}
+		if len(b.breaks) > 0 {
+			top := len(b.breaks) - 1
+			b.breaks[top] = append(b.breaks[top], n)
+		}
+		return nil
+
+	default:
+		n := b.newNode(s)
+		for _, f := range frontier {
+			b.edge(f, n)
+		}
+		return []int{n}
+	}
+}
+
+// String renders the CFG for debugging.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s:\n", g.Method.QName())
+	for i, n := range g.Nodes {
+		label := "entry"
+		switch {
+		case i == Exit:
+			label = "exit"
+		case n.Stmt != nil:
+			label = fmt.Sprintf("s%d(%T)", n.Stmt.ID(), n.Stmt)
+		}
+		fmt.Fprintf(&sb, "  %2d %-24s -> %v\n", i, label, n.Succs)
+	}
+	return sb.String()
+}
+
+// PostDominators computes the immediate post-dominator of every node
+// using the iterative Cooper-Harvey-Kennedy algorithm on the reverse
+// CFG rooted at Exit. ipdom[Exit] == Exit. Unreachable-to-exit nodes
+// (none, given the entry→exit augmentation) get -1.
+func (g *CFG) PostDominators() []int {
+	n := len(g.Nodes)
+	// Reverse post-order of the reverse CFG (i.e., order from Exit).
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(u int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, p := range g.Nodes[u].Preds {
+			if !seen[p] {
+				dfs(p)
+			}
+		}
+		order = append(order, u) // post-order
+	}
+	dfs(Exit)
+	// Process in reverse post-order of reverse graph.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, u := range order {
+		rpoNum[u] = i
+	}
+
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[Exit] = Exit
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = ipdom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, u := range order {
+			if u == Exit {
+				continue
+			}
+			newIdom := -1
+			for _, s := range g.Nodes[u].Succs {
+				if ipdom[s] == -1 && s != Exit {
+					continue
+				}
+				if rpoNum[s] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = s
+				} else {
+					newIdom = intersect(newIdom, s)
+				}
+			}
+			if newIdom != -1 && ipdom[u] != newIdom {
+				ipdom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	return ipdom
+}
+
+// ControlDeps computes intraprocedural control dependencies with the
+// Ferrante-Ottenstein-Warren construction: for each CFG edge u→v where
+// v does not post-dominate u, every node on the post-dominator-tree
+// path from v up to (but excluding) ipdom(u) is control dependent on
+// u. The result maps statement NodeIDs to the statement NodeIDs that
+// control them; statements controlled by the method entry are mapped
+// to source.NoNode.
+func (g *CFG) ControlDeps() map[source.NodeID][]source.NodeID {
+	ipdom := g.PostDominators()
+	deps := map[int]map[int]bool{} // dependent cfg node -> controlling cfg nodes
+	for u := range g.Nodes {
+		for _, v := range g.Nodes[u].Succs {
+			// Walk from v toward the root until ipdom[u].
+			runner := v
+			for runner != -1 && runner != ipdom[u] && runner != Exit {
+				if runner != u {
+					if deps[runner] == nil {
+						deps[runner] = map[int]bool{}
+					}
+					deps[runner][u] = true
+				}
+				runner = ipdom[runner]
+			}
+			// Loop headers can be control dependent on themselves
+			// (runner == u case): record that too.
+			if runner == u {
+				if deps[runner] == nil {
+					deps[runner] = map[int]bool{}
+				}
+				deps[runner][u] = true
+			}
+		}
+	}
+
+	out := map[source.NodeID][]source.NodeID{}
+	for idx, ctrls := range deps {
+		n := g.Nodes[idx]
+		if n.Stmt == nil {
+			continue
+		}
+		for c := range ctrls {
+			var cid source.NodeID
+			if c == Entry {
+				cid = source.NoNode
+			} else if g.Nodes[c].Stmt != nil {
+				cid = g.Nodes[c].Stmt.ID()
+			} else {
+				continue
+			}
+			out[n.Stmt.ID()] = append(out[n.Stmt.ID()], cid)
+		}
+	}
+	// Statements with no recorded controller are controlled by entry.
+	for _, n := range g.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		if _, ok := out[n.Stmt.ID()]; !ok {
+			out[n.Stmt.ID()] = []source.NodeID{source.NoNode}
+		}
+	}
+	return out
+}

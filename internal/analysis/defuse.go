@@ -1,0 +1,364 @@
+package analysis
+
+import (
+	"sort"
+
+	"pyxis/internal/source"
+)
+
+// DefUseEdge links a definition to a statement that may observe it.
+// From is a statement NodeID, or the method's EntryID when the
+// definition is a parameter binding.
+type DefUseEdge struct {
+	From, To source.NodeID
+	Local    *source.Local
+}
+
+// FieldDep links a field node to a statement that reads or writes it.
+type FieldDep struct {
+	Field *source.Field
+	Stmt  source.NodeID
+	Write bool
+}
+
+// ArrayDep links a statement that may write elements of an allocation
+// site to a statement that may read them (the paper's "realCosts
+// elements" style edges in Fig. 4).
+type ArrayDep struct {
+	From, To source.NodeID
+	Site     int
+}
+
+// CallEdge links a call-site statement to the callee.
+type CallEdge struct {
+	Stmt   source.NodeID
+	Callee *source.Method
+	// ArgBytes is the static size estimate of the arguments.
+	ArgBytes int
+}
+
+// ReturnEdge links a return statement to a call site that may receive
+// its value.
+type ReturnEdge struct {
+	Ret, Call source.NodeID
+	Bytes     int
+}
+
+// MethodInfo holds per-method analysis artifacts.
+type MethodInfo struct {
+	Method *source.Method
+	CFG    *CFG
+	// CtrlDeps maps statements to their controlling statements
+	// (source.NoNode means the method entry).
+	CtrlDeps map[source.NodeID][]source.NodeID
+}
+
+// Result is the full interprocedural dependency analysis of a program.
+type Result struct {
+	Prog    *source.Program
+	PT      *PointsTo
+	Methods map[*source.Method]*MethodInfo
+	// StmtMethod locates each statement's enclosing method.
+	StmtMethod map[source.NodeID]*source.Method
+	Effects    map[source.NodeID]*Effects
+	// Summaries are transitive per-method heap effects (call-site
+	// side-effect summarization).
+	Summaries map[*source.Method]*MethodSummary
+	effCache  map[source.NodeID]*EffectiveEffects
+
+	DefUse    []DefUseEdge
+	FieldDeps []FieldDep
+	ArrayDeps []ArrayDep
+	Calls     []CallEdge
+	Returns   []ReturnEdge
+}
+
+// Run performs the whole dependency analysis (paper §4.2: points-to,
+// def/use, control dependence).
+func Run(prog *source.Program) *Result {
+	res := &Result{
+		Prog:       prog,
+		PT:         Analyze(prog),
+		Methods:    map[*source.Method]*MethodInfo{},
+		StmtMethod: map[source.NodeID]*source.Method{},
+		Effects:    map[source.NodeID]*Effects{},
+		effCache:   map[source.NodeID]*EffectiveEffects{},
+	}
+	for _, cl := range prog.Classes {
+		for _, m := range cl.Methods {
+			cfg := BuildCFG(m)
+			res.Methods[m] = &MethodInfo{Method: m, CFG: cfg, CtrlDeps: cfg.ControlDeps()}
+			m := m
+			source.WalkMethodStmts(m, func(s source.Stmt) bool {
+				res.StmtMethod[s.ID()] = m
+				res.Effects[s.ID()] = StmtEffects(s)
+				return true
+			})
+		}
+	}
+	for _, cl := range prog.Classes {
+		for _, m := range cl.Methods {
+			res.reachingDefs(m)
+		}
+	}
+	res.heapDeps()
+	res.callEdges()
+	res.computeSummaries()
+	return res
+}
+
+// reachingDefs runs classic bit-vector reaching definitions for the
+// locals of one method and emits def→use edges.
+func (res *Result) reachingDefs(m *source.Method) {
+	cfg := res.Methods[m].CFG
+
+	// Enumerate definitions: (cfg node, local). Parameters are defined
+	// at the CFG entry.
+	type def struct {
+		node  int
+		local *source.Local
+	}
+	var defs []def
+	defIdxByLocal := map[*source.Local][]int{}
+	addDef := func(node int, l *source.Local) {
+		defIdxByLocal[l] = append(defIdxByLocal[l], len(defs))
+		defs = append(defs, def{node, l})
+	}
+	for _, p := range m.Params {
+		addDef(Entry, p)
+	}
+	for idx, n := range cfg.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		for _, w := range res.Effects[n.Stmt.ID()].WriteLocals {
+			addDef(idx, w)
+		}
+	}
+	nd := len(defs)
+	if nd == 0 {
+		return
+	}
+	words := (nd + 63) / 64
+	type bv []uint64
+	newBV := func() bv { return make(bv, words) }
+	set := func(b bv, i int) { b[i/64] |= 1 << (i % 64) }
+	clear := func(b bv, i int) { b[i/64] &^= 1 << (i % 64) }
+	get := func(b bv, i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+	orInto := func(dst, src bv) bool {
+		changed := false
+		for i := range dst {
+			nv := dst[i] | src[i]
+			if nv != dst[i] {
+				dst[i] = nv
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	gen := make([]bv, len(cfg.Nodes))
+	kill := make([]bv, len(cfg.Nodes))
+	for i := range cfg.Nodes {
+		gen[i], kill[i] = newBV(), newBV()
+	}
+	for di, d := range defs {
+		set(gen[d.node], di)
+		for _, other := range defIdxByLocal[d.local] {
+			if other != di {
+				set(kill[d.node], other)
+			}
+		}
+	}
+	// Loop-header defs (foreach variables) don't kill within their own
+	// node evaluation; treat uniformly — minor conservatism.
+
+	in := make([]bv, len(cfg.Nodes))
+	out := make([]bv, len(cfg.Nodes))
+	for i := range cfg.Nodes {
+		in[i], out[i] = newBV(), newBV()
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := range cfg.Nodes {
+			for _, p := range cfg.Nodes[i].Preds {
+				if orInto(in[i], out[p]) {
+					changed = true
+				}
+			}
+			// out = gen ∪ (in − kill)
+			tmp := newBV()
+			copy(tmp, in[i])
+			for di := 0; di < nd; di++ {
+				if get(kill[i], di) {
+					clear(tmp, di)
+				}
+			}
+			if orInto(tmp, gen[i]) {
+			}
+			for w := range tmp {
+				if out[i][w] != tmp[w] {
+					out[i][w] = tmp[w]
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Emit def→use edges.
+	for idx, n := range cfg.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		sid := n.Stmt.ID()
+		for _, r := range res.Effects[sid].ReadLocals {
+			for _, di := range defIdxByLocal[r] {
+				if !get(in[idx], di) {
+					continue
+				}
+				d := defs[di]
+				from := m.EntryID
+				if d.node != Entry {
+					from = cfg.Nodes[d.node].Stmt.ID()
+				}
+				res.DefUse = append(res.DefUse, DefUseEdge{From: from, To: sid, Local: r})
+			}
+		}
+	}
+}
+
+// heapDeps emits field read/write deps and array-element deps using
+// the points-to results.
+func (res *Result) heapDeps() {
+	// siteWriters/siteReaders: allocation site -> statements.
+	siteWriters := map[int][]source.NodeID{}
+	siteReaders := map[int][]source.NodeID{}
+
+	for sid, eff := range res.Effects {
+		for _, f := range eff.ReadFields {
+			res.FieldDeps = append(res.FieldDeps, FieldDep{Field: f, Stmt: sid, Write: false})
+		}
+		for _, f := range eff.WriteFields {
+			res.FieldDeps = append(res.FieldDeps, FieldDep{Field: f, Stmt: sid, Write: true})
+		}
+		for _, ae := range eff.ArrWrites {
+			for site := range res.PT.Sites(ae) {
+				siteWriters[site] = append(siteWriters[site], sid)
+			}
+		}
+		for _, ae := range eff.ArrReads {
+			for site := range res.PT.Sites(ae) {
+				siteReaders[site] = append(siteReaders[site], sid)
+			}
+		}
+	}
+	// The allocating statement defines the (zeroed) initial contents.
+	for site, stmt := range res.PT.AllocStmt {
+		siteWriters[site] = append(siteWriters[site], stmt)
+	}
+
+	seen := map[[2]source.NodeID]bool{}
+	add := func(from, to source.NodeID, site int) {
+		if from == to {
+			return
+		}
+		k := [2]source.NodeID{from, to}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		res.ArrayDeps = append(res.ArrayDeps, ArrayDep{From: from, To: to, Site: site})
+	}
+	var sites []int
+	for site := range siteWriters {
+		sites = append(sites, site)
+	}
+	sort.Ints(sites)
+	for _, site := range sites {
+		for _, w := range siteWriters[site] {
+			// Writer → reader: the read must observe the write.
+			for _, r := range siteReaders[site] {
+				add(w, r, site)
+			}
+			// Writer → writer: a remote element write needs the whole
+			// array present (storage ships wholesale with sendNative),
+			// so cross-placement write-after-write also synchronizes.
+			for _, w2 := range siteWriters[site] {
+				add(w, w2, site)
+			}
+		}
+	}
+}
+
+// TypeSize is a static size estimate in bytes for values of a type,
+// used for call/return edges where no profile sample exists.
+func TypeSize(t source.Type) int {
+	switch t.K {
+	case source.KInt, source.KDouble:
+		return 9
+	case source.KBool:
+		return 2
+	case source.KString:
+		return 32
+	case source.KClass:
+		n := 16
+		if t.Class != nil {
+			for _, f := range t.Class.Fields {
+				switch f.Type.K {
+				case source.KInt, source.KDouble:
+					n += 9
+				case source.KBool:
+					n += 2
+				case source.KString:
+					n += 32
+				default:
+					n += 9
+				}
+			}
+		}
+		return n
+	case source.KArray, source.KTable:
+		return 256
+	default:
+		return 9
+	}
+}
+
+// callEdges emits call and return edges.
+func (res *Result) callEdges() {
+	callersOf := map[*source.Method][]source.NodeID{}
+	for sid, eff := range res.Effects {
+		for _, c := range eff.Calls {
+			bytes := 0
+			for _, p := range c.Method.Params {
+				bytes += TypeSize(p.Type)
+			}
+			res.Calls = append(res.Calls, CallEdge{Stmt: sid, Callee: c.Method, ArgBytes: bytes})
+			callersOf[c.Method] = append(callersOf[c.Method], sid)
+		}
+		// Constructor invocation behaves like a call to the ctor.
+		source.WalkExprs(res.Prog.Stmts[sid], func(e source.Expr) {
+			if nx, ok := e.(*source.NewObjectExpr); ok && nx.Ctor != nil {
+				bytes := 0
+				for _, p := range nx.Ctor.Params {
+					bytes += TypeSize(p.Type)
+				}
+				res.Calls = append(res.Calls, CallEdge{Stmt: sid, Callee: nx.Ctor, ArgBytes: bytes})
+				callersOf[nx.Ctor] = append(callersOf[nx.Ctor], sid)
+			}
+		})
+	}
+	// Return edges: every return statement of m feeds every call site
+	// of m (context-insensitive).
+	for sid, eff := range res.Effects {
+		if eff.Returns == nil {
+			continue
+		}
+		m := res.StmtMethod[sid]
+		for _, call := range callersOf[m] {
+			res.Returns = append(res.Returns, ReturnEdge{Ret: sid, Call: call, Bytes: TypeSize(m.Ret)})
+		}
+	}
+	sort.Slice(res.Calls, func(i, j int) bool { return res.Calls[i].Stmt < res.Calls[j].Stmt })
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import "pyxis/internal/source"
+
+// Effects summarizes what one statement directly reads and writes:
+// locals, fields (by declaration — the analysis is field-based), and
+// arrays (by the array-valued expression, resolved to allocation sites
+// by the points-to analysis). Calls are listed so interprocedural
+// edges can be added; effects of callees are NOT folded in here.
+type Effects struct {
+	ReadLocals  []*source.Local
+	WriteLocals []*source.Local
+	ReadFields  []*source.Field
+	WriteFields []*source.Field
+	// ArrReads/ArrWrites hold array-valued expressions whose elements
+	// are read/written by this statement.
+	ArrReads  []source.Expr
+	ArrWrites []source.Expr
+	Calls     []*source.CallExpr
+	Builtins  []*source.BuiltinExpr
+	// Returns is the returned expression for return statements.
+	Returns source.Expr
+}
+
+// StmtEffects computes the direct effects of s.
+func StmtEffects(s source.Stmt) *Effects {
+	e := &Effects{}
+	readExpr := func(x source.Expr) { e.reads(x) }
+
+	switch st := s.(type) {
+	case *source.DeclStmt:
+		e.WriteLocals = append(e.WriteLocals, st.Local)
+		if st.Init != nil {
+			readExpr(st.Init)
+		}
+	case *source.AssignStmt:
+		readExpr(st.RHS)
+		switch lhs := st.LHS.(type) {
+		case *source.VarExpr:
+			e.WriteLocals = append(e.WriteLocals, lhs.Local)
+			if st.Op != source.AsnSet {
+				e.ReadLocals = append(e.ReadLocals, lhs.Local)
+			}
+		case *source.FieldExpr:
+			e.WriteFields = append(e.WriteFields, lhs.Field)
+			readExpr(lhs.Recv)
+			if st.Op != source.AsnSet {
+				e.ReadFields = append(e.ReadFields, lhs.Field)
+			}
+		case *source.IndexExpr:
+			e.ArrWrites = append(e.ArrWrites, lhs.Arr)
+			readExpr(lhs.Arr)
+			readExpr(lhs.Idx)
+			if st.Op != source.AsnSet {
+				e.ArrReads = append(e.ArrReads, lhs.Arr)
+			}
+		}
+	case *source.ExprStmt:
+		readExpr(st.X)
+	case *source.IfStmt:
+		readExpr(st.Cond)
+	case *source.WhileStmt:
+		readExpr(st.Cond)
+	case *source.ForEachStmt:
+		e.WriteLocals = append(e.WriteLocals, st.Var)
+		e.ArrReads = append(e.ArrReads, st.Arr)
+		readExpr(st.Arr)
+	case *source.ReturnStmt:
+		if st.X != nil {
+			e.Returns = st.X
+			readExpr(st.X)
+		}
+	}
+	return e
+}
+
+// reads records every value read performed while evaluating x.
+func (e *Effects) reads(x source.Expr) {
+	switch v := x.(type) {
+	case nil:
+		return
+	case *source.Lit, *source.ThisExpr:
+	case *source.VarExpr:
+		e.ReadLocals = append(e.ReadLocals, v.Local)
+	case *source.FieldExpr:
+		e.ReadFields = append(e.ReadFields, v.Field)
+		e.reads(v.Recv)
+	case *source.IndexExpr:
+		e.ArrReads = append(e.ArrReads, v.Arr)
+		e.reads(v.Arr)
+		e.reads(v.Idx)
+	case *source.BinaryExpr:
+		e.reads(v.L)
+		e.reads(v.R)
+	case *source.UnaryExpr:
+		e.reads(v.X)
+	case *source.ConvExpr:
+		e.reads(v.X)
+	case *source.CallExpr:
+		e.Calls = append(e.Calls, v)
+		e.reads(v.Recv)
+		for _, a := range v.Args {
+			e.reads(a)
+		}
+	case *source.BuiltinExpr:
+		e.Builtins = append(e.Builtins, v)
+		if v.B == source.BLen {
+			e.ArrReads = append(e.ArrReads, v.Recv)
+		}
+		e.reads(v.Recv)
+		for _, a := range v.Args {
+			e.reads(a)
+		}
+	case *source.NewObjectExpr:
+		for _, a := range v.Args {
+			e.reads(a)
+		}
+	case *source.NewArrayExpr:
+		e.reads(v.Len)
+	}
+}

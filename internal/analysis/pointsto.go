@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"pyxis/internal/source"
+)
+
+// PointsTo is a flow-insensitive, field-based, Andersen-style
+// points-to analysis over allocation sites. The paper uses a
+// "2full+1H" object-sensitive analysis; ours is context-insensitive —
+// strictly more conservative, which the partition graph construction
+// permits (extra dependencies only add superfluous synchronization,
+// never unsoundness).
+//
+// Abstract objects are allocation sites: `new C(...)`, `new T[n]`, and
+// db.query(...) result tables, identified by the parser's AllocID.
+type PointsTo struct {
+	Prog *source.Program
+
+	// AllocStmt maps an allocation site to the statement containing it.
+	AllocStmt map[int]source.NodeID
+
+	locals  map[*source.Local]*ptSet
+	fields  map[*source.Field]*ptSet
+	elems   map[int]*ptSet // array alloc site -> element points-to
+	returns map[*source.Method]*ptSet
+
+	stmtMethod map[source.NodeID]*source.Method
+	changed    bool
+}
+
+type ptSet struct {
+	m map[int]bool
+}
+
+func newPTSet() *ptSet { return &ptSet{m: map[int]bool{}} }
+
+func (s *ptSet) addAll(o *ptSet) bool {
+	if o == nil {
+		return false
+	}
+	grew := false
+	for k := range o.m {
+		if !s.m[k] {
+			s.m[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+func (s *ptSet) add(site int) bool {
+	if s.m[site] {
+		return false
+	}
+	s.m[site] = true
+	return true
+}
+
+// Analyze runs the analysis to a fixpoint.
+func Analyze(prog *source.Program) *PointsTo {
+	pt := &PointsTo{
+		Prog:      prog,
+		AllocStmt: map[int]source.NodeID{},
+		locals:    map[*source.Local]*ptSet{},
+		fields:    map[*source.Field]*ptSet{},
+		elems:     map[int]*ptSet{},
+		returns:   map[*source.Method]*ptSet{},
+	}
+	// Record allocation sites.
+	for _, cl := range prog.Classes {
+		for _, m := range cl.Methods {
+			source.WalkMethodStmts(m, func(s source.Stmt) bool {
+				source.WalkExprs(s, func(e source.Expr) {
+					switch x := e.(type) {
+					case *source.NewObjectExpr:
+						pt.AllocStmt[x.AllocID] = s.ID()
+					case *source.NewArrayExpr:
+						pt.AllocStmt[x.AllocID] = s.ID()
+					case *source.BuiltinExpr:
+						if x.B == source.BQuery {
+							pt.AllocStmt[x.AllocID] = s.ID()
+						}
+					}
+				})
+				return true
+			})
+		}
+	}
+
+	// Iterate transfer functions to a fixpoint.
+	for {
+		pt.changed = false
+		for _, cl := range prog.Classes {
+			for _, m := range cl.Methods {
+				source.WalkMethodStmts(m, func(s source.Stmt) bool {
+					pt.transfer(s)
+					return true
+				})
+			}
+		}
+		if !pt.changed {
+			return pt
+		}
+	}
+}
+
+func (pt *PointsTo) localSet(l *source.Local) *ptSet {
+	s, ok := pt.locals[l]
+	if !ok {
+		s = newPTSet()
+		pt.locals[l] = s
+	}
+	return s
+}
+
+func (pt *PointsTo) fieldSet(f *source.Field) *ptSet {
+	s, ok := pt.fields[f]
+	if !ok {
+		s = newPTSet()
+		pt.fields[f] = s
+	}
+	return s
+}
+
+func (pt *PointsTo) elemSet(site int) *ptSet {
+	s, ok := pt.elems[site]
+	if !ok {
+		s = newPTSet()
+		pt.elems[site] = s
+	}
+	return s
+}
+
+func (pt *PointsTo) returnSet(m *source.Method) *ptSet {
+	s, ok := pt.returns[m]
+	if !ok {
+		s = newPTSet()
+		pt.returns[m] = s
+	}
+	return s
+}
+
+// eval returns the points-to set of a (possibly scalar) expression.
+// Scalar expressions return an empty set. It also applies call
+// side-effects (argument binding) as it encounters calls.
+func (pt *PointsTo) eval(e source.Expr) *ptSet {
+	out := newPTSet()
+	switch x := e.(type) {
+	case nil:
+	case *source.VarExpr:
+		out.addAll(pt.localSet(x.Local))
+	case *source.FieldExpr:
+		pt.eval(x.Recv)
+		out.addAll(pt.fieldSet(x.Field))
+	case *source.IndexExpr:
+		arr := pt.eval(x.Arr)
+		pt.eval(x.Idx)
+		for site := range arr.m {
+			out.addAll(pt.elemSet(site))
+		}
+	case *source.NewObjectExpr:
+		out.add(x.AllocID)
+		pt.bindCtor(x)
+	case *source.NewArrayExpr:
+		pt.eval(x.Len)
+		out.add(x.AllocID)
+	case *source.BuiltinExpr:
+		pt.eval(x.Recv)
+		for _, a := range x.Args {
+			pt.eval(a)
+		}
+		if x.B == source.BQuery {
+			out.add(x.AllocID)
+		}
+	case *source.CallExpr:
+		pt.eval(x.Recv)
+		for i, a := range x.Args {
+			as := pt.eval(a)
+			if i < len(x.Method.Params) {
+				if pt.localSet(x.Method.Params[i]).addAll(as) {
+					pt.changed = true
+				}
+			}
+		}
+		out.addAll(pt.returnSet(x.Method))
+	case *source.BinaryExpr:
+		pt.eval(x.L)
+		pt.eval(x.R)
+	case *source.UnaryExpr:
+		pt.eval(x.X)
+	case *source.ConvExpr:
+		pt.eval(x.X)
+	}
+	return out
+}
+
+func (pt *PointsTo) bindCtor(x *source.NewObjectExpr) {
+	if x.Ctor == nil {
+		return
+	}
+	for i, a := range x.Args {
+		as := pt.eval(a)
+		if i < len(x.Ctor.Params) {
+			if pt.localSet(x.Ctor.Params[i]).addAll(as) {
+				pt.changed = true
+			}
+		}
+	}
+}
+
+func (pt *PointsTo) transfer(s source.Stmt) {
+	switch st := s.(type) {
+	case *source.DeclStmt:
+		if st.Init != nil {
+			if pt.localSet(st.Local).addAll(pt.eval(st.Init)) {
+				pt.changed = true
+			}
+		}
+	case *source.AssignStmt:
+		rhs := pt.eval(st.RHS)
+		switch lhs := st.LHS.(type) {
+		case *source.VarExpr:
+			if pt.localSet(lhs.Local).addAll(rhs) {
+				pt.changed = true
+			}
+		case *source.FieldExpr:
+			pt.eval(lhs.Recv)
+			if pt.fieldSet(lhs.Field).addAll(rhs) {
+				pt.changed = true
+			}
+		case *source.IndexExpr:
+			arr := pt.eval(lhs.Arr)
+			pt.eval(lhs.Idx)
+			for site := range arr.m {
+				if pt.elemSet(site).addAll(rhs) {
+					pt.changed = true
+				}
+			}
+		}
+	case *source.ExprStmt:
+		pt.eval(st.X)
+	case *source.IfStmt:
+		pt.eval(st.Cond)
+	case *source.WhileStmt:
+		pt.eval(st.Cond)
+	case *source.ForEachStmt:
+		arr := pt.eval(st.Arr)
+		for site := range arr.m {
+			if pt.localSet(st.Var).addAll(pt.elemSet(site)) {
+				pt.changed = true
+			}
+		}
+	case *source.ReturnStmt:
+		if st.X != nil {
+			m := pt.methodOf(s)
+			if m != nil {
+				if pt.returnSet(m).addAll(pt.eval(st.X)) {
+					pt.changed = true
+				}
+			} else {
+				pt.eval(st.X)
+			}
+		}
+	}
+}
+
+// methodOf finds the method containing statement s (cached lazily).
+func (pt *PointsTo) methodOf(s source.Stmt) *source.Method {
+	if pt.stmtMethod == nil {
+		pt.stmtMethod = map[source.NodeID]*source.Method{}
+		for _, cl := range pt.Prog.Classes {
+			for _, m := range cl.Methods {
+				m := m
+				source.WalkMethodStmts(m, func(st source.Stmt) bool {
+					pt.stmtMethod[st.ID()] = m
+					return true
+				})
+			}
+		}
+	}
+	return pt.stmtMethod[s.ID()]
+}
+
+// Sites returns the allocation sites an array/table expression may
+// denote, as a sorted-stable map.
+func (pt *PointsTo) Sites(e source.Expr) map[int]bool {
+	return pt.eval(e).m
+}
+
+// LocalSites returns the sites a local may point to.
+func (pt *PointsTo) LocalSites(l *source.Local) map[int]bool { return pt.localSet(l).m }
+
+// FieldSites returns the sites a field may point to.
+func (pt *PointsTo) FieldSites(f *source.Field) map[int]bool { return pt.fieldSet(f).m }

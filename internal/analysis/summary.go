@@ -1,0 +1,268 @@
+package analysis
+
+import "pyxis/internal/source"
+
+// MethodSummary is the transitive heap effect of calling a method:
+// which fields and array allocation sites it may read or write, and
+// whether it performs externally visible operations (database calls,
+// console output). The paper summarizes callee side-effects at call
+// sites (§4.4 footnote); these summaries feed the output/anti ordering
+// edges so the statement reordering never migrates a call across a
+// conflicting access.
+type MethodSummary struct {
+	ReadFields  map[*source.Field]bool
+	WriteFields map[*source.Field]bool
+	ReadSites   map[int]bool
+	WriteSites  map[int]bool
+	// DBEffect / ConsoleEffect mark externally visible operations in
+	// their respective effect domains; statements conflict only within
+	// a domain (database operations are mutually ordered, console
+	// output is mutually ordered, but a print may reorder with a
+	// database call).
+	DBEffect      bool
+	ConsoleEffect bool
+}
+
+func newSummary() *MethodSummary {
+	return &MethodSummary{
+		ReadFields:  map[*source.Field]bool{},
+		WriteFields: map[*source.Field]bool{},
+		ReadSites:   map[int]bool{},
+		WriteSites:  map[int]bool{},
+	}
+}
+
+// absorb merges o into s, reporting growth.
+func (s *MethodSummary) absorb(o *MethodSummary) bool {
+	grew := false
+	for f := range o.ReadFields {
+		if !s.ReadFields[f] {
+			s.ReadFields[f] = true
+			grew = true
+		}
+	}
+	for f := range o.WriteFields {
+		if !s.WriteFields[f] {
+			s.WriteFields[f] = true
+			grew = true
+		}
+	}
+	for a := range o.ReadSites {
+		if !s.ReadSites[a] {
+			s.ReadSites[a] = true
+			grew = true
+		}
+	}
+	for a := range o.WriteSites {
+		if !s.WriteSites[a] {
+			s.WriteSites[a] = true
+			grew = true
+		}
+	}
+	if o.DBEffect && !s.DBEffect {
+		s.DBEffect = true
+		grew = true
+	}
+	if o.ConsoleEffect && !s.ConsoleEffect {
+		s.ConsoleEffect = true
+		grew = true
+	}
+	return grew
+}
+
+// computeSummaries builds per-method transitive effect summaries to a
+// fixpoint over the (possibly recursive) call graph.
+func (res *Result) computeSummaries() {
+	res.Summaries = map[*source.Method]*MethodSummary{}
+	for m := range res.Methods {
+		res.Summaries[m] = newSummary()
+	}
+	// Direct effects.
+	for sid, eff := range res.Effects {
+		m := res.StmtMethod[sid]
+		sum := res.Summaries[m]
+		for _, f := range eff.ReadFields {
+			sum.ReadFields[f] = true
+		}
+		for _, f := range eff.WriteFields {
+			sum.WriteFields[f] = true
+		}
+		for _, ae := range eff.ArrReads {
+			for site := range res.PT.Sites(ae) {
+				sum.ReadSites[site] = true
+			}
+		}
+		for _, ae := range eff.ArrWrites {
+			for site := range res.PT.Sites(ae) {
+				sum.WriteSites[site] = true
+			}
+		}
+		for _, b := range eff.Builtins {
+			if b.B.IsDB() {
+				sum.DBEffect = true
+			}
+			if b.B == source.BPrint {
+				sum.ConsoleEffect = true
+			}
+		}
+	}
+	// Transitive closure over calls (including constructors).
+	for {
+		changed := false
+		for _, ce := range res.Calls {
+			caller := res.StmtMethod[ce.Stmt]
+			if res.Summaries[caller].absorb(res.Summaries[ce.Callee]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// EffectiveEffects returns the statement's effects with callee
+// summaries folded in — the read/write sets a reordering must respect.
+type EffectiveEffects struct {
+	ReadFields    map[*source.Field]bool
+	WriteFields   map[*source.Field]bool
+	ReadSites     map[int]bool
+	WriteSites    map[int]bool
+	ReadLocals    []*source.Local
+	WriteLocals   []*source.Local
+	DBEffect      bool
+	ConsoleEffect bool
+}
+
+// Effective computes the call-summarized effects of a statement.
+func (res *Result) Effective(sid source.NodeID) *EffectiveEffects {
+	if ee, ok := res.effCache[sid]; ok {
+		return ee
+	}
+	eff := res.Effects[sid]
+	ee := &EffectiveEffects{
+		ReadFields:  map[*source.Field]bool{},
+		WriteFields: map[*source.Field]bool{},
+		ReadSites:   map[int]bool{},
+		WriteSites:  map[int]bool{},
+		ReadLocals:  eff.ReadLocals,
+		WriteLocals: eff.WriteLocals,
+	}
+	for _, f := range eff.ReadFields {
+		ee.ReadFields[f] = true
+	}
+	for _, f := range eff.WriteFields {
+		ee.WriteFields[f] = true
+	}
+	for _, ae := range eff.ArrReads {
+		for site := range res.PT.Sites(ae) {
+			ee.ReadSites[site] = true
+		}
+	}
+	for _, ae := range eff.ArrWrites {
+		for site := range res.PT.Sites(ae) {
+			ee.WriteSites[site] = true
+		}
+	}
+	for _, b := range eff.Builtins {
+		if b.B.IsDB() {
+			ee.DBEffect = true
+		}
+		if b.B == source.BPrint {
+			ee.ConsoleEffect = true
+		}
+	}
+	fold := func(m *source.Method) {
+		sum := res.Summaries[m]
+		if sum == nil {
+			return
+		}
+		for f := range sum.ReadFields {
+			ee.ReadFields[f] = true
+		}
+		for f := range sum.WriteFields {
+			ee.WriteFields[f] = true
+		}
+		for a := range sum.ReadSites {
+			ee.ReadSites[a] = true
+		}
+		for a := range sum.WriteSites {
+			ee.WriteSites[a] = true
+		}
+		if sum.DBEffect {
+			ee.DBEffect = true
+		}
+		if sum.ConsoleEffect {
+			ee.ConsoleEffect = true
+		}
+	}
+	for _, c := range eff.Calls {
+		fold(c.Method)
+	}
+	source.WalkExprs(res.Prog.Stmts[sid], func(e source.Expr) {
+		if nx, ok := e.(*source.NewObjectExpr); ok && nx.Ctor != nil {
+			fold(nx.Ctor)
+		}
+	})
+	res.effCache[sid] = ee
+	return ee
+}
+
+func overlapF(x, y map[*source.Field]bool) bool {
+	for f := range x {
+		if y[f] {
+			return true
+		}
+	}
+	return false
+}
+
+func overlapS(x, y map[int]bool) bool {
+	for s := range x {
+		if y[s] {
+			return true
+		}
+	}
+	return false
+}
+
+func overlapL(x, y []*source.Local) bool {
+	for _, l := range x {
+		for _, m := range y {
+			if l == m {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ConflictWW reports a write/write (output-dependence) conflict
+// between two statements, with callee effects summarized in. Pairs of
+// externally visible statements (DB, console) are ordered as writes.
+func (res *Result) ConflictWW(a, b source.NodeID) bool {
+	ea, eb := res.Effective(a), res.Effective(b)
+	if ea.DBEffect && eb.DBEffect {
+		return true
+	}
+	if ea.ConsoleEffect && eb.ConsoleEffect {
+		return true
+	}
+	return overlapF(ea.WriteFields, eb.WriteFields) ||
+		overlapS(ea.WriteSites, eb.WriteSites) ||
+		overlapL(ea.WriteLocals, eb.WriteLocals)
+}
+
+// ConflictRW reports a read/write (anti- or flow-dependence) conflict
+// in either direction between two statements.
+func (res *Result) ConflictRW(a, b source.NodeID) bool {
+	ea, eb := res.Effective(a), res.Effective(b)
+	return overlapF(ea.ReadFields, eb.WriteFields) || overlapF(eb.ReadFields, ea.WriteFields) ||
+		overlapS(ea.ReadSites, eb.WriteSites) || overlapS(eb.ReadSites, ea.WriteSites) ||
+		overlapL(ea.ReadLocals, eb.WriteLocals) || overlapL(eb.ReadLocals, ea.WriteLocals)
+}
+
+// Conflicts reports whether two statements conflict in any way.
+func (res *Result) Conflicts(a, b source.NodeID) bool {
+	return res.ConflictWW(a, b) || res.ConflictRW(a, b)
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestTPCCSmoke runs a short simulated point for each implementation
+// and checks the paper's qualitative ordering at low load with ample
+// CPU: Manual latency < Pyxis(high budget) ≈ Manual << JDBC.
+func TestTPCCSmoke(t *testing.T) {
+	cfg := DefaultTPCC()
+	part, err := cfg.PyxisPartition(1.0)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	t.Logf("pyxis partition: %s", part.Describe())
+
+	run := func(w Workload) Point {
+		return Run(w, RunCfg{
+			Clients: 10, Rate: 100, Warmup: 1, Window: 4,
+			AppCores: 8, DBCores: 16, CM: DefaultCosts(),
+		})
+	}
+	jdbc := run(cfg.JDBCWorkload())
+	manual := run(cfg.ManualWorkload())
+	pyx := run(cfg.PyxisWorkload(part))
+	t.Logf("JDBC:   %+v", jdbc)
+	t.Logf("Manual: %+v", manual)
+	t.Logf("Pyxis:  %+v", pyx)
+
+	if jdbc.Tput < 90 || manual.Tput < 90 || pyx.Tput < 90 {
+		t.Fatalf("throughput collapsed: jdbc=%v manual=%v pyxis=%v", jdbc.Tput, manual.Tput, pyx.Tput)
+	}
+	if jdbc.MeanLatMs < 2*manual.MeanLatMs {
+		t.Errorf("JDBC (%.2fms) should be far slower than Manual (%.2fms)", jdbc.MeanLatMs, manual.MeanLatMs)
+	}
+	if pyx.MeanLatMs > 2*manual.MeanLatMs {
+		t.Errorf("Pyxis high-budget (%.2fms) should track Manual (%.2fms)", pyx.MeanLatMs, manual.MeanLatMs)
+	}
+	if jdbc.Errors+manual.Errors+pyx.Errors > 20 {
+		t.Errorf("too many errors: %d/%d/%d", jdbc.Errors, manual.Errors, pyx.Errors)
+	}
+}
+
+// TestTPCCLowBudgetTracksJDBC: with a zero budget the generated
+// partition must behave like the JDBC implementation.
+func TestTPCCLowBudgetTracksJDBC(t *testing.T) {
+	cfg := DefaultTPCC()
+	part, err := cfg.PyxisPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Report.DBNodes != 0 {
+		t.Fatalf("budget-0 partition has %d DB statements", part.Report.DBNodes)
+	}
+	run := func(w Workload) Point {
+		return Run(w, RunCfg{
+			Clients: 10, Rate: 80, Warmup: 1, Window: 3,
+			AppCores: 8, DBCores: 3, CM: DefaultCosts(),
+		})
+	}
+	jdbc := run(cfg.JDBCWorkload())
+	pyx := run(cfg.PyxisWorkload(part))
+	t.Logf("JDBC:  %+v", jdbc)
+	t.Logf("Pyxis: %+v", pyx)
+	// Same round-trip pattern: latencies within ~40% of each other.
+	if pyx.MeanLatMs > jdbc.MeanLatMs*1.4 || pyx.MeanLatMs < jdbc.MeanLatMs*0.6 {
+		t.Errorf("low-budget Pyxis (%.2fms) should track JDBC (%.2fms)", pyx.MeanLatMs, jdbc.MeanLatMs)
+	}
+}

@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+func TestFig14Quick(t *testing.T) {
+	tab, err := Fig14(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestFig11Quick(t *testing.T) {
+	tab, err := Fig11(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"pyxis"
+	"pyxis/internal/source"
+)
+
+// findSha1Stmt locates the `h = sys.sha1(h)` statement.
+func findSha1Stmt(t *testing.T, part *pyxis.Partition) source.NodeID {
+	t.Helper()
+	for id, s := range part.System.Prog.Stmts {
+		for _, b := range source.Builtins(s) {
+			if b.B == source.BSha1 {
+				return id
+			}
+		}
+	}
+	t.Fatal("no sys.sha1 statement found")
+	return 0
+}
+
+// TestMicro2Diagonal asserts the Fig. 14 property: each partition wins
+// exactly the load regime the paper highlights.
+func TestMicro2Diagonal(t *testing.T) {
+	app, mid, dbp, err := Micro2Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition shapes first (paper §7.4): APP has no DB statements;
+	// APP-DB places the query loops on the DB but keeps the SHA-1 loop
+	// on the app server; DB moves (almost) everything.
+	if app.Report.DBNodes != 0 {
+		t.Errorf("APP partition has %d DB statements, want 0", app.Report.DBNodes)
+	}
+	if mid.Report.DBNodes == 0 || mid.Report.DBNodes >= dbp.Report.DBNodes {
+		t.Errorf("APP-DB partition shape wrong: mid=%d db=%d", mid.Report.DBNodes, dbp.Report.DBNodes)
+	}
+	if loc := mid.Place.Of(findSha1Stmt(t, mid)); loc.String() != "APP" {
+		t.Errorf("APP-DB partition put the SHA-1 loop on %s, want APP", loc)
+	}
+	if loc := dbp.Place.Of(findSha1Stmt(t, dbp)); loc.String() != "DB" {
+		t.Errorf("DB partition put the SHA-1 loop on %s, want DB", loc)
+	}
+
+	cm := DefaultCosts()
+	const q1, rounds, q2 = 400, 2000, 400
+	times := map[string]map[string]float64{}
+	for _, ld := range []struct {
+		name string
+		bg   int
+	}{{"none", 0}, {"partial", 32}, {"full", 64}} {
+		times[ld.name] = map[string]float64{
+			"APP":    Micro2Run(app, 16, ld.bg, q1, rounds, q2, cm),
+			"APP-DB": Micro2Run(mid, 16, ld.bg, q1, rounds, q2, cm),
+			"DB":     Micro2Run(dbp, 16, ld.bg, q1, rounds, q2, cm),
+		}
+	}
+	t.Logf("times: %v", times)
+	if !(times["none"]["DB"] < times["none"]["APP-DB"] && times["none"]["DB"] < times["none"]["APP"]) {
+		t.Errorf("no load: DB should win: %v", times["none"])
+	}
+	if !(times["partial"]["APP-DB"] < times["partial"]["APP"] && times["partial"]["APP-DB"] < times["partial"]["DB"]) {
+		t.Errorf("partial load: APP-DB should win: %v", times["partial"])
+	}
+	if !(times["full"]["APP"] < times["full"]["APP-DB"] && times["full"]["APP"] < times["full"]["DB"]) {
+		t.Errorf("full load: APP should win: %v", times["full"])
+	}
+}

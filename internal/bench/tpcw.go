@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"fmt"
+
+	"pyxis"
+	"pyxis/internal/interp"
+	"pyxis/internal/pdg"
+	"pyxis/internal/sim"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// TPCWConfig scales the TPC-W-like bookstore (paper §7.2: 10,000
+// items, browsing mix, 20 emulated browsers). The browsing mix drives
+// six interaction types; order-inquiry touches no tables at all —
+// the paper highlights that Pyxis leaves it on the application server
+// even with a full budget.
+type TPCWConfig struct {
+	Items   int
+	Authors int
+}
+
+// DefaultTPCW returns the evaluation configuration.
+func DefaultTPCW() TPCWConfig { return TPCWConfig{Items: 1000, Authors: 100} }
+
+var tpcwDDL = []string{
+	"CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(60), i_a_id INT, i_pub_date INT, i_price DOUBLE, i_total_sold INT)",
+	"CREATE TABLE author (a_id INT PRIMARY KEY, a_name VARCHAR(40))",
+	"CREATE TABLE customer (c_id INT PRIMARY KEY, c_uname VARCHAR(20), c_since INT)",
+	"CREATE INDEX idx_item_date ON item (i_pub_date)",
+	"CREATE INDEX idx_item_sold ON item (i_total_sold)",
+}
+
+// Load builds and populates the store.
+func (c TPCWConfig) Load() *sqldb.DB {
+	db := sqldb.Open()
+	s := db.NewSession()
+	must := func(sql string, args ...val.Value) {
+		if _, err := s.Exec(sql, args...); err != nil {
+			panic(fmt.Sprintf("tpcw load: %s: %v", sql, err))
+		}
+	}
+	for _, ddl := range tpcwDDL {
+		must(ddl)
+	}
+	for a := 1; a <= c.Authors; a++ {
+		must("INSERT INTO author VALUES (?, ?)", val.IntV(int64(a)), val.StrV(fmt.Sprintf("author-%d", a)))
+	}
+	for i := 1; i <= c.Items; i++ {
+		must("INSERT INTO item VALUES (?, ?, ?, ?, ?, ?)",
+			val.IntV(int64(i)), val.StrV(fmt.Sprintf("book title %d", i)),
+			val.IntV(int64(i%c.Authors+1)), val.IntV(int64(20000000+i%3650)),
+			val.DoubleV(5+float64(i%40)), val.IntV(int64((i*37)%500)))
+	}
+	for cu := 1; cu <= 100; cu++ {
+		must("INSERT INTO customer VALUES (?, ?, ?)",
+			val.IntV(int64(cu)), val.StrV(fmt.Sprintf("user%d", cu)), val.IntV(int64(20050000+cu)))
+	}
+	return db
+}
+
+// TPCWSource implements six web interactions of the browsing mix in
+// PyxJ. Each builds an HTML page and returns its length. Interactions
+// with heavy per-page query sequences (home, product detail, best
+// sellers) benefit from server-side placement; orderInquiry performs
+// no database access and must stay on the application server.
+const TPCWSource = `
+class TPCW {
+    int pages;
+
+    TPCW() {
+        pages = 0;
+    }
+
+    entry int home(int cid) {
+        string html = "<html><body>";
+        table cu = db.query("SELECT c_uname FROM customer WHERE c_id = ?", cid);
+        if (cu.rows() > 0) {
+            html = html + "<h1>Welcome " + cu.getString(0, 0) + "</h1>";
+        }
+        table promo = db.query("SELECT i_id, i_title FROM item WHERE i_id <= 5");
+        int r = 0;
+        while (r < promo.rows()) {
+            html = html + "<a href=/item/" + sys.str(promo.getInt(r, 0)) + ">" + promo.getString(r, 1) + "</a>";
+            r++;
+        }
+        html = html + "</body></html>";
+        pages++;
+        return html.length();
+    }
+
+    entry int productDetail(int iid) {
+        string html = "<html><body>";
+        table it = db.query("SELECT i_title, i_price, i_a_id FROM item WHERE i_id = ?", iid);
+        if (it.rows() > 0) {
+            table au = db.query("SELECT a_name FROM author WHERE a_id = ?", it.getInt(0, 2));
+            html = html + "<h1>" + it.getString(0, 0) + "</h1>";
+            html = html + "<p>by " + au.getString(0, 0) + "</p>";
+            html = html + "<p>$" + sys.str(it.getDouble(0, 1)) + "</p>";
+        }
+        html = html + "</body></html>";
+        pages++;
+        return html.length();
+    }
+
+    entry int searchByTitle(int seed) {
+        string pat = "book title " + sys.str(seed % 100) + "%";
+        table rs = db.query("SELECT i_id, i_title, i_price FROM item WHERE i_title LIKE ? ORDER BY i_title LIMIT 20", pat);
+        string html = "<html><body><ul>";
+        int r = 0;
+        while (r < rs.rows()) {
+            html = html + "<li>" + rs.getString(r, 1) + " $" + sys.str(rs.getDouble(r, 2)) + "</li>";
+            r++;
+        }
+        html = html + "</ul></body></html>";
+        pages++;
+        return html.length();
+    }
+
+    entry int newProducts(int day) {
+        table rs = db.query("SELECT i_id, i_title FROM item WHERE i_pub_date >= ? ORDER BY i_pub_date DESC LIMIT 20", day);
+        string html = "<html><body><ol>";
+        int r = 0;
+        while (r < rs.rows()) {
+            html = html + "<li><a href=/item/" + sys.str(rs.getInt(r, 0)) + ">" + rs.getString(r, 1) + "</a></li>";
+            r++;
+        }
+        html = html + "</ol></body></html>";
+        pages++;
+        return html.length();
+    }
+
+    entry int bestSellers() {
+        table rs = db.query("SELECT i_id, i_title, i_total_sold FROM item ORDER BY i_total_sold DESC LIMIT 20");
+        string html = "<html><body><table>";
+        int r = 0;
+        while (r < rs.rows()) {
+            table au = db.query("SELECT a_name FROM author, item WHERE item.i_id = ? AND a_id = i_a_id", rs.getInt(r, 0));
+            string aname = "?";
+            if (au.rows() > 0) {
+                aname = au.getString(0, 0);
+            }
+            html = html + "<tr><td>" + rs.getString(r, 1) + "</td><td>" + aname + "</td><td>" + sys.str(rs.getInt(r, 2)) + "</td></tr>";
+            r++;
+        }
+        html = html + "</table></body></html>";
+        pages++;
+        return html.length();
+    }
+
+    entry int orderInquiry(int cid) {
+        string html = "<html><body><form action=/order-display method=POST>";
+        html = html + "<input type=text name=uname value=user" + sys.str(cid) + ">";
+        html = html + "<input type=password name=passwd>";
+        html = html + "<input type=submit value=Submit>";
+        html = html + "</form></body></html>";
+        pages++;
+        return html.length();
+    }
+}
+`
+
+// Browsing-mix weights (percent), following the TPC-W browsing mix
+// shape: home 29, new products 11, best sellers 11, product detail 21,
+// search 23, order inquiry 5.
+var tpcwMix = []struct {
+	method string
+	weight int
+}{
+	{"home", 29},
+	{"newProducts", 11},
+	{"bestSellers", 11},
+	{"productDetail", 21},
+	{"searchByTitle", 23},
+	{"orderInquiry", 5},
+}
+
+// pickInteraction maps a sequence number to an interaction.
+func pickInteraction(k int64) string {
+	h := (k*48271 + 11) % 100
+	if h < 0 {
+		h = -h
+	}
+	acc := int64(0)
+	for _, m := range tpcwMix {
+		acc += int64(m.weight)
+		if h < acc {
+			return m.method
+		}
+	}
+	return "home"
+}
+
+func (c TPCWConfig) interactionArg(method string, k int64) val.Value {
+	h := k*7919 + 13
+	if h < 0 {
+		h = -h
+	}
+	switch method {
+	case "home", "orderInquiry":
+		return val.IntV(h%100 + 1)
+	case "productDetail":
+		return val.IntV(h%int64(c.Items) + 1)
+	case "searchByTitle":
+		return val.IntV(h % 100)
+	case "newProducts":
+		return val.IntV(20000000 + h%3650)
+	case "bestSellers":
+		return val.Value{}
+	}
+	return val.IntV(1)
+}
+
+// PyxisPartition profiles the browsing mix and partitions at the given
+// budget fraction.
+func (c TPCWConfig) PyxisPartition(budgetFrac float64) (*pyxis.Partition, error) {
+	sys, err := pyxis.Load(TPCWSource)
+	if err != nil {
+		return nil, err
+	}
+	profDB := TPCWConfig{Items: 100, Authors: 10}.Load()
+	pcfg := TPCWConfig{Items: 100, Authors: 10}
+	err = sys.ProfileWorkload(profDB, func(ip *interp.Interp) error {
+		obj, err := ip.NewObject("TPCW")
+		if err != nil {
+			return err
+		}
+		for k := int64(0); k < 100; k++ {
+			method := pickInteraction(k)
+			m := sys.Prog.Method("TPCW", method)
+			arg := pcfg.interactionArg(method, k)
+			var callErr error
+			if method == "bestSellers" {
+				_, callErr = ip.CallEntry(m, obj)
+			} else {
+				_, callErr = ip.CallEntry(m, obj, arg)
+			}
+			if callErr != nil {
+				return fmt.Errorf("%s: %w", method, callErr)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sys.PartitionAt(budgetFrac)
+}
+
+// JDBCWorkload: interactions implemented in native Go against the
+// wire-cost connection (one round trip per query).
+func (c TPCWConfig) JDBCWorkload() Workload {
+	return Workload{
+		Name:  "JDBC",
+		NewDB: c.Load,
+		NewClient: func(db *sqldb.DB, p *sim.Proc, env *Env, id int) func(int64) error {
+			conn := newSimConn(db, env, pdg.App)
+			return func(k int64) error {
+				env.Logic(pdg.App, env.CM.NativeLogicCost)
+				return c.nativeInteraction(conn, k)
+			}
+		},
+	}
+}
+
+// ManualWorkload: one RPC per interaction; logic colocated with the DB.
+func (c TPCWConfig) ManualWorkload() Workload {
+	return Workload{
+		Name:  "Manual",
+		NewDB: c.Load,
+		NewClient: func(db *sqldb.DB, p *sim.Proc, env *Env, id int) func(int64) error {
+			conn := newSimConn(db, env, pdg.DB)
+			return func(k int64) error {
+				env.Link.Transfer(p, 80)
+				env.Logic(pdg.DB, env.CM.NativeLogicCost)
+				err := c.nativeInteraction(conn, k)
+				env.Link.Transfer(p, 640) // page HTML ships back
+				return err
+			}
+		},
+	}
+}
+
+// PyxisWorkload: the partitioned PyxJ interactions.
+func (c TPCWConfig) PyxisWorkload(part *pyxis.Partition) Workload {
+	return Workload{
+		Name:  "Pyxis",
+		NewDB: c.Load,
+		NewClient: func(db *sqldb.DB, p *sim.Proc, env *Env, id int) func(int64) error {
+			sc := NewSimClient(part.Compiled, db, p, env)
+			oid, err := sc.Client.NewObject("TPCW")
+			if err != nil {
+				panic(err)
+			}
+			return func(k int64) error {
+				method := pickInteraction(k)
+				arg := c.interactionArg(method, k)
+				var callErr error
+				if method == "bestSellers" {
+					_, callErr = sc.Client.CallEntry("TPCW.bestSellers", oid)
+				} else {
+					_, callErr = sc.Client.CallEntry("TPCW."+method, oid, arg)
+				}
+				if callErr != nil {
+					sc.RollbackAll()
+				}
+				return callErr
+			}
+		},
+	}
+}
+
+// nativeInteraction mirrors the PyxJ interactions' SQL access patterns
+// for the hand-written implementations.
+func (c TPCWConfig) nativeInteraction(conn *simConn, k int64) error {
+	method := pickInteraction(k)
+	arg := c.interactionArg(method, k)
+	switch method {
+	case "home":
+		if _, err := conn.Query("SELECT c_uname FROM customer WHERE c_id = ?", arg); err != nil {
+			return err
+		}
+		_, err := conn.Query("SELECT i_id, i_title FROM item WHERE i_id <= 5")
+		return err
+	case "productDetail":
+		it, err := conn.Query("SELECT i_title, i_price, i_a_id FROM item WHERE i_id = ?", arg)
+		if err != nil {
+			return err
+		}
+		if len(it.Rows) > 0 {
+			_, err = conn.Query("SELECT a_name FROM author WHERE a_id = ?", it.Rows[0][2])
+		}
+		return err
+	case "searchByTitle":
+		pat := fmt.Sprintf("book title %d%%", arg.I)
+		_, err := conn.Query("SELECT i_id, i_title, i_price FROM item WHERE i_title LIKE ? ORDER BY i_title LIMIT 20", val.StrV(pat))
+		return err
+	case "newProducts":
+		_, err := conn.Query("SELECT i_id, i_title FROM item WHERE i_pub_date >= ? ORDER BY i_pub_date DESC LIMIT 20", arg)
+		return err
+	case "bestSellers":
+		rs, err := conn.Query("SELECT i_id, i_title, i_total_sold FROM item ORDER BY i_total_sold DESC LIMIT 20")
+		if err != nil {
+			return err
+		}
+		for _, row := range rs.Rows {
+			if _, err := conn.Query("SELECT a_name FROM author, item WHERE item.i_id = ? AND a_id = i_a_id", row[0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "orderInquiry":
+		return nil // no database access: pure page generation
+	}
+	return nil
+}

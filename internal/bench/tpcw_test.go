@@ -1,0 +1,53 @@
+package bench
+
+import "testing"
+
+// TestTPCWSmoke checks the TPC-W pipeline end to end and the paper's
+// §7.2 observation: order-inquiry code stays on the application server
+// even when the budget is unconstrained.
+func TestTPCWSmoke(t *testing.T) {
+	cfg := DefaultTPCW()
+	part, err := cfg.PyxisPartition(1.0)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	t.Logf("partition: %s", part.Describe())
+
+	// The orderInquiry body must be on APP despite the full budget.
+	sys := part.System
+	m := sys.Prog.Method("TPCW", "orderInquiry")
+	onDB := 0
+	total := 0
+	for id, stmt := range sys.Prog.Stmts {
+		_ = stmt
+		if sys.Analysis.StmtMethod[id] == m {
+			total++
+			if part.Place.Of(id).String() == "DB" {
+				onDB++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no orderInquiry statements found")
+	}
+	if onDB != 0 {
+		t.Errorf("orderInquiry: %d/%d statements on DB; want 0 (no database access)", onDB, total)
+	}
+
+	run := func(w Workload) Point {
+		return Run(w, RunCfg{Clients: 10, Rate: 50, Warmup: 1, Window: 3,
+			AppCores: 8, DBCores: 16, CM: DefaultCosts()})
+	}
+	jdbc := run(cfg.JDBCWorkload())
+	manual := run(cfg.ManualWorkload())
+	pyx := run(cfg.PyxisWorkload(part))
+	t.Logf("JDBC:   %+v", jdbc)
+	t.Logf("Manual: %+v", manual)
+	t.Logf("Pyxis:  %+v", pyx)
+	if jdbc.Errors+manual.Errors+pyx.Errors > 0 {
+		t.Errorf("errors: %d/%d/%d", jdbc.Errors, manual.Errors, pyx.Errors)
+	}
+	if jdbc.MeanLatMs < manual.MeanLatMs {
+		t.Errorf("JDBC (%.2f) should be slower than Manual (%.2f)", jdbc.MeanLatMs, manual.MeanLatMs)
+	}
+}

@@ -1,0 +1,231 @@
+// Package compile translates PyxIL programs into execution blocks
+// (paper §5): straight-line instruction sequences, each placed on one
+// server, that end by naming the next block — continuation-passing
+// style, exactly the Fig. 7 code shape. Local variables become
+// explicit stack slots so the runtime fully controls program state and
+// can suspend at any placement boundary.
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"pyxis/internal/pdg"
+	"pyxis/internal/source"
+	"pyxis/internal/val"
+)
+
+// BlockID identifies an execution block.
+type BlockID int32
+
+// NoBlock is the nil block id.
+const NoBlock BlockID = -1
+
+// Op enumerates block instructions.
+type Op uint8
+
+const (
+	OpConst    Op = iota // slots[A] = Lit
+	OpMove               // slots[A] = slots[B]
+	OpBin                // slots[A] = slots[B] <Sub:BinOp> slots[C]
+	OpUn                 // slots[A] = <Sub:UnOp> slots[B]
+	OpConv               // slots[A] = double(slots[B])
+	OpNewObj             // slots[A] = new Class
+	OpNewArr             // slots[A] = new [slots[B]] with zero Lit
+	OpGetField           // slots[A] = slots[B].Field
+	OpSetField           // slots[A].Field = slots[B]
+	OpGetIdx             // slots[A] = slots[B][slots[C]]
+	OpSetIdx             // slots[A][slots[B]] = slots[C]
+	OpLen                // slots[A] = len(slots[B])
+	OpDBQuery            // slots[A] = db.query(SQL, slots[Args...])
+	OpDBExec             // slots[A] = db.update(SQL, slots[Args...])
+	OpDBBegin
+	OpDBCommit
+	OpDBRollback
+	OpPrint      // print slots[Args...]
+	OpSha1       // slots[A] = sha1(slots[B])
+	OpStr        // slots[A] = str(slots[B])
+	OpTblRows    // slots[A] = rows(slots[B])
+	OpTblGet     // slots[A] = slots[B].get(slots[C], slots[Args[0]]) as Sub(Builtin)
+	OpSendPart   // mark object slots[A]'s Sub(Loc) part for sync
+	OpSendNative // mark array/table slots[A] for sync (no-op on scalars)
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpMove: "move", OpBin: "bin", OpUn: "un", OpConv: "conv",
+	OpNewObj: "newobj", OpNewArr: "newarr", OpGetField: "getfield",
+	OpSetField: "setfield", OpGetIdx: "getidx", OpSetIdx: "setidx", OpLen: "len",
+	OpDBQuery: "dbquery", OpDBExec: "dbexec", OpDBBegin: "dbbegin",
+	OpDBCommit: "dbcommit", OpDBRollback: "dbrollback", OpPrint: "print",
+	OpSha1: "sha1", OpStr: "str", OpTblRows: "tblrows", OpTblGet: "tblget",
+	OpSendPart: "sendpart", OpSendNative: "sendnative",
+}
+
+// Instr is one executable instruction.
+type Instr struct {
+	Op      Op
+	A, B, C int
+	Sub     uint8
+	Lit     val.Value
+	Class   *ClassInfo
+	Field   *FieldRef
+	SQL     string
+	Args    []int
+}
+
+// TermKind enumerates block terminators.
+type TermKind uint8
+
+const (
+	TGoto TermKind = iota
+	TIf
+	TCall
+	TRet
+)
+
+// Term ends a block. For TCall, the runtime pushes a frame for Method,
+// copies caller slots Args into callee slots 0..len(Args)-1 (slot 0 is
+// the receiver), and resumes at Cont with the return value stored in
+// RetSlot when the callee returns. For TRet, Val is the returned slot
+// (-1 = zero value of the method's return type).
+type Term struct {
+	Kind    TermKind
+	Target  BlockID // TGoto
+	Cond    int     // TIf condition slot
+	Then    BlockID // TIf
+	Else    BlockID // TIf
+	Method  *MethodInfo
+	Args    []int
+	RetSlot int
+	Cont    BlockID
+	Val     int // TRet
+}
+
+// Block is one execution block with a fixed placement.
+type Block struct {
+	ID   BlockID
+	Loc  pdg.Loc
+	Code []Instr
+	Term Term
+}
+
+// FieldRef resolves a source field to its split-class location: which
+// part (APP or DB) and the index within that part.
+type FieldRef struct {
+	Class   *ClassInfo
+	Name    string
+	Loc     pdg.Loc
+	PartIdx int
+	Type    source.Type
+}
+
+// ClassInfo is the compiled form of a class: fields split into APP and
+// DB parts per the placement (paper Fig. 6).
+type ClassInfo struct {
+	Name string
+	// Fields is indexed by the source field Index.
+	Fields []*FieldRef
+	// NumApp/NumDB are the part sizes.
+	NumApp, NumDB int
+	// Ctor, if any.
+	Ctor *MethodInfo
+}
+
+// PartLen returns the number of fields in the given part.
+func (c *ClassInfo) PartLen(loc pdg.Loc) int {
+	if loc == pdg.DB {
+		return c.NumDB
+	}
+	return c.NumApp
+}
+
+// ZeroPart builds a zeroed part value array.
+func (c *ClassInfo) ZeroPart(loc pdg.Loc) []val.Value {
+	out := make([]val.Value, c.PartLen(loc))
+	for _, f := range c.Fields {
+		if f.Loc == loc {
+			out[f.PartIdx] = f.Type.Zero()
+		}
+	}
+	return out
+}
+
+// MethodInfo is the compiled form of a method.
+type MethodInfo struct {
+	QName        string
+	Name         string
+	Class        *ClassInfo
+	Entry        BlockID
+	NSlots       int // frame size: 1 (this) + locals + temps
+	Params       []source.Type
+	Ret          source.Type
+	IsEntryPoint bool
+}
+
+// Program is a compiled, placed program.
+type Program struct {
+	Blocks  []*Block
+	Classes map[string]*ClassInfo
+	Methods map[string]*MethodInfo
+	// MethodList preserves declaration order.
+	MethodList []*MethodInfo
+}
+
+// Block returns a block by id.
+func (p *Program) Block(id BlockID) *Block { return p.Blocks[id] }
+
+// Method resolves "Class.method".
+func (p *Program) Method(qname string) *MethodInfo { return p.Methods[qname] }
+
+// Stats summarizes the compiled program.
+func (p *Program) Stats() string {
+	app, db := 0, 0
+	instrs := 0
+	for _, b := range p.Blocks {
+		instrs += len(b.Code)
+		if b.Loc == pdg.DB {
+			db++
+		} else {
+			app++
+		}
+	}
+	return fmt.Sprintf("blocks=%d (app=%d db=%d) instrs=%d methods=%d classes=%d",
+		len(p.Blocks), app, db, instrs, len(p.Methods), len(p.Classes))
+}
+
+// Disassemble renders the block program for debugging and for the
+// pyxisc -blocks output.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for _, m := range p.MethodList {
+		fmt.Fprintf(&b, "method %s: entry=b%d slots=%d\n", m.QName, m.Entry, m.NSlots)
+	}
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(&b, "b%d [%s]:\n", blk.ID, blk.Loc)
+		for _, in := range blk.Code {
+			fmt.Fprintf(&b, "  %s", opNames[in.Op])
+			fmt.Fprintf(&b, " A=%d B=%d C=%d", in.A, in.B, in.C)
+			if in.Field != nil {
+				fmt.Fprintf(&b, " field=%s.%s", in.Field.Class.Name, in.Field.Name)
+			}
+			if in.SQL != "" {
+				fmt.Fprintf(&b, " sql=%q", in.SQL)
+			}
+			if len(in.Args) > 0 {
+				fmt.Fprintf(&b, " args=%v", in.Args)
+			}
+			b.WriteString("\n")
+		}
+		switch blk.Term.Kind {
+		case TGoto:
+			fmt.Fprintf(&b, "  goto b%d\n", blk.Term.Target)
+		case TIf:
+			fmt.Fprintf(&b, "  if s%d then b%d else b%d\n", blk.Term.Cond, blk.Term.Then, blk.Term.Else)
+		case TCall:
+			fmt.Fprintf(&b, "  call %s args=%v ret=s%d cont=b%d\n", blk.Term.Method.QName, blk.Term.Args, blk.Term.RetSlot, blk.Term.Cont)
+		case TRet:
+			fmt.Fprintf(&b, "  ret s%d\n", blk.Term.Val)
+		}
+	}
+	return b.String()
+}

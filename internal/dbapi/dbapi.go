@@ -1,0 +1,229 @@
+// Package dbapi is this repository's JDBC analogue: a uniform database
+// connection interface with two implementations. Local wraps an
+// embedded sqldb session (what the database-side partition uses —
+// colocated, no network). Client speaks the wire protocol over an
+// rpc.Transport (what the application-side partition uses — every
+// operation is one round trip, exactly the cost the paper's JDBC
+// implementation pays).
+package dbapi
+
+import (
+	"errors"
+	"fmt"
+
+	"pyxis/internal/rpc"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// Conn is a database connection. Implementations are not safe for
+// concurrent use; each logical thread of control owns one Conn.
+type Conn interface {
+	// Exec runs DDL/DML and returns the affected row count.
+	Exec(sql string, args ...val.Value) (int, error)
+	// Query runs a SELECT.
+	Query(sql string, args ...val.Value) (*sqldb.ResultSet, error)
+	// Begin / Commit / Rollback manage an explicit transaction.
+	Begin() error
+	Commit() error
+	Rollback() error
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// Local (embedded) connection
+// ---------------------------------------------------------------------------
+
+// Local is an embedded connection to an in-process database.
+type Local struct {
+	Sess *sqldb.Session
+}
+
+// NewLocal opens an embedded connection on db.
+func NewLocal(db *sqldb.DB) *Local { return &Local{Sess: db.NewSession()} }
+
+func (l *Local) Exec(sql string, args ...val.Value) (int, error) { return l.Sess.Exec(sql, args...) }
+func (l *Local) Query(sql string, args ...val.Value) (*sqldb.ResultSet, error) {
+	return l.Sess.Query(sql, args...)
+}
+func (l *Local) Begin() error    { return l.Sess.Begin() }
+func (l *Local) Commit() error   { return l.Sess.Commit() }
+func (l *Local) Rollback() error { return l.Sess.Rollback() }
+func (l *Local) Close() error    { return nil }
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+const (
+	opExec byte = iota + 1
+	opQuery
+	opBegin
+	opCommit
+	opRollback
+)
+
+// EncodeRequest marshals one database operation.
+func EncodeRequest(op byte, sql string, args []val.Value) []byte {
+	var w rpc.Writer
+	w.Byte(op)
+	w.Str(sql)
+	w.Vals(args)
+	return w.Buf
+}
+
+// Client is a remote connection over a transport. One Client maps to
+// one server-side session (and so one transaction context).
+type Client struct {
+	T rpc.Transport
+}
+
+// NewClient wraps a transport as a database connection.
+func NewClient(t rpc.Transport) *Client { return &Client{T: t} }
+
+func (c *Client) do(op byte, sql string, args []val.Value) (*rpc.Reader, error) {
+	resp, err := c.T.Call(EncodeRequest(op, sql, args))
+	if err != nil {
+		return nil, err
+	}
+	r := &rpc.Reader{Buf: resp}
+	if !r.Bool() { // ok flag
+		msg := r.Str()
+		return nil, decodeError(msg)
+	}
+	return r, nil
+}
+
+func (c *Client) Exec(sql string, args ...val.Value) (int, error) {
+	r, err := c.do(opExec, sql, args)
+	if err != nil {
+		return 0, err
+	}
+	n := int(r.I64())
+	return n, r.Err()
+}
+
+func (c *Client) Query(sql string, args ...val.Value) (*sqldb.ResultSet, error) {
+	r, err := c.do(opQuery, sql, args)
+	if err != nil {
+		return nil, err
+	}
+	rs := &sqldb.ResultSet{}
+	ncols := int(r.U32())
+	for i := 0; i < ncols; i++ {
+		rs.Cols = append(rs.Cols, r.Str())
+	}
+	nrows := int(r.U32())
+	for i := 0; i < nrows; i++ {
+		rs.Rows = append(rs.Rows, r.Vals())
+	}
+	return rs, r.Err()
+}
+
+func (c *Client) Begin() error    { _, err := c.do(opBegin, "", nil); return err }
+func (c *Client) Commit() error   { _, err := c.do(opCommit, "", nil); return err }
+func (c *Client) Rollback() error { _, err := c.do(opRollback, "", nil); return err }
+func (c *Client) Close() error    { return c.T.Close() }
+
+// Sentinel errors cross the wire by name so clients can match them.
+var wireErrors = map[string]error{
+	"deadlock":       sqldb.ErrDeadlock,
+	"dup-key":        sqldb.ErrDupKey,
+	"no-transaction": sqldb.ErrNoTransaction,
+}
+
+func encodeError(err error) string {
+	switch {
+	case errors.Is(err, sqldb.ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, sqldb.ErrDupKey):
+		return "dup-key"
+	case errors.Is(err, sqldb.ErrNoTransaction):
+		return "no-transaction"
+	}
+	return "! " + err.Error()
+}
+
+func decodeError(msg string) error {
+	if e, ok := wireErrors[msg]; ok {
+		return e
+	}
+	if len(msg) > 2 && msg[0] == '!' {
+		return errors.New(msg[2:])
+	}
+	return errors.New(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------------
+
+// NewHandler returns an rpc.Handler serving the wire protocol against
+// a fresh session of db. Create one handler per client connection.
+func NewHandler(db *sqldb.DB) rpc.Handler {
+	sess := db.NewSession()
+	return SessionHandler(sess)
+}
+
+// SessionHandler serves the wire protocol against an existing session
+// (useful when the caller needs to control the session's WaitPoint).
+func SessionHandler(sess *sqldb.Session) rpc.Handler {
+	return func(req []byte) ([]byte, error) {
+		r := &rpc.Reader{Buf: req}
+		op := r.Byte()
+		sql := r.Str()
+		args := r.Vals()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		var w rpc.Writer
+		switch op {
+		case opExec:
+			n, err := sess.Exec(sql, args...)
+			if err != nil {
+				return encodeErr(err), nil
+			}
+			w.Bool(true)
+			w.I64(int64(n))
+		case opQuery:
+			rs, err := sess.Query(sql, args...)
+			if err != nil {
+				return encodeErr(err), nil
+			}
+			w.Bool(true)
+			w.U32(uint32(len(rs.Cols)))
+			for _, c := range rs.Cols {
+				w.Str(c)
+			}
+			w.U32(uint32(len(rs.Rows)))
+			for _, row := range rs.Rows {
+				w.Vals(row)
+			}
+		case opBegin:
+			if err := sess.Begin(); err != nil {
+				return encodeErr(err), nil
+			}
+			w.Bool(true)
+		case opCommit:
+			if err := sess.Commit(); err != nil {
+				return encodeErr(err), nil
+			}
+			w.Bool(true)
+		case opRollback:
+			if err := sess.Rollback(); err != nil {
+				return encodeErr(err), nil
+			}
+			w.Bool(true)
+		default:
+			return nil, fmt.Errorf("dbapi: unknown op %d", op)
+		}
+		return w.Buf, nil
+	}
+}
+
+func encodeErr(err error) []byte {
+	var w rpc.Writer
+	w.Bool(false)
+	w.Str(encodeError(err))
+	return w.Buf
+}

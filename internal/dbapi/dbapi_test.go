@@ -1,0 +1,108 @@
+package dbapi
+
+import (
+	"errors"
+	"testing"
+
+	"pyxis/internal/rpc"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+func setup(t *testing.T) *sqldb.DB {
+	t.Helper()
+	db := sqldb.Open()
+	s := db.NewSession()
+	for _, q := range []string{
+		"CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(8))",
+		"INSERT INTO t VALUES (1, 'a')",
+		"INSERT INTO t VALUES (2, 'b')",
+	} {
+		if _, err := s.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// connContract exercises the Conn interface identically for local and
+// remote implementations.
+func connContract(t *testing.T, conn Conn) {
+	t.Helper()
+	rs, err := conn.Query("SELECT v FROM t WHERE k = ?", val.IntV(2))
+	if err != nil || len(rs.Rows) != 1 || rs.Rows[0][0].S != "b" {
+		t.Fatalf("query: %v %v", rs, err)
+	}
+	n, err := conn.Exec("INSERT INTO t VALUES (?, ?)", val.IntV(3), val.StrV("c"))
+	if err != nil || n != 1 {
+		t.Fatalf("exec: %d %v", n, err)
+	}
+	// Transaction rollback.
+	if err := conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("UPDATE t SET v = 'zz' WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = conn.Query("SELECT v FROM t WHERE k = 1")
+	if err != nil || rs.Rows[0][0].S != "a" {
+		t.Fatalf("rollback failed: %v %v", rs, err)
+	}
+	// Errors cross the boundary with identity where sentinel.
+	_, err = conn.Exec("INSERT INTO t VALUES (1, 'dup')")
+	if !errors.Is(err, sqldb.ErrDupKey) {
+		t.Fatalf("dup key error lost: %v", err)
+	}
+	if err := conn.Commit(); !errors.Is(err, sqldb.ErrNoTransaction) {
+		t.Fatalf("commit outside txn: %v", err)
+	}
+	if _, err := conn.Query("SELECT nope FROM t"); err == nil {
+		t.Fatal("bad query should error")
+	}
+}
+
+func TestLocalConn(t *testing.T) {
+	connContract(t, NewLocal(setup(t)))
+}
+
+func TestRemoteConnInProc(t *testing.T) {
+	db := setup(t)
+	conn := NewClient(rpc.NewInProc(NewHandler(db), 0))
+	connContract(t, conn)
+}
+
+func TestRemoteConnTCP(t *testing.T) {
+	db := setup(t)
+	srv, err := rpc.NewServer("127.0.0.1:0", func() rpc.Handler { return NewHandler(db) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := rpc.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	connContract(t, NewClient(cli))
+}
+
+// TestSessionIsolationPerConnection: two clients get independent
+// transaction contexts.
+func TestSessionIsolationPerConnection(t *testing.T) {
+	db := setup(t)
+	c1 := NewClient(rpc.NewInProc(NewHandler(db), 0))
+	c2 := NewClient(rpc.NewInProc(NewHandler(db), 0))
+	if err := c1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// c2 has no transaction open.
+	if err := c2.Commit(); !errors.Is(err, sqldb.ErrNoTransaction) {
+		t.Fatalf("c2 shares c1's txn: %v", err)
+	}
+	if err := c1.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}

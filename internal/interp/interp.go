@@ -1,0 +1,870 @@
+// Package interp is the reference tree-walking interpreter for PyxJ.
+// It defines the language's semantics: the partitioned runtime must be
+// observationally equivalent to it (the equivalence is property-tested
+// in the runtime package). The profiler drives workloads through it to
+// collect the execution counts and assigned-data sizes that weight the
+// partition graph (paper §4.1).
+package interp
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"pyxis/internal/dbapi"
+	"pyxis/internal/source"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// Value is an interpreter value: a scalar (in the embedded val.Value)
+// or a reference to interpreter-local heap storage.
+type Value struct {
+	val.Value
+	Obj *Object
+	Arr *Array
+	Tab *sqldb.ResultSet
+}
+
+// Object is a class instance.
+type Object struct {
+	Class  *source.Class
+	Fields []Value
+}
+
+// Array is a PyxJ array.
+type Array struct {
+	Elem  source.Type
+	Elems []Value
+}
+
+// Scalar wraps a raw val.Value as an interpreter value.
+func Scalar(v val.Value) Value { return Value{Value: v} }
+
+func objV(o *Object) Value { return Value{Value: val.Value{K: val.Obj}, Obj: o} }
+func arrV(a *Array) Value  { return Value{Value: val.Value{K: val.Arr}, Arr: a} }
+func tabV(t *sqldb.ResultSet) Value {
+	return Value{Value: val.Value{K: val.Table}, Tab: t}
+}
+
+// Size estimates the serialized size of v in bytes, matching the
+// accounting the runtime uses when it ships values between servers.
+func Size(v Value) int {
+	switch v.K {
+	case val.Obj:
+		if v.Obj == nil {
+			return 9
+		}
+		n := 16
+		for _, f := range v.Obj.Fields {
+			n += f.Value.Size()
+		}
+		return n
+	case val.Arr:
+		if v.Arr == nil {
+			return 9
+		}
+		n := 24
+		for _, e := range v.Arr.Elems {
+			n += e.Value.Size()
+		}
+		return n
+	case val.Table:
+		if v.Tab == nil {
+			return 9
+		}
+		return v.Tab.Size()
+	default:
+		return v.Value.Size()
+	}
+}
+
+// Hooks observe execution for profiling. Any hook may be nil.
+type Hooks struct {
+	// OnStmt fires once per executed statement.
+	OnStmt func(id source.NodeID)
+	// OnAssign fires for every value-producing statement (declarations
+	// with initializers, assignments) with the assigned value's size.
+	OnAssign func(id source.NodeID, size int)
+	// OnFieldWrite fires when a field is stored, keyed by field node.
+	OnFieldWrite func(fieldID source.NodeID, size int)
+	// OnDBCall fires for each database operation.
+	OnDBCall func(id source.NodeID)
+	// OnEntryCall fires when a method is invoked from outside the
+	// partitioned program (entry wrapper or external object creation).
+	OnEntryCall func(m *source.Method)
+}
+
+// Interp executes PyxJ programs against a database connection.
+type Interp struct {
+	Prog  *source.Program
+	DB    dbapi.Conn
+	Out   io.Writer
+	Hooks Hooks
+
+	// Sha1Count counts sys.sha1 invocations (CPU-work accounting).
+	Sha1Count int64
+
+	curStmt source.NodeID // statement being executed (for OnDBCall)
+}
+
+// New creates an interpreter over prog with database connection db.
+// Console output is discarded unless Out is set.
+func New(prog *source.Program, db dbapi.Conn) *Interp {
+	return &Interp{Prog: prog, DB: db, Out: io.Discard}
+}
+
+// errSignal carries non-error control flow through Go's error channel.
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlReturn
+)
+
+type frame struct {
+	this  *Object
+	slots []Value
+}
+
+// RuntimeError is a PyxJ-level execution failure (null dereference,
+// index out of range, division by zero, database error, ...).
+type RuntimeError struct {
+	Pos source.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func rerr(pos source.Pos, format string, args ...any) error {
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// NewObject allocates an instance of class and runs its constructor.
+func (ip *Interp) NewObject(class string, args ...Value) (*Object, error) {
+	cl := ip.Prog.Class(class)
+	if cl == nil {
+		return nil, fmt.Errorf("interp: unknown class %s", class)
+	}
+	obj := &Object{Class: cl, Fields: make([]Value, len(cl.Fields))}
+	for i, f := range cl.Fields {
+		obj.Fields[i] = Scalar(f.Type.Zero())
+	}
+	if ctor := cl.MethodByName(cl.Name); ctor != nil {
+		if ip.Hooks.OnEntryCall != nil {
+			ip.Hooks.OnEntryCall(ctor)
+		}
+		if _, err := ip.call(ctor, obj, args); err != nil {
+			return nil, err
+		}
+	} else if len(args) != 0 {
+		return nil, fmt.Errorf("interp: class %s has no constructor", class)
+	}
+	return obj, nil
+}
+
+// CallEntry invokes an entry method on obj with scalar arguments and
+// returns its scalar result.
+func (ip *Interp) CallEntry(method *source.Method, obj *Object, args ...val.Value) (val.Value, error) {
+	if ip.Hooks.OnEntryCall != nil {
+		ip.Hooks.OnEntryCall(method)
+	}
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		vals[i] = Scalar(a)
+	}
+	out, err := ip.call(method, obj, vals)
+	if err != nil {
+		return val.Value{}, err
+	}
+	return out.Value, nil
+}
+
+// Call invokes any method (test helper; entry points use CallEntry).
+func (ip *Interp) Call(method *source.Method, obj *Object, args []Value) (Value, error) {
+	return ip.call(method, obj, args)
+}
+
+func (ip *Interp) call(m *source.Method, this *Object, args []Value) (Value, error) {
+	if len(args) != len(m.Params) {
+		return Value{}, fmt.Errorf("interp: %s: want %d args, got %d", m.QName(), len(m.Params), len(args))
+	}
+	fr := &frame{this: this, slots: make([]Value, len(m.Locals))}
+	for i, p := range m.Params {
+		fr.slots[p.Slot] = widenTo(args[i], p.Type)
+	}
+	c, ret, err := ip.execBlock(fr, m.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	if c == ctrlReturn {
+		return ret, nil
+	}
+	// Falling off the end returns the zero value.
+	return Scalar(m.Ret.Zero()), nil
+}
+
+func widenTo(v Value, t source.Type) Value {
+	if t.K == source.KDouble && v.K == val.Int {
+		return Scalar(val.DoubleV(float64(v.I)))
+	}
+	return v
+}
+
+func (ip *Interp) execBlock(fr *frame, b *source.Block) (ctrl, Value, error) {
+	for _, s := range b.Stmts {
+		c, v, err := ip.execStmt(fr, s)
+		if err != nil || c != ctrlNone {
+			return c, v, err
+		}
+	}
+	return ctrlNone, Value{}, nil
+}
+
+func (ip *Interp) execStmt(fr *frame, s source.Stmt) (ctrl, Value, error) {
+	if ip.Hooks.OnStmt != nil {
+		ip.Hooks.OnStmt(s.ID())
+	}
+	prev := ip.curStmt
+	ip.curStmt = s.ID()
+	defer func() { ip.curStmt = prev }()
+
+	switch st := s.(type) {
+	case *source.DeclStmt:
+		v := Scalar(st.Local.Type.Zero())
+		if st.Init != nil {
+			var err error
+			v, err = ip.eval(fr, st.Init)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if ip.Hooks.OnAssign != nil {
+				ip.Hooks.OnAssign(st.ID(), Size(v))
+			}
+		}
+		fr.slots[st.Local.Slot] = v
+		return ctrlNone, Value{}, nil
+
+	case *source.AssignStmt:
+		return ctrlNone, Value{}, ip.execAssign(fr, st)
+
+	case *source.ExprStmt:
+		_, err := ip.eval(fr, st.X)
+		return ctrlNone, Value{}, err
+
+	case *source.IfStmt:
+		cond, err := ip.eval(fr, st.Cond)
+		if err != nil {
+			return ctrlNone, Value{}, err
+		}
+		if cond.AsBool() {
+			return ip.execBlock(fr, st.Then)
+		}
+		if st.Else != nil {
+			return ip.execBlock(fr, st.Else)
+		}
+		return ctrlNone, Value{}, nil
+
+	case *source.WhileStmt:
+		for {
+			cond, err := ip.eval(fr, st.Cond)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if !cond.AsBool() {
+				return ctrlNone, Value{}, nil
+			}
+			c, v, err := ip.execBlock(fr, st.Body)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, Value{}, nil
+			}
+			if c == ctrlReturn {
+				return c, v, nil
+			}
+			if ip.Hooks.OnStmt != nil {
+				ip.Hooks.OnStmt(st.ID()) // each iteration re-evaluates the condition
+			}
+		}
+
+	case *source.ForEachStmt:
+		arrv, err := ip.eval(fr, st.Arr)
+		if err != nil {
+			return ctrlNone, Value{}, err
+		}
+		if arrv.Arr == nil {
+			return ctrlNone, Value{}, rerr(st.StmtPos(), "foreach over null array")
+		}
+		n := len(arrv.Arr.Elems)
+		for i := 0; i < n; i++ {
+			fr.slots[st.Var.Slot] = widenTo(arrv.Arr.Elems[i], st.Var.Type)
+			c, v, err := ip.execBlock(fr, st.Body)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, Value{}, nil
+			}
+			if c == ctrlReturn {
+				return c, v, nil
+			}
+			if ip.Hooks.OnStmt != nil && i < n-1 {
+				ip.Hooks.OnStmt(st.ID())
+			}
+		}
+		return ctrlNone, Value{}, nil
+
+	case *source.ReturnStmt:
+		if st.X == nil {
+			return ctrlReturn, Scalar(val.NullV()), nil
+		}
+		v, err := ip.eval(fr, st.X)
+		if err != nil {
+			return ctrlNone, Value{}, err
+		}
+		return ctrlReturn, v, nil
+
+	case *source.BreakStmt:
+		return ctrlBreak, Value{}, nil
+	}
+	return ctrlNone, Value{}, rerr(s.StmtPos(), "unhandled statement %T", s)
+}
+
+func (ip *Interp) execAssign(fr *frame, st *source.AssignStmt) error {
+	rhs, err := ip.eval(fr, st.RHS)
+	if err != nil {
+		return err
+	}
+
+	apply := func(old Value) (Value, error) {
+		if st.Op == source.AsnSet {
+			return rhs, nil
+		}
+		return arith(st.Op, old, rhs, st.StmtPos())
+	}
+
+	switch lhs := st.LHS.(type) {
+	case *source.VarExpr:
+		nv, err := apply(fr.slots[lhs.Local.Slot])
+		if err != nil {
+			return err
+		}
+		nv = widenTo(nv, lhs.Local.Type)
+		fr.slots[lhs.Local.Slot] = nv
+		if ip.Hooks.OnAssign != nil {
+			ip.Hooks.OnAssign(st.ID(), Size(nv))
+		}
+		return nil
+
+	case *source.FieldExpr:
+		recv, err := ip.eval(fr, lhs.Recv)
+		if err != nil {
+			return err
+		}
+		if recv.Obj == nil {
+			return rerr(st.StmtPos(), "null dereference writing field %s", lhs.Field.Name)
+		}
+		nv, err := apply(recv.Obj.Fields[lhs.Field.Index])
+		if err != nil {
+			return err
+		}
+		nv = widenTo(nv, lhs.Field.Type)
+		recv.Obj.Fields[lhs.Field.Index] = nv
+		sz := Size(nv)
+		if ip.Hooks.OnAssign != nil {
+			ip.Hooks.OnAssign(st.ID(), sz)
+		}
+		if ip.Hooks.OnFieldWrite != nil {
+			ip.Hooks.OnFieldWrite(lhs.Field.ID, sz)
+		}
+		return nil
+
+	case *source.IndexExpr:
+		arrv, err := ip.eval(fr, lhs.Arr)
+		if err != nil {
+			return err
+		}
+		if arrv.Arr == nil {
+			return rerr(st.StmtPos(), "null dereference indexing array")
+		}
+		idx, err := ip.eval(fr, lhs.Idx)
+		if err != nil {
+			return err
+		}
+		i := int(idx.I)
+		if i < 0 || i >= len(arrv.Arr.Elems) {
+			return rerr(st.StmtPos(), "array index %d out of range [0,%d)", i, len(arrv.Arr.Elems))
+		}
+		nv, err := apply(arrv.Arr.Elems[i])
+		if err != nil {
+			return err
+		}
+		nv = widenTo(nv, arrv.Arr.Elem)
+		arrv.Arr.Elems[i] = nv
+		if ip.Hooks.OnAssign != nil {
+			ip.Hooks.OnAssign(st.ID(), Size(nv))
+		}
+		return nil
+	}
+	return rerr(st.StmtPos(), "bad assignment target %T", st.LHS)
+}
+
+func arith(op source.AssignOp, l, r Value, pos source.Pos) (Value, error) {
+	if l.K == val.Str {
+		if op != source.AsnAdd {
+			return Value{}, rerr(pos, "bad string operation")
+		}
+		return Scalar(val.StrV(l.S + r.S)), nil
+	}
+	if l.K == val.Double || r.K == val.Double {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch op {
+		case source.AsnAdd:
+			return Scalar(val.DoubleV(lf + rf)), nil
+		case source.AsnSub:
+			return Scalar(val.DoubleV(lf - rf)), nil
+		case source.AsnMul:
+			return Scalar(val.DoubleV(lf * rf)), nil
+		case source.AsnDiv:
+			if rf == 0 {
+				return Value{}, rerr(pos, "division by zero")
+			}
+			return Scalar(val.DoubleV(lf / rf)), nil
+		}
+	}
+	switch op {
+	case source.AsnAdd:
+		return Scalar(val.IntV(l.I + r.I)), nil
+	case source.AsnSub:
+		return Scalar(val.IntV(l.I - r.I)), nil
+	case source.AsnMul:
+		return Scalar(val.IntV(l.I * r.I)), nil
+	case source.AsnDiv:
+		if r.I == 0 {
+			return Value{}, rerr(pos, "division by zero")
+		}
+		return Scalar(val.IntV(l.I / r.I)), nil
+	}
+	return Value{}, rerr(pos, "bad arithmetic op")
+}
+
+func (ip *Interp) eval(fr *frame, e source.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *source.Lit:
+		switch x.T.K {
+		case source.KInt:
+			return Scalar(val.IntV(x.I)), nil
+		case source.KDouble:
+			return Scalar(val.DoubleV(x.F)), nil
+		case source.KString:
+			return Scalar(val.StrV(x.S)), nil
+		case source.KBool:
+			return Scalar(val.BoolV(x.B)), nil
+		default:
+			return Scalar(val.NullV()), nil
+		}
+
+	case *source.VarExpr:
+		return fr.slots[x.Local.Slot], nil
+
+	case *source.ThisExpr:
+		return objV(fr.this), nil
+
+	case *source.ConvExpr:
+		v, err := ip.eval(fr, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return Scalar(val.DoubleV(v.AsFloat())), nil
+
+	case *source.FieldExpr:
+		recv, err := ip.eval(fr, x.Recv)
+		if err != nil {
+			return Value{}, err
+		}
+		if recv.Obj == nil {
+			return Value{}, rerr(source.Pos{}, "null dereference reading field %s", x.Field.Name)
+		}
+		return recv.Obj.Fields[x.Field.Index], nil
+
+	case *source.IndexExpr:
+		arrv, err := ip.eval(fr, x.Arr)
+		if err != nil {
+			return Value{}, err
+		}
+		if arrv.Arr == nil {
+			return Value{}, rerr(source.Pos{}, "null dereference indexing array")
+		}
+		idx, err := ip.eval(fr, x.Idx)
+		if err != nil {
+			return Value{}, err
+		}
+		i := int(idx.I)
+		if i < 0 || i >= len(arrv.Arr.Elems) {
+			return Value{}, rerr(source.Pos{}, "array index %d out of range [0,%d)", i, len(arrv.Arr.Elems))
+		}
+		return arrv.Arr.Elems[i], nil
+
+	case *source.UnaryExpr:
+		v, err := ip.eval(fr, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == source.OpNot {
+			return Scalar(val.BoolV(!v.AsBool())), nil
+		}
+		if v.K == val.Double {
+			return Scalar(val.DoubleV(-v.F)), nil
+		}
+		return Scalar(val.IntV(-v.I)), nil
+
+	case *source.BinaryExpr:
+		return ip.evalBinary(fr, x)
+
+	case *source.CallExpr:
+		var this *Object
+		if x.Recv == nil {
+			this = fr.this
+		} else {
+			recv, err := ip.eval(fr, x.Recv)
+			if err != nil {
+				return Value{}, err
+			}
+			if recv.Obj == nil {
+				return Value{}, rerr(source.Pos{}, "null dereference calling %s", x.Name)
+			}
+			this = recv.Obj
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ip.eval(fr, a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return ip.call(x.Method, this, args)
+
+	case *source.BuiltinExpr:
+		return ip.evalBuiltin(fr, x)
+
+	case *source.NewObjectExpr:
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ip.eval(fr, a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		obj := &Object{Class: x.Class, Fields: make([]Value, len(x.Class.Fields))}
+		for i, f := range x.Class.Fields {
+			obj.Fields[i] = Scalar(f.Type.Zero())
+		}
+		if x.Ctor != nil {
+			if _, err := ip.call(x.Ctor, obj, args); err != nil {
+				return Value{}, err
+			}
+		}
+		return objV(obj), nil
+
+	case *source.NewArrayExpr:
+		n, err := ip.eval(fr, x.Len)
+		if err != nil {
+			return Value{}, err
+		}
+		if n.I < 0 {
+			return Value{}, rerr(source.Pos{}, "negative array length %d", n.I)
+		}
+		arr := &Array{Elem: x.Elem, Elems: make([]Value, n.I)}
+		for i := range arr.Elems {
+			arr.Elems[i] = Scalar(x.Elem.Zero())
+		}
+		return arrV(arr), nil
+	}
+	return Value{}, rerr(source.Pos{}, "unhandled expression %T", e)
+}
+
+func (ip *Interp) evalBinary(fr *frame, x *source.BinaryExpr) (Value, error) {
+	// Short-circuit logical operators.
+	if x.Op == source.OpAnd || x.Op == source.OpOr {
+		l, err := ip.eval(fr, x.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == source.OpAnd && !l.AsBool() {
+			return Scalar(val.BoolV(false)), nil
+		}
+		if x.Op == source.OpOr && l.AsBool() {
+			return Scalar(val.BoolV(true)), nil
+		}
+		r, err := ip.eval(fr, x.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return Scalar(val.BoolV(r.AsBool())), nil
+	}
+
+	l, err := ip.eval(fr, x.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ip.eval(fr, x.R)
+	if err != nil {
+		return Value{}, err
+	}
+
+	switch x.Op {
+	case source.OpEq, source.OpNe:
+		eq := refAwareEqual(l, r)
+		if x.Op == source.OpNe {
+			eq = !eq
+		}
+		return Scalar(val.BoolV(eq)), nil
+	case source.OpLt, source.OpLe, source.OpGt, source.OpGe:
+		var c int
+		if l.K == val.Str {
+			c = strings.Compare(l.S, r.S)
+		} else {
+			c = val.Compare(l.Value, r.Value)
+		}
+		var b bool
+		switch x.Op {
+		case source.OpLt:
+			b = c < 0
+		case source.OpLe:
+			b = c <= 0
+		case source.OpGt:
+			b = c > 0
+		case source.OpGe:
+			b = c >= 0
+		}
+		return Scalar(val.BoolV(b)), nil
+	case source.OpAdd:
+		if l.K == val.Str {
+			return Scalar(val.StrV(l.S + r.S)), nil
+		}
+		return arith(source.AsnAdd, l, r, source.Pos{})
+	case source.OpSub:
+		return arith(source.AsnSub, l, r, source.Pos{})
+	case source.OpMul:
+		return arith(source.AsnMul, l, r, source.Pos{})
+	case source.OpDiv:
+		return arith(source.AsnDiv, l, r, source.Pos{})
+	case source.OpMod:
+		if r.I == 0 {
+			return Value{}, rerr(source.Pos{}, "division by zero")
+		}
+		return Scalar(val.IntV(l.I % r.I)), nil
+	}
+	return Value{}, rerr(source.Pos{}, "unhandled binary op")
+}
+
+func refAwareEqual(l, r Value) bool {
+	switch {
+	case l.K == val.Obj || r.K == val.Obj:
+		return l.Obj == r.Obj
+	case l.K == val.Arr || r.K == val.Arr:
+		return l.Arr == r.Arr
+	case l.K == val.Table || r.K == val.Table:
+		return l.Tab == r.Tab
+	case l.K == val.Null && r.K == val.Null:
+		return true
+	default:
+		return l.Value.Equal(r.Value)
+	}
+}
+
+// Sha1Round is the unit of CPU-intensive work behind sys.sha1: one
+// SHA-1 digest over the 8-byte encoding of x, folded back to an int.
+func Sha1Round(x int64) int64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(x))
+	h := sha1.Sum(b[:])
+	return int64(binary.LittleEndian.Uint64(h[:8]))
+}
+
+func (ip *Interp) evalBuiltin(fr *frame, x *source.BuiltinExpr) (Value, error) {
+	evalArgs := func(from int) ([]Value, error) {
+		out := make([]Value, 0, len(x.Args)-from)
+		for _, a := range x.Args[from:] {
+			v, err := ip.eval(fr, a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+
+	switch x.B {
+	case source.BQuery, source.BUpdate:
+		if ip.Hooks.OnDBCall != nil {
+			ip.Hooks.OnDBCall(ip.curStmt)
+		}
+		sql := x.SQLText()
+		args, err := evalArgs(1)
+		if err != nil {
+			return Value{}, err
+		}
+		raw := make([]val.Value, len(args))
+		for i, a := range args {
+			raw[i] = a.Value
+		}
+		if x.B == source.BQuery {
+			rs, err := ip.DB.Query(sql, raw...)
+			if err != nil {
+				return Value{}, fmt.Errorf("db.query: %w", err)
+			}
+			return tabV(rs), nil
+		}
+		n, err := ip.DB.Exec(sql, raw...)
+		if err != nil {
+			return Value{}, fmt.Errorf("db.update: %w", err)
+		}
+		return Scalar(val.IntV(int64(n))), nil
+
+	case source.BBegin, source.BCommit, source.BRollback:
+		if ip.Hooks.OnDBCall != nil {
+			ip.Hooks.OnDBCall(ip.curStmt)
+		}
+		var err error
+		switch x.B {
+		case source.BBegin:
+			err = ip.DB.Begin()
+		case source.BCommit:
+			err = ip.DB.Commit()
+		default:
+			err = ip.DB.Rollback()
+		}
+		if err != nil {
+			return Value{}, fmt.Errorf("db.%s: %w", map[source.Builtin]string{
+				source.BBegin: "begin", source.BCommit: "commit", source.BRollback: "rollback"}[x.B], err)
+		}
+		return Scalar(val.NullV()), nil
+
+	case source.BPrint:
+		args, err := evalArgs(0)
+		if err != nil {
+			return Value{}, err
+		}
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.Value.String()
+		}
+		fmt.Fprintln(ip.Out, strings.Join(parts, " "))
+		return Scalar(val.NullV()), nil
+
+	case source.BSha1:
+		v, err := ip.eval(fr, x.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		ip.Sha1Count++
+		return Scalar(val.IntV(Sha1Round(v.I))), nil
+
+	case source.BStr:
+		v, err := ip.eval(fr, x.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return Scalar(val.StrV(v.Value.String())), nil
+
+	case source.BRows:
+		t, err := ip.evalTable(fr, x.Recv)
+		if err != nil {
+			return Value{}, err
+		}
+		return Scalar(val.IntV(int64(len(t.Rows)))), nil
+
+	case source.BGetInt, source.BGetDouble, source.BGetString:
+		t, err := ip.evalTable(fr, x.Recv)
+		if err != nil {
+			return Value{}, err
+		}
+		rv, err := ip.eval(fr, x.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		cv, err := ip.eval(fr, x.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		cell, err := TableCell(t, int(rv.I), int(cv.I))
+		if err != nil {
+			return Value{}, err
+		}
+		return Scalar(CoerceCell(cell, x.B)), nil
+
+	case source.BLen:
+		recv, err := ip.eval(fr, x.Recv)
+		if err != nil {
+			return Value{}, err
+		}
+		if recv.K == val.Str {
+			return Scalar(val.IntV(int64(len(recv.S)))), nil
+		}
+		if recv.Arr == nil {
+			return Value{}, rerr(source.Pos{}, "null dereference reading .length")
+		}
+		return Scalar(val.IntV(int64(len(recv.Arr.Elems)))), nil
+	}
+	return Value{}, rerr(source.Pos{}, "unhandled builtin %v", x.B)
+}
+
+func (ip *Interp) evalTable(fr *frame, recv source.Expr) (*sqldb.ResultSet, error) {
+	v, err := ip.eval(fr, recv)
+	if err != nil {
+		return nil, err
+	}
+	if v.Tab == nil {
+		return nil, errors.New("interp: null table")
+	}
+	return v.Tab, nil
+}
+
+// TableCell fetches a bounds-checked cell from a result set.
+func TableCell(t *sqldb.ResultSet, r, c int) (val.Value, error) {
+	if r < 0 || r >= len(t.Rows) {
+		return val.Value{}, fmt.Errorf("table row %d out of range [0,%d)", r, len(t.Rows))
+	}
+	if c < 0 || c >= len(t.Rows[r]) {
+		return val.Value{}, fmt.Errorf("table column %d out of range [0,%d)", c, len(t.Rows[r]))
+	}
+	return t.Rows[r][c], nil
+}
+
+// CoerceCell converts a database cell to the type an accessor expects
+// (getInt on a DOUBLE column truncates, getDouble on INT widens,
+// getString stringifies anything).
+func CoerceCell(cell val.Value, b source.Builtin) val.Value {
+	switch b {
+	case source.BGetInt:
+		if cell.K == val.Double {
+			return val.IntV(int64(cell.F))
+		}
+		if cell.K == val.Null {
+			return val.IntV(0)
+		}
+		return cell
+	case source.BGetDouble:
+		if cell.K == val.Int {
+			return val.DoubleV(float64(cell.I))
+		}
+		if cell.K == val.Null {
+			return val.DoubleV(0)
+		}
+		return cell
+	default:
+		if cell.K != val.Str {
+			return val.StrV(cell.String())
+		}
+		return cell
+	}
+}

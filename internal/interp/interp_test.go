@@ -1,0 +1,273 @@
+package interp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pyxis/internal/dbapi"
+	"pyxis/internal/source"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+func run(t *testing.T, src, class, method string, args ...val.Value) (val.Value, *Interp) {
+	t.Helper()
+	prog, err := source.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := New(prog, dbapi.NewLocal(sqldb.Open()))
+	obj, err := ip.NewObject(class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ip.CallEntry(prog.Method(class, method), obj, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, ip
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+class C {
+    C() { }
+    entry int gauss(int n) {
+        int s = 0;
+        for (int i = 1; i <= n; i++) {
+            s += i;
+        }
+        return s;
+    }
+    entry double mix(int a, double b) {
+        double x = a * b;
+        if (x > 10.0) {
+            x = x / 2.0;
+        } else {
+            x = -x;
+        }
+        return x;
+    }
+    entry int mods(int a, int b) {
+        return a % b;
+    }
+    entry bool logic(bool p, bool q) {
+        return p && !q || (p == q);
+    }
+    entry int breakLoop(int n) {
+        int i = 0;
+        while (true) {
+            if (i >= n) {
+                break;
+            }
+            i++;
+        }
+        return i;
+    }
+}`
+	if v, _ := run(t, src, "C", "gauss", val.IntV(100)); v.I != 5050 {
+		t.Errorf("gauss = %v", v)
+	}
+	if v, _ := run(t, src, "C", "mix", val.IntV(4), val.DoubleV(3)); v.F != 6 {
+		t.Errorf("mix = %v", v)
+	}
+	if v, _ := run(t, src, "C", "mix", val.IntV(1), val.DoubleV(3)); v.F != -3 {
+		t.Errorf("mix2 = %v", v)
+	}
+	if v, _ := run(t, src, "C", "mods", val.IntV(17), val.IntV(5)); v.I != 2 {
+		t.Errorf("mods = %v", v)
+	}
+	if v, _ := run(t, src, "C", "logic", val.BoolV(true), val.BoolV(false)); !v.AsBool() {
+		t.Errorf("logic = %v", v)
+	}
+	if v, _ := run(t, src, "C", "breakLoop", val.IntV(7)); v.I != 7 {
+		t.Errorf("breakLoop = %v", v)
+	}
+}
+
+func TestObjectsAndArrays(t *testing.T) {
+	src := `
+class Pair {
+    int a;
+    int b;
+    Pair(int a, int b) {
+        this.a = a;
+        this.b = b;
+    }
+    int sum() {
+        return a + b;
+    }
+}
+class C {
+    C() { }
+    entry int pairs(int n) {
+        Pair[] ps = new Pair[n];
+        for (int i = 0; i < n; i++) {
+            ps[i] = new Pair(i, i * 2);
+        }
+        int total = 0;
+        for (Pair p : ps) {
+            total += p.sum();
+        }
+        return total;
+    }
+    entry string cat(int n) {
+        string s = "";
+        for (int i = 0; i < n; i++) {
+            s += sys.str(i);
+        }
+        return s;
+    }
+}`
+	// sum_{i<5} 3i = 3*10 = 30
+	if v, _ := run(t, src, "C", "pairs", val.IntV(5)); v.I != 30 {
+		t.Errorf("pairs = %v", v)
+	}
+	if v, _ := run(t, src, "C", "cat", val.IntV(4)); v.S != "0123" {
+		t.Errorf("cat = %v", v)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	src := `
+class C {
+    int hits;
+    C() { hits = 0; }
+    bool touch(bool r) {
+        hits++;
+        return r;
+    }
+    entry int andCount(bool p) {
+        bool x = touch(p) && touch(true);
+        return hits;
+    }
+}`
+	if v, _ := run(t, src, "C", "andCount", val.BoolV(false)); v.I != 1 {
+		t.Errorf("false && _ should evaluate once, hits=%v", v)
+	}
+	if v, _ := run(t, src, "C", "andCount", val.BoolV(true)); v.I != 2 {
+		t.Errorf("true && _ should evaluate twice, hits=%v", v)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	src := `
+class Node { int v; Node() { } }
+class C {
+    Node n;
+    C() { }
+    entry bool isNull() {
+        return n == null;
+    }
+    entry int deref() {
+        return n.v;
+    }
+}`
+	if v, _ := run(t, src, "C", "isNull"); !v.AsBool() {
+		t.Errorf("fresh field should be null")
+	}
+	prog := source.MustLoad(src)
+	ip := New(prog, dbapi.NewLocal(sqldb.Open()))
+	obj, _ := ip.NewObject("C")
+	if _, err := ip.CallEntry(prog.Method("C", "deref"), obj); err == nil {
+		t.Error("null deref should error")
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	prog := source.MustLoad(`
+class C {
+    C() { }
+    entry void hello(int n) {
+        sys.print("n =", n, n * 1.5);
+    }
+}`)
+	ip := New(prog, dbapi.NewLocal(sqldb.Open()))
+	var buf bytes.Buffer
+	ip.Out = &buf
+	obj, _ := ip.NewObject("C")
+	if _, err := ip.CallEntry(prog.Method("C", "hello"), obj, val.IntV(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "n = 4 6.0" {
+		t.Errorf("print output = %q", got)
+	}
+}
+
+func TestDBRoundTripThroughInterp(t *testing.T) {
+	db := sqldb.Open()
+	s := db.NewSession()
+	for _, q := range []string{
+		"CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(10))",
+		"INSERT INTO kv VALUES (1, 'one')",
+		"INSERT INTO kv VALUES (2, 'two')",
+	} {
+		if _, err := s.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog := source.MustLoad(`
+class C {
+    C() { }
+    entry string lookup(int k) {
+        table t = db.query("SELECT v FROM kv WHERE k = ?", k);
+        if (t.rows() == 0) {
+            return "missing";
+        }
+        return t.getString(0, 0);
+    }
+    entry int add(int k, string v) {
+        return db.update("INSERT INTO kv VALUES (?, ?)", k, v);
+    }
+}`)
+	ip := New(prog, dbapi.NewLocal(db))
+	obj, _ := ip.NewObject("C")
+	v, err := ip.CallEntry(prog.Method("C", "lookup"), obj, val.IntV(2))
+	if err != nil || v.S != "two" {
+		t.Fatalf("lookup = %v, %v", v, err)
+	}
+	if v, err := ip.CallEntry(prog.Method("C", "lookup"), obj, val.IntV(9)); err != nil || v.S != "missing" {
+		t.Fatalf("lookup(9) = %v, %v", v, err)
+	}
+	if n, err := ip.CallEntry(prog.Method("C", "add"), obj, val.IntV(3), val.StrV("three")); err != nil || n.I != 1 {
+		t.Fatalf("add = %v, %v", n, err)
+	}
+}
+
+// Property: gauss via the interpreter equals the closed form for any n.
+func TestGaussProperty(t *testing.T) {
+	prog := source.MustLoad(`
+class C {
+    C() { }
+    entry int gauss(int n) {
+        int s = 0;
+        for (int i = 1; i <= n; i++) {
+            s += i;
+        }
+        return s;
+    }
+}`)
+	ip := New(prog, dbapi.NewLocal(sqldb.Open()))
+	obj, _ := ip.NewObject("C")
+	m := prog.Method("C", "gauss")
+	f := func(raw uint8) bool {
+		n := int64(raw % 200)
+		v, err := ip.CallEntry(m, obj, val.IntV(n))
+		return err == nil && v.I == n*(n+1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSha1Deterministic(t *testing.T) {
+	a, b := Sha1Round(42), Sha1Round(42)
+	if a != b {
+		t.Error("sha1 must be deterministic")
+	}
+	if Sha1Round(1) == Sha1Round(2) {
+		t.Error("different inputs should (almost surely) differ")
+	}
+}

@@ -1,0 +1,118 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"pyxis/internal/dbapi"
+	"pyxis/internal/interp"
+	"pyxis/internal/source"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+func collect(t *testing.T, calls int) (*Profile, *source.Program) {
+	t.Helper()
+	prog, err := source.Load(`
+class C {
+    int f;
+    C() { f = 0; }
+    entry int run(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) {
+            s += i;
+        }
+        f = s;
+        return s;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	ip := interp.New(prog, dbapi.NewLocal(sqldb.Open()))
+	ip.Hooks = p.Hooks()
+	obj, err := ip.NewObject("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < calls; i++ {
+		if _, err := ip.CallEntry(prog.Method("C", "run"), obj, val.IntV(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, prog
+}
+
+func findLoopBody(t *testing.T, prog *source.Program) source.NodeID {
+	t.Helper()
+	for id, s := range prog.Stmts {
+		if as, ok := s.(*source.AssignStmt); ok && as.Op == source.AsnAdd {
+			if v, ok := as.LHS.(*source.VarExpr); ok && v.Local.Name == "s" {
+				return id
+			}
+		}
+	}
+	t.Fatal("loop body not found")
+	return 0
+}
+
+func TestCountsScaleWithCalls(t *testing.T) {
+	p1, prog := collect(t, 1)
+	p3, _ := collect(t, 3)
+	body := findLoopBody(t, prog)
+	if p1.Count[body] != 5 {
+		t.Errorf("1 call: body count = %d, want 5", p1.Count[body])
+	}
+	if p3.Count[findLoopBody(t, prog)] != 15 {
+		t.Errorf("3 calls: body count = %d, want 15", p3.Count[findLoopBody(t, prog)])
+	}
+	m := prog.Method("C", "run")
+	if p3.EntryCalls[m.EntryID] != 3 {
+		t.Errorf("entry calls = %d, want 3", p3.EntryCalls[m.EntryID])
+	}
+}
+
+func TestFieldSizesAndAverages(t *testing.T) {
+	p, prog := collect(t, 2)
+	var f *source.Field
+	for _, fl := range prog.Class("C").Fields {
+		if fl.Name == "f" {
+			f = fl
+		}
+	}
+	if p.FieldWrites[f.ID] != 3 { // ctor + 2 runs
+		t.Errorf("field writes = %d, want 3", p.FieldWrites[f.ID])
+	}
+	if p.FieldAvgSize(f.ID) != 9 { // int
+		t.Errorf("avg size = %v, want 9", p.FieldAvgSize(f.ID))
+	}
+	if p.AvgSize(99999) != DefaultSize {
+		t.Error("unknown def should report default size")
+	}
+}
+
+func TestScaleAndMerge(t *testing.T) {
+	p, prog := collect(t, 1)
+	body := findLoopBody(t, prog)
+	before := p.Count[body]
+	p.Scale(3)
+	if p.Count[body] != before*3 {
+		t.Errorf("scale: %d, want %d", p.Count[body], before*3)
+	}
+	q, _ := collect(t, 1)
+	total := p.Count[body] + q.Count[findLoopBody(t, prog)]
+	// Merging q's counts: note q uses its own program's IDs, which are
+	// identical since the source is identical.
+	p.Merge(q)
+	if p.Count[body] != total {
+		t.Errorf("merge: %d, want %d", p.Count[body], total)
+	}
+}
+
+func TestStringRendersHottest(t *testing.T) {
+	p, _ := collect(t, 1)
+	if !strings.Contains(p.String(), "profile:") {
+		t.Error("String() malformed")
+	}
+}

@@ -1,0 +1,299 @@
+// Package pyxil implements PyxIL, the Pyxis intermediate language
+// (paper §3.1): the checked source program annotated with a placement
+// (:APP:/:DB:) for every statement and field, explicit heap
+// synchronization operations (sendAPP/sendDB/sendNative, §4.5), and
+// the two-queue topological statement reordering that enlarges
+// contiguous same-placement runs (§4.4).
+package pyxil
+
+import (
+	"sort"
+
+	"pyxis/internal/analysis"
+	"pyxis/internal/pdg"
+	"pyxis/internal/source"
+)
+
+// Program is a PyxIL program: source + placements + sync plan.
+type Program struct {
+	Src   *source.Program
+	Place pdg.Placement
+
+	// SyncFields lists, per statement, the fields whose enclosing
+	// object part must be shipped to the other server after the
+	// statement executes (a remote reader may observe the write).
+	SyncFields map[source.NodeID][]*source.Field
+	// SyncArrays marks statements whose array-element writes (or array
+	// allocations) must be followed by a sendNative of that array.
+	SyncArrays map[source.NodeID]bool
+	// SyncDefs marks statements defining an array- or table-valued
+	// local whose payload must be shipped (the stack carries only the
+	// reference).
+	SyncDefs map[source.NodeID]bool
+}
+
+// Options controls generation.
+type Options struct {
+	// NoReorder disables the §4.4 statement reordering (ablation).
+	NoReorder bool
+}
+
+// Generate produces a PyxIL program for one placement. It mutates the
+// statement order of the source AST (reordering); callers compile the
+// result before generating another placement from the same AST.
+func Generate(res *analysis.Result, g *pdg.Graph, place pdg.Placement, opts Options) *Program {
+	p := &Program{
+		Src:        res.Prog,
+		Place:      place,
+		SyncFields: map[source.NodeID][]*source.Field{},
+		SyncArrays: map[source.NodeID]bool{},
+		SyncDefs:   map[source.NodeID]bool{},
+	}
+	p.planSync(res, g)
+	if !opts.NoReorder {
+		Reorder(res, g, place)
+	}
+	return p
+}
+
+// FieldLoc returns the placement of a field's authoritative copy.
+func (p *Program) FieldLoc(f *source.Field) pdg.Loc { return p.Place.Of(f.ID) }
+
+// StmtLoc returns the placement of a statement.
+func (p *Program) StmtLoc(id source.NodeID) pdg.Loc { return p.Place.Of(id) }
+
+// planSync inserts heap synchronization per §4.5: after every
+// statement with an outgoing cut data/update dependency, the updated
+// heap state is recorded for shipping on the next control transfer.
+func (p *Program) planSync(res *analysis.Result, g *pdg.Graph) {
+	place := p.Place
+
+	// Field readers, per field node.
+	readersOf := map[source.NodeID][]source.NodeID{}
+	for _, fd := range res.FieldDeps {
+		if !fd.Write {
+			readersOf[fd.Field.ID] = append(readersOf[fd.Field.ID], fd.Stmt)
+		}
+	}
+	remoteReader := func(fieldID source.NodeID, from pdg.Loc) bool {
+		for _, r := range readersOf[fieldID] {
+			if place.Of(r) != from {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fd := range res.FieldDeps {
+		if !fd.Write {
+			continue
+		}
+		sLoc := place.Of(fd.Stmt)
+		if remoteReader(fd.Field.ID, sLoc) || place.Of(fd.Field.ID) != sLoc {
+			already := false
+			for _, f := range p.SyncFields[fd.Stmt] {
+				if f == fd.Field {
+					already = true
+					break
+				}
+			}
+			if !already {
+				p.SyncFields[fd.Stmt] = append(p.SyncFields[fd.Stmt], fd.Field)
+			}
+		}
+	}
+	for id := range p.SyncFields {
+		fs := p.SyncFields[id]
+		sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
+	}
+
+	// Array-element dependencies crossing the cut.
+	for _, ad := range res.ArrayDeps {
+		if place.Of(ad.From) != place.Of(ad.To) {
+			p.SyncArrays[ad.From] = true
+		}
+	}
+
+	// Reference-typed local defs used remotely: ship the payload.
+	for _, du := range res.DefUse {
+		k := du.Local.Type.K
+		if k != source.KArray && k != source.KTable {
+			continue
+		}
+		if g.Nodes[du.From] != nil && g.Nodes[du.From].Kind == pdg.EntryNode {
+			continue // parameters arrive via the caller's own sync
+		}
+		if place.Of(du.From) != place.Of(du.To) {
+			p.SyncDefs[du.From] = true
+		}
+	}
+}
+
+// ControlTransfers counts placement changes along each block's
+// statement order — the quantity reordering minimizes. (A precise
+// count requires execution; this static metric is what the §4.4
+// optimization actually reduces.)
+func ControlTransfers(prog *source.Program, place pdg.Placement) int {
+	transfers := 0
+	var doBlock func(b *source.Block)
+	doBlock = func(b *source.Block) {
+		prev := pdg.Unpinned
+		for _, s := range b.Stmts {
+			cur := place.Of(s.ID())
+			if prev != pdg.Unpinned && cur != prev {
+				transfers++
+			}
+			prev = cur
+			switch st := s.(type) {
+			case *source.IfStmt:
+				doBlock(st.Then)
+				if st.Else != nil {
+					doBlock(st.Else)
+				}
+			case *source.WhileStmt:
+				doBlock(st.Body)
+			case *source.ForEachStmt:
+				doBlock(st.Body)
+			}
+		}
+	}
+	for _, cl := range prog.Classes {
+		for _, m := range cl.Methods {
+			doBlock(m.Body)
+		}
+	}
+	return transfers
+}
+
+// Reorder permutes the statements of every block to form larger
+// same-placement runs while respecting all data, output and anti
+// dependencies — the paper's two-queue breadth-first topological sort
+// (§4.4). Back edges and interprocedural edges are irrelevant here
+// because ordering is per-block.
+func Reorder(res *analysis.Result, g *pdg.Graph, place pdg.Placement) {
+	// Index dependency edges between statements for quick lookup.
+	type pair [2]source.NodeID
+	dep := map[pair]bool{}
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case pdg.DataEdge, pdg.OutputEdge, pdg.AntiEdge, pdg.UpdateEdge:
+			dep[pair{e.Src, e.Dst}] = true
+		}
+	}
+	// Update edges run field→stmt; writers must also stay ordered with
+	// readers of the same field within a block: field-level output/anti
+	// pairs were added by the graph builder via effects, so `dep`
+	// already covers them.
+
+	var doBlock func(b *source.Block)
+	doBlock = func(b *source.Block) {
+		n := len(b.Stmts)
+		if n > 1 {
+			// Build the intra-block DAG. An edge i→j (i before j) exists
+			// if any dependency links them in program order.
+			succ := make([][]int, n)
+			indeg := make([]int, n)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					si, sj := b.Stmts[i].ID(), b.Stmts[j].ID()
+					if dep[pair{si, sj}] || dep[pair{sj, si}] {
+						// Respect original order regardless of edge
+						// direction (reaching defs may report loop-carried
+						// use→def pairs).
+						succ[i] = append(succ[i], j)
+						indeg[j]++
+					}
+				}
+			}
+			// Two queues: one per placement. Drain one queue fully,
+			// then switch — producing maximal same-placement runs.
+			var queues [2][]int // 0 = APP, 1 = DB
+			qIdx := func(i int) int {
+				if place.Of(b.Stmts[i].ID()) == pdg.DB {
+					return 1
+				}
+				return 0
+			}
+			for i := 0; i < n; i++ {
+				if indeg[i] == 0 {
+					q := qIdx(i)
+					queues[q] = append(queues[q], i)
+				}
+			}
+			cur := 0
+			if len(queues[0]) == 0 {
+				cur = 1
+			} else if len(queues[1]) > 0 {
+				// Start with the placement of the first statement to avoid
+				// an extra leading transfer.
+				cur = qIdx(0)
+			}
+			var order []int
+			for len(order) < n {
+				if len(queues[cur]) == 0 {
+					cur = 1 - cur
+					if len(queues[cur]) == 0 {
+						break // cycle: fall back to original order
+					}
+				}
+				i := queues[cur][0]
+				queues[cur] = queues[cur][1:]
+				order = append(order, i)
+				for _, j := range succ[i] {
+					indeg[j]--
+					if indeg[j] == 0 {
+						queues[qIdx(j)] = append(queues[qIdx(j)], j)
+					}
+				}
+			}
+			if len(order) == n {
+				newStmts := make([]source.Stmt, n)
+				for k, i := range order {
+					newStmts[k] = b.Stmts[i]
+				}
+				b.Stmts = newStmts
+			}
+		}
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *source.IfStmt:
+				doBlock(st.Then)
+				if st.Else != nil {
+					doBlock(st.Else)
+				}
+			case *source.WhileStmt:
+				doBlock(st.Body)
+			case *source.ForEachStmt:
+				doBlock(st.Body)
+			}
+		}
+	}
+	for _, cl := range res.Prog.Classes {
+		for _, m := range cl.Methods {
+			doBlock(m.Body)
+		}
+	}
+}
+
+// String renders the PyxIL program in the paper's Fig. 3 style:
+// :APP:/:DB: placement prefixes and explicit sync operations.
+func (p *Program) String() string {
+	prefix := func(s source.Stmt) string {
+		return ":" + p.Place.Of(s.ID()).String() + ": "
+	}
+	suffix := func(s source.Stmt) []string {
+		var out []string
+		loc := ":" + p.Place.Of(s.ID()).String() + ": "
+		for _, f := range p.SyncFields[s.ID()] {
+			if p.FieldLoc(f) == pdg.App {
+				out = append(out, loc+"sendAPP(this);  // "+f.QName())
+			} else {
+				out = append(out, loc+"sendDB(this);  // "+f.QName())
+			}
+		}
+		if p.SyncArrays[s.ID()] || p.SyncDefs[s.ID()] {
+			out = append(out, loc+"sendNative(...);")
+		}
+		return out
+	}
+	return source.PrintAnnotated(p.Src, prefix, suffix)
+}

@@ -1,0 +1,170 @@
+package pyxil
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pyxis/internal/analysis"
+	"pyxis/internal/pdg"
+	"pyxis/internal/profile"
+	"pyxis/internal/source"
+)
+
+const reorderSrc = `
+class C {
+    int f;
+    C() { f = 0; }
+    entry int work(int a, int b) {
+        int x = a + 1;
+        int y = b + 2;
+        int z = x * y;
+        f = z;
+        int w = f + x;
+        return w;
+    }
+}
+`
+
+func setupPlacement(t *testing.T, src string, dbLocals []string) (*analysis.Result, *pdg.Graph, pdg.Placement) {
+	t.Helper()
+	prog, err := source.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.Run(prog)
+	g := pdg.Build(res, profile.New(), pdg.Options{})
+	place := pdg.Placement{}
+	for id := range g.Nodes {
+		place[id] = pdg.App
+	}
+	place[g.DBCodeID] = pdg.DB
+	for id, s := range prog.Stmts {
+		if d, ok := s.(*source.DeclStmt); ok {
+			for _, name := range dbLocals {
+				if d.Local.Name == name {
+					place[id] = pdg.DB
+				}
+			}
+		}
+	}
+	return res, g, place
+}
+
+// TestReorderRespectsDependencies: after reordering, every def still
+// precedes its uses within each block.
+func TestReorderRespectsDependencies(t *testing.T) {
+	res, g, place := setupPlacement(t, reorderSrc, []string{"x", "z"})
+	Reorder(res, g, place)
+	m := res.Prog.Method("C", "work")
+	pos := map[source.NodeID]int{}
+	for i, s := range m.Body.Stmts {
+		pos[s.ID()] = i
+	}
+	for _, du := range res.DefUse {
+		pf, okF := pos[du.From]
+		pt, okT := pos[du.To]
+		if okF && okT && pf > pt {
+			t.Errorf("def of %s (stmt %d) reordered after its use (stmt %d)", du.Local.Name, du.From, du.To)
+		}
+	}
+}
+
+// TestReorderGroupsPlacements: independent interleaved statements end
+// up grouped by placement.
+func TestReorderGroupsPlacements(t *testing.T) {
+	src := `
+class C {
+    C() { }
+    entry int go_(int a) {
+        int p1 = a + 1;
+        int d1 = a + 2;
+        int p2 = a + 3;
+        int d2 = a + 4;
+        int p3 = a + 5;
+        int d3 = a + 6;
+        return p1 + d1 + p2 + d2 + p3 + d3;
+    }
+}`
+	res, g, place := setupPlacement(t, src, []string{"d1", "d2", "d3"})
+	before := ControlTransfers(res.Prog, place)
+	Reorder(res, g, place)
+	after := ControlTransfers(res.Prog, place)
+	if after >= before {
+		t.Errorf("reorder should cut transfers: before=%d after=%d", before, after)
+	}
+	if after > 2 {
+		t.Errorf("after = %d, want <= 2", after)
+	}
+}
+
+// TestReorderIsPermutation: reordering never loses or duplicates
+// statements for random placements.
+func TestReorderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		prog, err := source.Load(reorderSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := analysis.Run(prog)
+		g := pdg.Build(res, profile.New(), pdg.Options{})
+		place := pdg.Placement{}
+		for id := range g.Nodes {
+			if rng.Intn(2) == 0 {
+				place[id] = pdg.App
+			} else {
+				place[id] = pdg.DB
+			}
+		}
+		place[g.DBCodeID] = pdg.DB
+		m := prog.Method("C", "work")
+		var beforeIDs []source.NodeID
+		source.WalkMethodStmts(m, func(s source.Stmt) bool {
+			beforeIDs = append(beforeIDs, s.ID())
+			return true
+		})
+		Reorder(res, g, place)
+		seen := map[source.NodeID]bool{}
+		count := 0
+		source.WalkMethodStmts(m, func(s source.Stmt) bool {
+			if seen[s.ID()] {
+				t.Fatalf("duplicate stmt %d after reorder", s.ID())
+			}
+			seen[s.ID()] = true
+			count++
+			return true
+		})
+		if count != len(beforeIDs) {
+			t.Fatalf("stmt count changed: %d -> %d", len(beforeIDs), count)
+		}
+	}
+}
+
+func TestSyncPlanFieldPlacement(t *testing.T) {
+	res, g, place := setupPlacement(t, reorderSrc, nil)
+	// Put `f = z` on DB while the field f stays APP; the write must
+	// trigger a sync of the APP part.
+	var fAssign source.NodeID
+	for id, s := range res.Prog.Stmts {
+		if as, ok := s.(*source.AssignStmt); ok {
+			fe, isField := as.LHS.(*source.FieldExpr)
+			rv, isVar := as.RHS.(*source.VarExpr)
+			if isField && fe.Field.Name == "f" && isVar && rv.Local.Name == "z" {
+				fAssign = id
+			}
+		}
+	}
+	place[fAssign] = pdg.DB
+	p := Generate(res, g, place, Options{NoReorder: true})
+	if len(p.SyncFields[fAssign]) == 0 {
+		t.Error("remote field write must be synced")
+	}
+	out := p.String()
+	if !strings.Contains(out, "send") {
+		t.Errorf("PyxIL render missing sync op:\n%s", out)
+	}
+	if !strings.Contains(out, ":DB: f = z;") {
+		t.Errorf("PyxIL render missing placement:\n%s", out)
+	}
+}

@@ -1,0 +1,193 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pyxis/internal/val"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	var w Writer
+	w.Byte(7)
+	w.Bool(true)
+	w.U32(123456)
+	w.I64(-42)
+	w.F64(2.718)
+	w.Str("héllo")
+	w.Vals([]val.Value{val.IntV(1), val.StrV("x"), val.NullV(), val.DoubleV(-1.5), val.BoolV(true), val.ObjV(9)})
+
+	r := &Reader{Buf: w.Buf}
+	if r.Byte() != 7 || !r.Bool() || r.U32() != 123456 || r.I64() != -42 || r.F64() != 2.718 {
+		t.Fatal("scalar round trip failed")
+	}
+	if r.Str() != "héllo" {
+		t.Fatal("string round trip failed")
+	}
+	vs := r.Vals()
+	if len(vs) != 6 || vs[0].I != 1 || vs[1].S != "x" || vs[2].K != val.Null ||
+		vs[3].F != -1.5 || !vs[4].AsBool() || vs[5].OID() != 9 {
+		t.Fatalf("vals round trip: %v", vs)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Off != len(w.Buf) {
+		t.Fatalf("trailing bytes: off=%d len=%d", r.Off, len(w.Buf))
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := &Reader{Buf: []byte{1, 2}}
+	_ = r.U64()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", r.Err())
+	}
+	// Errors stick.
+	_ = r.Str()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatal("error should stick")
+	}
+}
+
+// Property: arbitrary value slices survive the codec.
+func TestValueCodecProperty(t *testing.T) {
+	f := func(is []int64, fs []float64, ss []string) bool {
+		var in []val.Value
+		for _, i := range is {
+			in = append(in, val.IntV(i))
+		}
+		for _, x := range fs {
+			in = append(in, val.DoubleV(x))
+		}
+		for _, s := range ss {
+			in = append(in, val.StrV(s))
+		}
+		var w Writer
+		w.Vals(in)
+		r := &Reader{Buf: w.Buf}
+		out := r.Vals()
+		if r.Err() != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if !in[i].Equal(out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInProcTransport(t *testing.T) {
+	tr := NewInProc(func(req []byte) ([]byte, error) {
+		return append([]byte("echo:"), req...), nil
+	}, 0)
+	resp, err := tr.Call([]byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:hi" {
+		t.Fatalf("resp = %q", resp)
+	}
+	st := tr.Stats()
+	if st.Calls != 1 || st.BytesSent != 2 || st.BytesRecv != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call([]byte("x")); err == nil {
+		t.Fatal("call after close should fail")
+	}
+}
+
+func TestTCPClientServer(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func() Handler {
+		calls := 0
+		return func(req []byte) ([]byte, error) {
+			calls++
+			if bytes.Equal(req, []byte("fail")) {
+				return nil, fmt.Errorf("boom")
+			}
+			return []byte(fmt.Sprintf("%s#%d", req, calls)), nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c1, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// Per-connection handler state: each connection counts separately.
+	r1, err := c1.Call([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c2.Call([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1) != "a#1" || string(r2) != "b#1" {
+		t.Fatalf("per-connection state broken: %q %q", r1, r2)
+	}
+	if _, err := c1.Call([]byte("fail")); err == nil {
+		t.Fatal("remote error should propagate")
+	}
+	// The connection survives a handler error.
+	if r, err := c1.Call([]byte("again")); err != nil || string(r) != "again#3" {
+		t.Fatalf("after error: %q %v", r, err)
+	}
+	if st := c1.Stats(); st.Calls != 3 {
+		t.Fatalf("client stats: %+v", st)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func() Handler {
+		return func(req []byte) ([]byte, error) { return req, nil }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				msg := []byte(fmt.Sprintf("c%d-%d", i, j))
+				resp, err := c.Call(msg)
+				if err != nil || !bytes.Equal(resp, msg) {
+					t.Errorf("echo mismatch: %q %v", resp, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,241 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport is a synchronous request/response channel: exactly one
+// response per request, in order. Both the database wire protocol and
+// Pyxis control transfers use this shape (the paper's runtime likewise
+// blocks the caller until the callee returns control).
+type Transport interface {
+	Call(req []byte) ([]byte, error)
+	Close() error
+}
+
+// Handler serves one request, returning the response payload.
+type Handler func(req []byte) ([]byte, error)
+
+// Stats counts traffic through a transport.
+type Stats struct {
+	Calls     int64
+	BytesSent int64
+	BytesRecv int64
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------------
+
+// InProc invokes a handler directly, optionally sleeping to emulate a
+// network round trip. It is safe for concurrent use.
+type InProc struct {
+	H       Handler
+	Latency time.Duration // full round-trip time added per call
+	stats   Stats
+	closed  atomic.Bool
+}
+
+// NewInProc returns an in-process transport over h with the given
+// round-trip latency (0 for none).
+func NewInProc(h Handler, rtt time.Duration) *InProc {
+	return &InProc{H: h, Latency: rtt}
+}
+
+// Call implements Transport.
+func (t *InProc) Call(req []byte) ([]byte, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("rpc: transport closed")
+	}
+	if t.Latency > 0 {
+		time.Sleep(t.Latency)
+	}
+	atomic.AddInt64(&t.stats.Calls, 1)
+	atomic.AddInt64(&t.stats.BytesSent, int64(len(req)))
+	resp, err := t.H(req)
+	atomic.AddInt64(&t.stats.BytesRecv, int64(len(resp)))
+	return resp, err
+}
+
+// Close implements Transport.
+func (t *InProc) Close() error {
+	t.closed.Store(true)
+	return nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (t *InProc) Stats() Stats {
+	return Stats{
+		Calls:     atomic.LoadInt64(&t.stats.Calls),
+		BytesSent: atomic.LoadInt64(&t.stats.BytesSent),
+		BytesRecv: atomic.LoadInt64(&t.stats.BytesRecv),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport (length-prefixed frames)
+// ---------------------------------------------------------------------------
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	const maxFrame = 1 << 28
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame too large (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// TCPClient is a Transport over one TCP connection. Calls are
+// serialized by a mutex (the protocol is strictly request/response).
+type TCPClient struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	stats Stats
+}
+
+// Dial connects a TCPClient to addr.
+func Dial(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPClient{conn: conn}, nil
+}
+
+// Call implements Transport.
+func (c *TCPClient) Call(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Calls++
+	c.stats.BytesSent += int64(len(req)) + 4
+	c.stats.BytesRecv += int64(len(resp)) + 4
+	if len(resp) > 0 && resp[0] == frameError {
+		return nil, fmt.Errorf("rpc: remote error: %s", string(resp[1:]))
+	}
+	if len(resp) > 0 && resp[0] == frameOK {
+		return resp[1:], nil
+	}
+	return nil, fmt.Errorf("rpc: malformed response")
+}
+
+// Close implements Transport.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+// Stats returns traffic counters (callers must not race with Call).
+func (c *TCPClient) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+const (
+	frameOK    byte = 0
+	frameError byte = 1
+)
+
+// Server accepts TCP connections and serves each with a
+// per-connection handler (so stateful protocols get isolated state).
+type Server struct {
+	lis     net.Listener
+	factory func() Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewServer listens on addr; factory is invoked once per accepted
+// connection to create that connection's handler.
+func NewServer(addr string, factory func() Handler) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{lis: lis, factory: factory}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		h := s.factory()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			serveConn(conn, h)
+		}()
+	}
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp, herr := h(req)
+		var frame []byte
+		if herr != nil {
+			frame = append([]byte{frameError}, herr.Error()...)
+		} else {
+			frame = append([]byte{frameOK}, resp...)
+		}
+		if err := writeFrame(conn, frame); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}

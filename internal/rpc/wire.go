@@ -1,0 +1,166 @@
+// Package rpc provides the wire codec and the synchronous
+// request/response transports used both by the database client (the
+// JDBC analogue) and by the Pyxis runtime's control-transfer protocol.
+// Transports are pluggable: in-process (optionally latency-injected)
+// for tests and simulation, TCP for real two-server deployments.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"pyxis/internal/val"
+)
+
+// ErrShortBuffer reports a truncated or corrupt message.
+var ErrShortBuffer = errors.New("rpc: short buffer")
+
+// Writer serializes primitive values into a growing byte buffer.
+type Writer struct {
+	Buf []byte
+}
+
+func (w *Writer) Byte(b byte) { w.Buf = append(w.Buf, b) }
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+func (w *Writer) U32(v uint32) {
+	w.Buf = binary.LittleEndian.AppendUint32(w.Buf, v)
+}
+
+func (w *Writer) U64(v uint64) {
+	w.Buf = binary.LittleEndian.AppendUint64(w.Buf, v)
+}
+
+func (w *Writer) I64(v int64)   { w.U64(uint64(v)) }
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+func (w *Writer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.Buf = append(w.Buf, s...)
+}
+
+// Val serializes one tagged value.
+func (w *Writer) Val(v val.Value) {
+	w.Byte(byte(v.K))
+	switch v.K {
+	case val.Null:
+	case val.Int, val.Bool, val.Obj, val.Arr, val.Table:
+		w.I64(v.I)
+	case val.Double:
+		w.F64(v.F)
+	case val.Str:
+		w.Str(v.S)
+	}
+}
+
+// Vals serializes a length-prefixed value slice.
+func (w *Writer) Vals(vs []val.Value) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.Val(v)
+	}
+}
+
+// Reader deserializes from a byte buffer. The first decode error
+// sticks; check Err after reading.
+type Reader struct {
+	Buf []byte
+	Off int
+	err error
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrShortBuffer
+	}
+}
+
+func (r *Reader) Byte() byte {
+	if r.err != nil || r.Off >= len(r.Buf) {
+		r.fail()
+		return 0
+	}
+	b := r.Buf[r.Off]
+	r.Off++
+	return b
+}
+
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+func (r *Reader) U32() uint32 {
+	if r.err != nil || r.Off+4 > len(r.Buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.Buf[r.Off:])
+	r.Off += 4
+	return v
+}
+
+func (r *Reader) U64() uint64 {
+	if r.err != nil || r.Off+8 > len(r.Buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.Buf[r.Off:])
+	r.Off += 8
+	return v
+}
+
+func (r *Reader) I64() int64   { return int64(r.U64()) }
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+func (r *Reader) Str() string {
+	n := int(r.U32())
+	if r.err != nil || n < 0 || r.Off+n > len(r.Buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.Buf[r.Off : r.Off+n])
+	r.Off += n
+	return s
+}
+
+// Val deserializes one tagged value.
+func (r *Reader) Val() val.Value {
+	k := val.Kind(r.Byte())
+	switch k {
+	case val.Null:
+		return val.NullV()
+	case val.Int, val.Bool, val.Obj, val.Arr, val.Table:
+		return val.Value{K: k, I: r.I64()}
+	case val.Double:
+		return val.Value{K: k, F: r.F64()}
+	case val.Str:
+		return val.Value{K: k, S: r.Str()}
+	}
+	if r.err == nil {
+		r.err = fmt.Errorf("rpc: bad value kind %d", k)
+	}
+	return val.Value{}
+}
+
+// Vals deserializes a length-prefixed value slice.
+func (r *Reader) Vals() []val.Value {
+	n := int(r.U32())
+	if r.err != nil || n < 0 || n > len(r.Buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]val.Value, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Val())
+	}
+	return out
+}

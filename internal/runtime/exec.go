@@ -1,0 +1,418 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pyxis/internal/compile"
+	"pyxis/internal/dbapi"
+	"pyxis/internal/interp"
+	"pyxis/internal/pdg"
+	"pyxis/internal/source"
+	"pyxis/internal/val"
+)
+
+// Env observes and charges execution costs. The discrete-event
+// simulator implements it to account virtual CPU and network time;
+// real deployments leave it nil.
+type Env interface {
+	// BlockExecuted is called after each block with its instruction count.
+	BlockExecuted(side pdg.Loc, instrs int)
+	// DBCall is called before each database operation issued on side.
+	DBCall(side pdg.Loc)
+	// Sha1 is called per sys.sha1 invocation (CPU-intensive work unit).
+	Sha1(side pdg.Loc)
+	// TransferSend is called when a control-transfer message of the
+	// given size leaves the peer.
+	TransferSend(from pdg.Loc, bytes int)
+}
+
+// Metrics counts a peer's activity.
+type Metrics struct {
+	Transfers int64
+	BytesSent int64
+	BytesRecv int64
+	DBCalls   int64
+	Blocks    int64
+	Instrs    int64
+}
+
+// Peer is one side of a partitioned deployment: the compiled program,
+// this side's heap, a database connection (embedded on the DB side,
+// wire client on the APP side), and pending heap synchronization.
+type Peer struct {
+	Prog *compile.Program
+	Side pdg.Loc
+	DB   dbapi.Conn
+	Out  io.Writer
+	Heap *Heap
+	Env  Env
+
+	Metrics Metrics
+
+	pending []pendingSync
+	pendSet map[pendKey]bool
+}
+
+type pendKey struct {
+	kind syncKind
+	oid  val.OID
+	part pdg.Loc
+}
+
+// NewPeer creates a peer for one side.
+func NewPeer(prog *compile.Program, side pdg.Loc, db dbapi.Conn, out io.Writer) *Peer {
+	if out == nil {
+		out = io.Discard
+	}
+	return &Peer{Prog: prog, Side: side, DB: db, Out: out, Heap: NewHeap(side), pendSet: map[pendKey]bool{}}
+}
+
+func (p *Peer) addPending(ps pendingSync) {
+	k := pendKey{ps.kind, ps.oid, ps.part}
+	if p.pendSet[k] {
+		return
+	}
+	p.pendSet[k] = true
+	p.pending = append(p.pending, ps)
+}
+
+func (p *Peer) takePending() []pendingSync {
+	out := p.pending
+	p.pending = nil
+	p.pendSet = map[pendKey]bool{}
+	return out
+}
+
+// Frame is one activation record. RetSlot/Cont say where the caller
+// resumes when this frame returns.
+type Frame struct {
+	Method  *compile.MethodInfo
+	Slots   []val.Value
+	RetSlot int
+	Cont    compile.BlockID
+}
+
+// RunError is a runtime failure inside partitioned code.
+type RunError struct{ Msg string }
+
+func (e *RunError) Error() string { return "runtime: " + e.Msg }
+
+func runErr(format string, args ...any) error {
+	return &RunError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Run executes blocks starting at b until control leaves this side
+// (done=false, next=remote block) or the bottom frame returns
+// (done=true with the return value).
+func (p *Peer) Run(b compile.BlockID, stack []*Frame) (next compile.BlockID, done bool, ret val.Value, outStack []*Frame, err error) {
+	for {
+		blk := p.Prog.Block(b)
+		if blk.Loc != p.Side {
+			return b, false, val.Value{}, stack, nil
+		}
+		fr := stack[len(stack)-1]
+		for i := range blk.Code {
+			if err := p.exec(&blk.Code[i], fr); err != nil {
+				return 0, false, val.Value{}, stack, err
+			}
+		}
+		p.Metrics.Blocks++
+		p.Metrics.Instrs += int64(len(blk.Code))
+		if p.Env != nil {
+			p.Env.BlockExecuted(p.Side, len(blk.Code))
+		}
+		switch blk.Term.Kind {
+		case compile.TGoto:
+			b = blk.Term.Target
+		case compile.TIf:
+			if fr.Slots[blk.Term.Cond].AsBool() {
+				b = blk.Term.Then
+			} else {
+				b = blk.Term.Else
+			}
+		case compile.TCall:
+			callee := blk.Term.Method
+			nf := &Frame{
+				Method:  callee,
+				Slots:   make([]val.Value, callee.NSlots),
+				RetSlot: blk.Term.RetSlot,
+				Cont:    blk.Term.Cont,
+			}
+			for i, src := range blk.Term.Args {
+				nf.Slots[i] = fr.Slots[src]
+			}
+			stack = append(stack, nf)
+			b = callee.Entry
+		case compile.TRet:
+			var v val.Value
+			if blk.Term.Val >= 0 {
+				v = fr.Slots[blk.Term.Val]
+			} else {
+				v = fr.Method.Ret.Zero()
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				return 0, true, v, stack, nil
+			}
+			caller := stack[len(stack)-1]
+			caller.Slots[fr.RetSlot] = v
+			b = fr.Cont
+		}
+	}
+}
+
+func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
+	s := fr.Slots
+	switch in.Op {
+	case compile.OpConst:
+		s[in.A] = in.Lit
+	case compile.OpMove:
+		s[in.A] = s[in.B]
+	case compile.OpConv:
+		s[in.A] = val.DoubleV(s[in.B].AsFloat())
+	case compile.OpBin:
+		v, err := binOp(source.BinOp(in.Sub), s[in.B], s[in.C])
+		if err != nil {
+			return err
+		}
+		s[in.A] = v
+	case compile.OpUn:
+		switch source.UnOp(in.Sub) {
+		case source.OpNot:
+			s[in.A] = val.BoolV(!s[in.B].AsBool())
+		default:
+			if s[in.B].K == val.Double {
+				s[in.A] = val.DoubleV(-s[in.B].F)
+			} else {
+				s[in.A] = val.IntV(-s[in.B].I)
+			}
+		}
+	case compile.OpNewObj:
+		s[in.A] = val.ObjV(p.Heap.NewObject(in.Class))
+	case compile.OpNewArr:
+		n := s[in.B].I
+		if n < 0 {
+			return runErr("negative array length %d", n)
+		}
+		s[in.A] = val.ArrV(p.Heap.NewArray(int(n), in.Lit))
+	case compile.OpGetField:
+		o, err := p.Heap.Object(s[in.B].OID(), in.Field.Class)
+		if err != nil {
+			return err
+		}
+		s[in.A] = o.Part(in.Field.Loc)[in.Field.PartIdx]
+	case compile.OpSetField:
+		o, err := p.Heap.Object(s[in.A].OID(), in.Field.Class)
+		if err != nil {
+			return err
+		}
+		o.Part(in.Field.Loc)[in.Field.PartIdx] = s[in.B]
+	case compile.OpGetIdx:
+		a, err := p.Heap.Array(s[in.B].OID())
+		if err != nil {
+			return err
+		}
+		i := s[in.C].I
+		if i < 0 || int(i) >= len(a.Elems) {
+			return runErr("array index %d out of range [0,%d)", i, len(a.Elems))
+		}
+		s[in.A] = a.Elems[i]
+	case compile.OpSetIdx:
+		a, err := p.Heap.Array(s[in.A].OID())
+		if err != nil {
+			return err
+		}
+		i := s[in.B].I
+		if i < 0 || int(i) >= len(a.Elems) {
+			return runErr("array index %d out of range [0,%d)", i, len(a.Elems))
+		}
+		a.Elems[i] = s[in.C]
+	case compile.OpLen:
+		if s[in.B].K == val.Str {
+			s[in.A] = val.IntV(int64(len(s[in.B].S)))
+			break
+		}
+		a, err := p.Heap.Array(s[in.B].OID())
+		if err != nil {
+			return err
+		}
+		s[in.A] = val.IntV(int64(len(a.Elems)))
+	case compile.OpDBQuery:
+		p.Metrics.DBCalls++
+		if p.Env != nil {
+			p.Env.DBCall(p.Side)
+		}
+		args := make([]val.Value, len(in.Args))
+		for i, slot := range in.Args {
+			args[i] = s[slot]
+		}
+		rs, err := p.DB.Query(in.SQL, args...)
+		if err != nil {
+			return fmt.Errorf("db.query: %w", err)
+		}
+		s[in.A] = val.TableV(p.Heap.NewTable(rs.Cols, rs.Rows))
+	case compile.OpDBExec:
+		p.Metrics.DBCalls++
+		if p.Env != nil {
+			p.Env.DBCall(p.Side)
+		}
+		args := make([]val.Value, len(in.Args))
+		for i, slot := range in.Args {
+			args[i] = s[slot]
+		}
+		n, err := p.DB.Exec(in.SQL, args...)
+		if err != nil {
+			return fmt.Errorf("db.update: %w", err)
+		}
+		s[in.A] = val.IntV(int64(n))
+	case compile.OpDBBegin, compile.OpDBCommit, compile.OpDBRollback:
+		p.Metrics.DBCalls++
+		if p.Env != nil {
+			p.Env.DBCall(p.Side)
+		}
+		var err error
+		switch in.Op {
+		case compile.OpDBBegin:
+			err = p.DB.Begin()
+		case compile.OpDBCommit:
+			err = p.DB.Commit()
+		default:
+			err = p.DB.Rollback()
+		}
+		if err != nil {
+			return fmt.Errorf("db txn: %w", err)
+		}
+	case compile.OpPrint:
+		parts := make([]string, len(in.Args))
+		for i, slot := range in.Args {
+			parts[i] = s[slot].String()
+		}
+		fmt.Fprintln(p.Out, strings.Join(parts, " "))
+	case compile.OpSha1:
+		if p.Env != nil {
+			p.Env.Sha1(p.Side)
+		}
+		s[in.A] = val.IntV(interp.Sha1Round(s[in.B].I))
+	case compile.OpStr:
+		s[in.A] = val.StrV(s[in.B].String())
+	case compile.OpTblRows:
+		t, err := p.Heap.Table(s[in.B].OID())
+		if err != nil {
+			return err
+		}
+		s[in.A] = val.IntV(int64(len(t.Rows)))
+	case compile.OpTblGet:
+		t, err := p.Heap.Table(s[in.B].OID())
+		if err != nil {
+			return err
+		}
+		r, c := int(s[in.C].I), int(s[in.Args[0]].I)
+		if r < 0 || r >= len(t.Rows) {
+			return runErr("table row %d out of range [0,%d)", r, len(t.Rows))
+		}
+		if c < 0 || c >= len(t.Rows[r]) {
+			return runErr("table column %d out of range", c)
+		}
+		s[in.A] = interp.CoerceCell(t.Rows[r][c], source.Builtin(in.Sub))
+	case compile.OpSendPart:
+		oid := s[in.A].OID()
+		if oid != 0 {
+			p.addPending(pendingSync{kind: syncObjPart, oid: oid, part: pdg.Loc(in.Sub)})
+		}
+	case compile.OpSendNative:
+		v := s[in.A]
+		switch v.K {
+		case val.Arr:
+			p.addPending(pendingSync{kind: syncArray, oid: v.OID()})
+		case val.Table:
+			p.addPending(pendingSync{kind: syncTable, oid: v.OID()})
+		}
+	default:
+		return runErr("bad opcode %d", in.Op)
+	}
+	return nil
+}
+
+func binOp(op source.BinOp, l, r val.Value) (val.Value, error) {
+	switch op {
+	case source.OpEq, source.OpNe:
+		eq := refEqual(l, r)
+		if op == source.OpNe {
+			eq = !eq
+		}
+		return val.BoolV(eq), nil
+	case source.OpLt, source.OpLe, source.OpGt, source.OpGe:
+		c := val.Compare(l, r)
+		var b bool
+		switch op {
+		case source.OpLt:
+			b = c < 0
+		case source.OpLe:
+			b = c <= 0
+		case source.OpGt:
+			b = c > 0
+		default:
+			b = c >= 0
+		}
+		return val.BoolV(b), nil
+	case source.OpAnd:
+		return val.BoolV(l.AsBool() && r.AsBool()), nil
+	case source.OpOr:
+		return val.BoolV(l.AsBool() || r.AsBool()), nil
+	case source.OpAdd:
+		if l.K == val.Str {
+			return val.StrV(l.S + r.S), nil
+		}
+	case source.OpMod:
+		if r.I == 0 {
+			return val.Value{}, runErr("division by zero")
+		}
+		return val.IntV(l.I % r.I), nil
+	}
+	// Numeric + - * /.
+	if l.K == val.Double || r.K == val.Double {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch op {
+		case source.OpAdd:
+			return val.DoubleV(lf + rf), nil
+		case source.OpSub:
+			return val.DoubleV(lf - rf), nil
+		case source.OpMul:
+			return val.DoubleV(lf * rf), nil
+		case source.OpDiv:
+			if rf == 0 {
+				return val.Value{}, runErr("division by zero")
+			}
+			return val.DoubleV(lf / rf), nil
+		}
+	}
+	switch op {
+	case source.OpAdd:
+		return val.IntV(l.I + r.I), nil
+	case source.OpSub:
+		return val.IntV(l.I - r.I), nil
+	case source.OpMul:
+		return val.IntV(l.I * r.I), nil
+	case source.OpDiv:
+		if r.I == 0 {
+			return val.Value{}, runErr("division by zero")
+		}
+		return val.IntV(l.I / r.I), nil
+	}
+	return val.Value{}, runErr("bad binary op %d", op)
+}
+
+func refEqual(l, r val.Value) bool {
+	if l.IsRef() || r.IsRef() {
+		if l.K == val.Null {
+			return r.K == val.Null || r.I == 0
+		}
+		if r.K == val.Null {
+			return l.I == 0
+		}
+		return l.K == r.K && l.I == r.I
+	}
+	return l.Equal(r)
+}

@@ -1,0 +1,237 @@
+// Package runtime executes compiled Pyxis programs (paper §6): it
+// maintains the explicit program stack and the distributed heap,
+// executes placement-annotated blocks, performs control transfers
+// between the application-server and database-server peers with
+// piggy-backed heap/stack synchronization, and dynamically switches
+// between pre-generated partitionings based on database CPU load.
+package runtime
+
+import (
+	"fmt"
+
+	"pyxis/internal/compile"
+	"pyxis/internal/pdg"
+	"pyxis/internal/rpc"
+	"pyxis/internal/val"
+)
+
+// Object is the runtime representation of a class instance. Every
+// source-level object is split into an APP part and a DB part (paper
+// Fig. 6); each peer holds copies of both, and sync operations ship
+// the authoritative part across on control transfers.
+type Object struct {
+	Class *compile.ClassInfo
+	App   []val.Value
+	DB    []val.Value
+}
+
+// Part returns the field storage of one part.
+func (o *Object) Part(loc pdg.Loc) []val.Value {
+	if loc == pdg.DB {
+		return o.DB
+	}
+	return o.App
+}
+
+// Array is a runtime array; placement follows its allocation site.
+type Array struct {
+	Elems []val.Value
+}
+
+// Table is a materialized query result (a "native object" in the
+// paper's terminology — shipped wholesale with sendNative).
+type Table struct {
+	Cols []string
+	Rows [][]val.Value
+}
+
+// Heap stores one peer's objects, arrays and tables by OID. OID
+// parity partitions the ID space: the APP peer allocates odd IDs, the
+// DB peer even ones, so both allocate without coordination.
+type Heap struct {
+	objs map[val.OID]*Object
+	arrs map[val.OID]*Array
+	tabs map[val.OID]*Table
+	next val.OID
+}
+
+// NewHeap creates an empty heap for the given side.
+func NewHeap(side pdg.Loc) *Heap {
+	h := &Heap{
+		objs: map[val.OID]*Object{},
+		arrs: map[val.OID]*Array{},
+		tabs: map[val.OID]*Table{},
+	}
+	if side == pdg.DB {
+		h.next = 2
+	} else {
+		h.next = 1
+	}
+	return h
+}
+
+func (h *Heap) alloc() val.OID {
+	oid := h.next
+	h.next += 2
+	return oid
+}
+
+// NewObject allocates an object with zeroed parts.
+func (h *Heap) NewObject(ci *compile.ClassInfo) val.OID {
+	oid := h.alloc()
+	h.objs[oid] = &Object{Class: ci, App: ci.ZeroPart(pdg.App), DB: ci.ZeroPart(pdg.DB)}
+	return oid
+}
+
+// NewArray allocates an array of n copies of zero.
+func (h *Heap) NewArray(n int, zero val.Value) val.OID {
+	oid := h.alloc()
+	elems := make([]val.Value, n)
+	for i := range elems {
+		elems[i] = zero
+	}
+	h.arrs[oid] = &Array{Elems: elems}
+	return oid
+}
+
+// NewTable stores a query result.
+func (h *Heap) NewTable(cols []string, rows [][]val.Value) val.OID {
+	oid := h.alloc()
+	h.tabs[oid] = &Table{Cols: cols, Rows: rows}
+	return oid
+}
+
+// Object returns the object for oid, materializing a zeroed instance
+// of class ci if this peer has not seen it (lazy materialization: the
+// authoritative state arrives via sync records before any real use —
+// guaranteed by the conservative sync insertion).
+func (h *Heap) Object(oid val.OID, ci *compile.ClassInfo) (*Object, error) {
+	if oid == 0 {
+		return nil, fmt.Errorf("runtime: null dereference")
+	}
+	o, ok := h.objs[oid]
+	if !ok {
+		o = &Object{Class: ci, App: ci.ZeroPart(pdg.App), DB: ci.ZeroPart(pdg.DB)}
+		h.objs[oid] = o
+	}
+	return o, nil
+}
+
+// Array returns the array for oid.
+func (h *Heap) Array(oid val.OID) (*Array, error) {
+	if oid == 0 {
+		return nil, fmt.Errorf("runtime: null array dereference")
+	}
+	a, ok := h.arrs[oid]
+	if !ok {
+		return nil, fmt.Errorf("runtime: array %d not present on this peer (missing sendNative?)", oid)
+	}
+	return a, nil
+}
+
+// Table returns the table for oid.
+func (h *Heap) Table(oid val.OID) (*Table, error) {
+	if oid == 0 {
+		return nil, fmt.Errorf("runtime: null table dereference")
+	}
+	t, ok := h.tabs[oid]
+	if !ok {
+		return nil, fmt.Errorf("runtime: table %d not present on this peer (missing sendNative?)", oid)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Heap synchronization records
+// ---------------------------------------------------------------------------
+
+type syncKind uint8
+
+const (
+	syncObjPart syncKind = iota
+	syncArray
+	syncTable
+)
+
+// pendingSync identifies dirty heap state to ship on the next control
+// transfer; payloads are serialized at transfer time so the latest
+// values travel (eager batched updates, §3.2).
+type pendingSync struct {
+	kind syncKind
+	oid  val.OID
+	part pdg.Loc // for syncObjPart
+}
+
+// encodeSync serializes the pending set against the local heap.
+func encodeSync(w *rpc.Writer, h *Heap, pend []pendingSync) {
+	w.U32(uint32(len(pend)))
+	for _, ps := range pend {
+		w.Byte(byte(ps.kind))
+		w.I64(int64(ps.oid))
+		switch ps.kind {
+		case syncObjPart:
+			o := h.objs[ps.oid]
+			w.Str(o.Class.Name)
+			w.Byte(byte(ps.part))
+			w.Vals(o.Part(ps.part))
+		case syncArray:
+			a := h.arrs[ps.oid]
+			w.Vals(a.Elems)
+		case syncTable:
+			t := h.tabs[ps.oid]
+			w.U32(uint32(len(t.Cols)))
+			for _, c := range t.Cols {
+				w.Str(c)
+			}
+			w.U32(uint32(len(t.Rows)))
+			for _, row := range t.Rows {
+				w.Vals(row)
+			}
+		}
+	}
+}
+
+// applySync installs received sync records into the local heap.
+func applySync(r *rpc.Reader, h *Heap, classes map[string]*compile.ClassInfo) error {
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		kind := syncKind(r.Byte())
+		oid := val.OID(r.I64())
+		switch kind {
+		case syncObjPart:
+			className := r.Str()
+			part := pdg.Loc(r.Byte())
+			vals := r.Vals()
+			ci := classes[className]
+			if ci == nil {
+				return fmt.Errorf("runtime: sync for unknown class %s", className)
+			}
+			o, err := h.Object(oid, ci)
+			if err != nil {
+				return err
+			}
+			if part == pdg.DB {
+				o.DB = vals
+			} else {
+				o.App = vals
+			}
+		case syncArray:
+			h.arrs[oid] = &Array{Elems: r.Vals()}
+		case syncTable:
+			nc := int(r.U32())
+			cols := make([]string, nc)
+			for j := 0; j < nc; j++ {
+				cols[j] = r.Str()
+			}
+			nr := int(r.U32())
+			rows := make([][]val.Value, nr)
+			for j := 0; j < nr; j++ {
+				rows[j] = r.Vals()
+			}
+			h.tabs[oid] = &Table{Cols: cols, Rows: rows}
+		default:
+			return fmt.Errorf("runtime: bad sync kind %d", kind)
+		}
+	}
+	return r.Err()
+}

@@ -1,0 +1,342 @@
+package runtime
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pyxis/internal/analysis"
+	"pyxis/internal/compile"
+	"pyxis/internal/dbapi"
+	"pyxis/internal/pdg"
+	"pyxis/internal/profile"
+	"pyxis/internal/pyxil"
+	"pyxis/internal/rpc"
+	"pyxis/internal/source"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// compileAt compiles src with every statement/field forced to the
+// given placement map override (nil = all APP except pinned).
+func compileWith(t *testing.T, src string, assign func(g *pdg.Graph, place pdg.Placement)) *compile.Program {
+	t.Helper()
+	prog, err := source.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.Run(prog)
+	g := pdg.Build(res, profile.New(), pdg.Options{})
+	place := pdg.Placement{}
+	for id := range g.Nodes {
+		place[id] = pdg.App
+	}
+	place[g.DBCodeID] = pdg.DB
+	if assign != nil {
+		assign(g, place)
+	}
+	px := pyxil.Generate(res, g, place, pyxil.Options{})
+	compiled, err := compile.Compile(px)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compiled
+}
+
+const calcSrc = `
+class Calc {
+    int acc;
+    int[] history;
+
+    Calc() {
+        acc = 0;
+        history = new int[8];
+    }
+
+    entry int apply(int x, bool double_) {
+        if (double_) {
+            acc += x * 2;
+        } else {
+            acc += x;
+        }
+        history[x % 8] = acc;
+        return acc;
+    }
+
+    entry int histAt(int i) {
+        return history[i % 8];
+    }
+
+    entry string describe() {
+        string s = "acc=" + sys.str(acc);
+        sys.print(s);
+        return s;
+    }
+}
+`
+
+func TestSingleSidedExecution(t *testing.T) {
+	compiled := compileWith(t, calcSrc, nil)
+	var out bytes.Buffer
+	dep := NewDeployment(compiled, sqldb.Open(), Options{Out: &out})
+	oid, err := dep.Client.NewObject("Calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := dep.Client.CallEntry("Calc.apply", oid, val.IntV(5), val.BoolV(true)); err != nil || v.I != 10 {
+		t.Fatalf("apply = %v, %v", v, err)
+	}
+	if v, err := dep.Client.CallEntry("Calc.apply", oid, val.IntV(1), val.BoolV(false)); err != nil || v.I != 11 {
+		t.Fatalf("apply2 = %v, %v", v, err)
+	}
+	if v, err := dep.Client.CallEntry("Calc.histAt", oid, val.IntV(1)); err != nil || v.I != 11 {
+		t.Fatalf("histAt = %v, %v", v, err)
+	}
+	if v, err := dep.Client.CallEntry("Calc.describe", oid); err != nil || v.S != "acc=11" {
+		t.Fatalf("describe = %v, %v", v, err)
+	}
+	if !strings.Contains(out.String(), "acc=11") {
+		t.Errorf("print output missing: %q", out.String())
+	}
+	ctl, _ := dep.WireStats()
+	if ctl.Calls != 0 {
+		t.Errorf("all-APP program made %d control transfers", ctl.Calls)
+	}
+}
+
+// TestSplitFieldHeapSync places the `acc` field and the arithmetic on
+// the DB while the entry prologue stays on APP, and verifies values
+// stay consistent across many alternating calls (heap-consistency
+// invariant, DESIGN.md #2).
+func TestSplitFieldHeapSync(t *testing.T) {
+	compiled := compileWith(t, calcSrc, func(g *pdg.Graph, place pdg.Placement) {
+		prog := g.Prog
+		// Field acc and the apply method bodies on DB.
+		for id, f := range prog.Fields {
+			if f.Name == "acc" {
+				place[id] = pdg.DB
+			}
+		}
+		m := prog.Method("Calc", "apply")
+		source.WalkMethodStmts(m, func(s source.Stmt) bool {
+			place[s.ID()] = pdg.DB
+			return true
+		})
+		place[m.EntryID] = pdg.DB
+	})
+	dep := NewDeployment(compiled, sqldb.Open(), Options{})
+	oid, err := dep.Client.NewObject("Calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := int64(1); i <= 20; i++ {
+		dbl := i%3 == 0
+		add := i
+		if dbl {
+			add = i * 2
+		}
+		want += add
+		got, err := dep.Client.CallEntry("Calc.apply", oid, val.IntV(i), val.BoolV(dbl))
+		if err != nil {
+			t.Fatalf("apply(%d): %v", i, err)
+		}
+		if got.I != want {
+			t.Fatalf("apply(%d) = %d, want %d", i, got.I, want)
+		}
+		// describe() runs on APP and reads acc: the DB-side writes must
+		// have been synced across.
+		desc, err := dep.Client.CallEntry("Calc.describe", oid)
+		if err != nil {
+			t.Fatalf("describe: %v", err)
+		}
+		if want := "acc=" + val.IntV(want).String(); desc.S != want {
+			t.Fatalf("describe = %q, want %q", desc.S, want)
+		}
+	}
+	ctl, _ := dep.WireStats()
+	if ctl.Calls == 0 {
+		t.Error("split placement should transfer control")
+	}
+}
+
+// TestDistributedOverTCP runs the same split program across a real TCP
+// control-transfer server (the cmd/pyxis-dbserver / pyxis-app wiring).
+func TestDistributedOverTCP(t *testing.T) {
+	compiled := compileWith(t, calcSrc, func(g *pdg.Graph, place pdg.Placement) {
+		prog := g.Prog
+		for id, f := range prog.Fields {
+			if f.Name == "acc" {
+				place[id] = pdg.DB
+			}
+		}
+		m := prog.Method("Calc", "apply")
+		source.WalkMethodStmts(m, func(s source.Stmt) bool {
+			place[s.ID()] = pdg.DB
+			return true
+		})
+		place[m.EntryID] = pdg.DB
+	})
+	db := sqldb.Open()
+
+	dbSrv, err := rpc.NewServer("127.0.0.1:0", func() rpc.Handler { return dbapi.NewHandler(db) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbSrv.Close()
+	ctlSrv, err := rpc.NewServer("127.0.0.1:0", func() rpc.Handler {
+		return Handler(NewPeer(compiled, pdg.DB, dbapi.NewLocal(db), nil))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctlSrv.Close()
+
+	dbWire, err := rpc.Dial(dbSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbWire.Close()
+	ctlWire, err := rpc.Dial(ctlSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctlWire.Close()
+
+	appPeer := NewPeer(compiled, pdg.App, dbapi.NewClient(dbWire), nil)
+	client := &Client{Peer: appPeer, Remote: ctlWire}
+	oid, err := client.NewObject("Calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := int64(1); i <= 10; i++ {
+		want += i
+		got, err := client.CallEntry("Calc.apply", oid, val.IntV(i), val.BoolV(false))
+		if err != nil {
+			t.Fatalf("apply over TCP: %v", err)
+		}
+		if got.I != want {
+			t.Fatalf("apply = %d, want %d", got.I, want)
+		}
+	}
+	if ctlWire.Stats().Calls == 0 {
+		t.Error("expected TCP control transfers")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	compiled := compileWith(t, `
+class E {
+    int[] a;
+    E() { }
+    entry int idx(int i) {
+        a = new int[3];
+        return a[i];
+    }
+    entry int div(int x) {
+        return 10 / x;
+    }
+}`, nil)
+	dep := NewDeployment(compiled, sqldb.Open(), Options{})
+	oid, err := dep.Client.NewObject("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Client.CallEntry("E.idx", oid, val.IntV(7)); err == nil {
+		t.Error("index out of range should error")
+	}
+	if _, err := dep.Client.CallEntry("E.div", oid, val.IntV(0)); err == nil {
+		t.Error("division by zero should error")
+	}
+	if v, err := dep.Client.CallEntry("E.div", oid, val.IntV(2)); err != nil || v.I != 5 {
+		t.Errorf("div(2) = %v, %v", v, err)
+	}
+	if _, err := dep.Client.CallEntry("E.missing", oid); err == nil {
+		t.Error("unknown method should error")
+	}
+	if _, err := dep.Client.Call("E.nope", oid); err == nil {
+		t.Error("unknown method should error")
+	}
+	if _, err := dep.Client.NewObject("Nope"); err == nil {
+		t.Error("unknown class should error")
+	}
+}
+
+func TestSwitcherEWMA(t *testing.T) {
+	sw := NewSwitcher()
+	if sw.UseLowBudget() {
+		t.Error("fresh switcher should use high budget")
+	}
+	sw.Observe(10)
+	if sw.UseLowBudget() {
+		t.Error("low load should keep high budget")
+	}
+	// Sustained high load crosses the 40% threshold via EWMA.
+	for i := 0; i < 5; i++ {
+		sw.Observe(95)
+	}
+	if !sw.UseLowBudget() {
+		t.Errorf("sustained load should switch (ewma=%v)", sw.Load())
+	}
+	// A single low sample must not flip back immediately (damping).
+	sw.Observe(5)
+	if sw.Load() < 10 {
+		t.Errorf("EWMA dropped too fast: %v", sw.Load())
+	}
+	for i := 0; i < 10; i++ {
+		sw.Observe(5)
+	}
+	if sw.UseLowBudget() {
+		t.Error("sustained recovery should switch back")
+	}
+
+	// Exact EWMA math: L = a*L + (1-a)*S.
+	s2 := &Switcher{Alpha: 0.5, Threshold: 40}
+	s2.Observe(100) // first sample initializes
+	if got := s2.Observe(0); got != 50 {
+		t.Errorf("ewma = %v, want 50", got)
+	}
+}
+
+func TestDynamicClientPickCounting(t *testing.T) {
+	sw := NewSwitcher()
+	d := &DynamicClient{High: &Client{}, Low: &Client{}, Switcher: sw}
+	if d.Pick() != d.High {
+		t.Error("should pick high initially")
+	}
+	for i := 0; i < 5; i++ {
+		sw.Observe(99)
+	}
+	if d.Pick() != d.Low {
+		t.Error("should pick low under load")
+	}
+	low, high := d.Picks()
+	if low != 1 || high != 1 {
+		t.Errorf("picks = %d,%d", low, high)
+	}
+}
+
+func TestHeapLazyMaterialization(t *testing.T) {
+	h := NewHeap(pdg.App)
+	ci := &compile.ClassInfo{Name: "X", NumApp: 1, NumDB: 1,
+		Fields: []*compile.FieldRef{}}
+	oid := h.NewObject(ci)
+	if oid%2 != 1 {
+		t.Errorf("APP heap should allocate odd OIDs, got %d", oid)
+	}
+	hd := NewHeap(pdg.DB)
+	if oid2 := hd.NewObject(ci); oid2%2 != 0 {
+		t.Errorf("DB heap should allocate even OIDs, got %d", oid2)
+	}
+	// Unknown OID materializes lazily with the instruction's class.
+	if _, err := hd.Object(oid, ci); err != nil {
+		t.Fatalf("lazy materialization failed: %v", err)
+	}
+	if _, err := hd.Object(0, ci); err == nil {
+		t.Error("null deref should error")
+	}
+	if _, err := hd.Array(12345); err == nil {
+		t.Error("unknown array must not materialize (sendNative required)")
+	}
+}

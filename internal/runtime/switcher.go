@@ -1,0 +1,92 @@
+package runtime
+
+import "sync"
+
+// Switcher implements the dynamic partitioning selection of paper
+// §6.3: the database server periodically reports its CPU load; the
+// application server keeps an exponentially weighted moving average
+// L_t = α·L_{t-1} + (1-α)·S_t and uses a low-CPU-budget partitioning
+// while L_t exceeds the threshold, a high-budget one otherwise. The
+// EWMA damps oscillation between deployment modes.
+type Switcher struct {
+	// Alpha is the EWMA weight on history (paper: 0.2).
+	Alpha float64
+	// Threshold is the load percentage above which the low-budget
+	// partitioning is selected (paper: 40).
+	Threshold float64
+
+	mu      sync.Mutex
+	ewma    float64
+	started bool
+}
+
+// NewSwitcher returns a switcher with the paper's constants
+// (α = 0.2, threshold = 40%).
+func NewSwitcher() *Switcher {
+	return &Switcher{Alpha: 0.2, Threshold: 40}
+}
+
+// Observe folds one load sample (percent, 0–100) into the EWMA and
+// returns the new average.
+func (s *Switcher) Observe(load float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		s.ewma = load
+		s.started = true
+	} else {
+		s.ewma = s.Alpha*s.ewma + (1-s.Alpha)*load
+	}
+	return s.ewma
+}
+
+// Load returns the current EWMA.
+func (s *Switcher) Load() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ewma
+}
+
+// UseLowBudget reports whether the low-CPU-budget partitioning should
+// serve the next request.
+func (s *Switcher) UseLowBudget() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started && s.ewma > s.Threshold
+}
+
+// DynamicClient routes each entry invocation to one of two deployments
+// of the same program — one generated with a high DB-CPU budget
+// (stored-procedure-like) and one with a low budget (client-side-query
+// like) — according to the switcher. This mirrors the paper's TPC-C
+// dynamic switching experiment, which pre-generates exactly two
+// partitionings.
+type DynamicClient struct {
+	High, Low *Client
+	Switcher  *Switcher
+	// picks counts how many calls used the low-budget partitioning.
+	mu        sync.Mutex
+	lowPicks  int64
+	highPicks int64
+}
+
+// Pick returns the client for the next call.
+func (d *DynamicClient) Pick() *Client {
+	if d.Switcher.UseLowBudget() {
+		d.mu.Lock()
+		d.lowPicks++
+		d.mu.Unlock()
+		return d.Low
+	}
+	d.mu.Lock()
+	d.highPicks++
+	d.mu.Unlock()
+	return d.High
+}
+
+// Picks returns (low-budget picks, high-budget picks).
+func (d *DynamicClient) Picks() (low, high int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lowPicks, d.highPicks
+}

@@ -1,0 +1,272 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pyxis/internal/compile"
+	"pyxis/internal/dbapi"
+	"pyxis/internal/pdg"
+	"pyxis/internal/rpc"
+	"pyxis/internal/source"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// This file implements the control-transfer protocol (paper §6.1-6.2):
+// when execution reaches a block placed on the other server, the local
+// runtime sends a transfer message naming the next block, carrying the
+// program stack, and piggy-backing batched heap synchronization; it
+// then blocks until the remote runtime returns control the same way. A
+// single logical thread of control is preserved.
+
+func encodeStack(w *rpc.Writer, stack []*Frame) {
+	w.U32(uint32(len(stack)))
+	for _, fr := range stack {
+		w.Str(fr.Method.QName)
+		w.Vals(fr.Slots)
+		w.U32(uint32(fr.RetSlot))
+		w.U32(uint32(int32(fr.Cont)))
+	}
+}
+
+func decodeStack(r *rpc.Reader, prog *compile.Program) ([]*Frame, error) {
+	n := int(r.U32())
+	stack := make([]*Frame, 0, n)
+	for i := 0; i < n; i++ {
+		qname := r.Str()
+		m := prog.Method(qname)
+		if m == nil {
+			return nil, fmt.Errorf("runtime: transfer references unknown method %q", qname)
+		}
+		fr := &Frame{
+			Method:  m,
+			Slots:   r.Vals(),
+			RetSlot: int(r.U32()),
+			Cont:    compile.BlockID(int32(r.U32())),
+		}
+		if len(fr.Slots) < m.NSlots {
+			grown := make([]val.Value, m.NSlots)
+			copy(grown, fr.Slots)
+			fr.Slots = grown
+		}
+		stack = append(stack, fr)
+	}
+	return stack, r.Err()
+}
+
+// Client drives a partitioned program from the application server: it
+// executes APP blocks locally and transfers control to the DB peer
+// over Remote when execution reaches a DB block.
+type Client struct {
+	Peer   *Peer
+	Remote rpc.Transport
+}
+
+// NewObject allocates an instance of class on the APP heap and runs
+// its (possibly partitioned) constructor.
+func (c *Client) NewObject(class string, args ...val.Value) (val.OID, error) {
+	ci := c.Peer.Prog.Classes[class]
+	if ci == nil {
+		return 0, fmt.Errorf("runtime: unknown class %s", class)
+	}
+	oid := c.Peer.Heap.NewObject(ci)
+	if ci.Ctor == nil {
+		if len(args) != 0 {
+			return 0, fmt.Errorf("runtime: class %s has no constructor", class)
+		}
+		return oid, nil
+	}
+	if _, err := c.invoke(ci.Ctor, oid, args); err != nil {
+		return 0, err
+	}
+	return oid, nil
+}
+
+// CallEntry invokes an entry method (paper §5.2 wrapper).
+func (c *Client) CallEntry(qname string, this val.OID, args ...val.Value) (val.Value, error) {
+	m := c.Peer.Prog.Method(qname)
+	if m == nil {
+		return val.Value{}, fmt.Errorf("runtime: unknown method %s", qname)
+	}
+	if !m.IsEntryPoint {
+		return val.Value{}, fmt.Errorf("runtime: %s is not an entry method", qname)
+	}
+	return c.invoke(m, this, args)
+}
+
+// Call invokes any method (used by tests to compare against the
+// interpreter on non-entry methods).
+func (c *Client) Call(qname string, this val.OID, args ...val.Value) (val.Value, error) {
+	m := c.Peer.Prog.Method(qname)
+	if m == nil {
+		return val.Value{}, fmt.Errorf("runtime: unknown method %s", qname)
+	}
+	return c.invoke(m, this, args)
+}
+
+func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (val.Value, error) {
+	if len(args) != len(m.Params) {
+		return val.Value{}, fmt.Errorf("runtime: %s: want %d args, got %d", m.QName, len(m.Params), len(args))
+	}
+	fr := &Frame{Method: m, Slots: make([]val.Value, m.NSlots), RetSlot: 0, Cont: compile.NoBlock}
+	fr.Slots[0] = val.ObjV(this)
+	for i, a := range args {
+		if m.Params[i].K == source.KDouble && a.K == val.Int {
+			a = val.DoubleV(float64(a.I))
+		}
+		fr.Slots[i+1] = a
+	}
+	stack := []*Frame{fr}
+	b := m.Entry
+	for {
+		next, done, ret, outStack, err := c.Peer.Run(b, stack)
+		if err != nil {
+			return val.Value{}, err
+		}
+		if done {
+			return ret, nil
+		}
+		// Control transfer to the DB peer.
+		var w rpc.Writer
+		w.I64(int64(next))
+		encodeStack(&w, outStack)
+		encodeSync(&w, c.Peer.Heap, c.Peer.takePending())
+		req := w.Buf
+		c.Peer.Metrics.Transfers++
+		c.Peer.Metrics.BytesSent += int64(len(req))
+		if c.Peer.Env != nil {
+			c.Peer.Env.TransferSend(pdg.App, len(req))
+		}
+		resp, err := c.Remote.Call(req)
+		if err != nil {
+			return val.Value{}, fmt.Errorf("runtime: control transfer failed: %w", err)
+		}
+		c.Peer.Metrics.BytesRecv += int64(len(resp))
+		r := &rpc.Reader{Buf: resp}
+		respDone := r.Bool()
+		if respDone {
+			retv := r.Val()
+			if err := applySync(r, c.Peer.Heap, c.Peer.Prog.Classes); err != nil {
+				return val.Value{}, err
+			}
+			if err := r.Err(); err != nil {
+				return val.Value{}, err
+			}
+			return retv, nil
+		}
+		b = compile.BlockID(int32(r.U32()))
+		stack, err = decodeStack(r, c.Peer.Prog)
+		if err != nil {
+			return val.Value{}, err
+		}
+		if err := applySync(r, c.Peer.Heap, c.Peer.Prog.Classes); err != nil {
+			return val.Value{}, err
+		}
+		if err := r.Err(); err != nil {
+			return val.Value{}, err
+		}
+	}
+}
+
+// Handler serves the DB side of the control-transfer protocol for one
+// client session.
+func Handler(p *Peer) rpc.Handler {
+	return func(req []byte) ([]byte, error) {
+		r := &rpc.Reader{Buf: req}
+		b := compile.BlockID(r.I64())
+		stack, err := decodeStack(r, p.Prog)
+		if err != nil {
+			return nil, err
+		}
+		if err := applySync(r, p.Heap, p.Prog.Classes); err != nil {
+			return nil, err
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		p.Metrics.BytesRecv += int64(len(req))
+
+		next, done, ret, outStack, err := p.Run(b, stack)
+		if err != nil {
+			return nil, err
+		}
+		var w rpc.Writer
+		w.Bool(done)
+		if done {
+			w.Val(ret)
+		} else {
+			w.U32(uint32(int32(next)))
+			encodeStack(&w, outStack)
+		}
+		encodeSync(&w, p.Heap, p.takePending())
+		p.Metrics.Transfers++
+		p.Metrics.BytesSent += int64(len(w.Buf))
+		if p.Env != nil {
+			p.Env.TransferSend(pdg.DB, len(w.Buf))
+		}
+		return w.Buf, nil
+	}
+}
+
+// Deployment bundles a complete single-process deployment of one
+// partitioned program: an APP peer, a DB peer colocated with the
+// database, and the transports between them. It is the harness for
+// tests, benchmarks, and the in-process examples; cmd/pyxis-dbserver
+// and cmd/pyxis-app wire the same pieces over real TCP.
+type Deployment struct {
+	Prog    *compile.Program
+	App     *Peer
+	DBPeer  *Peer
+	Client  *Client
+	DB      *sqldb.DB
+	ctlWire *rpc.InProc
+	dbWire  *rpc.InProc
+}
+
+// Options configures NewDeployment.
+type Options struct {
+	// RTT is the emulated round-trip time injected into both the
+	// control-transfer wire and the APP-side database wire.
+	RTT time.Duration
+	// Out receives sys.print output (APP side).
+	Out io.Writer
+	// Env is the cost-accounting environment (simulation).
+	Env Env
+}
+
+// NewDeployment wires a compiled program to a database entirely
+// in-process.
+func NewDeployment(prog *compile.Program, db *sqldb.DB, opts Options) *Deployment {
+	dbPeer := NewPeer(prog, pdg.DB, dbapi.NewLocal(db), opts.Out)
+	dbPeer.Env = opts.Env
+
+	dbWire := rpc.NewInProc(dbapi.NewHandler(db), opts.RTT)
+	appPeer := NewPeer(prog, pdg.App, dbapi.NewClient(dbWire), opts.Out)
+	appPeer.Env = opts.Env
+
+	ctlWire := rpc.NewInProc(Handler(dbPeer), opts.RTT)
+	return &Deployment{
+		Prog:    prog,
+		App:     appPeer,
+		DBPeer:  dbPeer,
+		Client:  &Client{Peer: appPeer, Remote: ctlWire},
+		DB:      db,
+		ctlWire: ctlWire,
+		dbWire:  dbWire,
+	}
+}
+
+// WireStats returns (control transfers, app-side DB calls) transport
+// statistics.
+func (d *Deployment) WireStats() (ctl rpc.Stats, db rpc.Stats) {
+	return d.ctlWire.Stats(), d.dbWire.Stats()
+}
+
+// TotalBytes returns all bytes moved between the two servers: control
+// transfers plus APP-side database traffic.
+func (d *Deployment) TotalBytes() int64 {
+	c, db := d.WireStats()
+	return c.BytesSent + c.BytesRecv + db.BytesSent + db.BytesRecv
+}

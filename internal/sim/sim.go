@@ -1,0 +1,307 @@
+// Package sim is a deterministic process-based discrete-event
+// simulator: goroutines act as simulated processes but exactly one
+// runs at a time, handing a baton back to the scheduler whenever they
+// touch virtual time. It models the paper's two-server testbed — c-core
+// CPU pools with FIFO queues, a fixed-RTT bandwidth-limited link — so
+// the evaluation's latency/throughput/CPU/network curves can be
+// regenerated deterministically on one machine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Proc is a simulated process. Its methods must only be called from
+// within the process's own goroutine (started via Engine.Spawn).
+type Proc struct {
+	eng    *Engine
+	resume chan struct{}
+	parked bool
+}
+
+type event struct {
+	t   float64
+	seq int64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine owns virtual time and the runnable-event queue.
+type Engine struct {
+	now    float64
+	events eventHeap
+	seq    int64
+	yield  chan struct{}
+	// Live counts spawned-but-unfinished processes, for leak detection.
+	Live int
+}
+
+// New creates an engine at time zero.
+func New() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+func (e *Engine) schedule(p *Proc, t float64) {
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+}
+
+// Spawn starts fn as a simulated process at time `at` (use e.Now() for
+// immediately). It may be called before Run or from inside a process.
+func (e *Engine) Spawn(at float64, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, resume: make(chan struct{})}
+	e.Live++
+	go func() {
+		<-p.resume // wait for first scheduling
+		fn(p)
+		e.Live--
+		e.yield <- struct{}{} // process finished; return the baton
+	}()
+	e.schedule(p, at)
+	return p
+}
+
+// Run advances virtual time until the event queue empties or `until`
+// is reached, and returns the final time.
+func (e *Engine) Run(until float64) float64 {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.t > until {
+			heap.Push(&e.events, ev)
+			e.now = until
+			return e.now
+		}
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		ev.p.parked = false
+		ev.p.resume <- struct{}{} // wake the process
+		<-e.yield                 // wait for it to park/sleep/finish
+	}
+	return e.now
+}
+
+// park returns the baton to the engine and blocks until rescheduled.
+func (p *Proc) park() {
+	p.parked = true
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances this process by d seconds of virtual time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: bad sleep duration %g", d))
+	}
+	p.eng.schedule(p, p.eng.now+d)
+	p.park()
+}
+
+// Now returns current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Park blocks until another process calls Wake. (Used for lock waits.)
+func (p *Proc) Park() { p.park() }
+
+// Wake schedules a parked process to resume at the current time. Must
+// be called by the process currently holding the baton.
+func (p *Proc) Wake(target *Proc) {
+	p.eng.schedule(target, p.eng.now)
+}
+
+// WaitPoint adapts Park/Wake to the sqldb lock manager's wait-point
+// contract: wait parks this process; wake (called by the lock releaser,
+// itself a simulated process) reschedules it.
+func (p *Proc) WaitPoint() (wait func(), wake func()) {
+	return func() { p.park() }, func() { p.eng.schedule(p, p.eng.now) }
+}
+
+// ---------------------------------------------------------------------------
+// Resources (CPU pools, serial locks)
+// ---------------------------------------------------------------------------
+
+// Resource is a c-server FIFO queue (a CPU pool when c = cores, a
+// mutex when c = 1). Busy time is tracked for utilization reporting.
+type Resource struct {
+	eng     *Engine
+	Name    string
+	Cap     int
+	inUse   int
+	waiters []*Proc
+
+	BusyTime  float64 // accumulated holder-seconds
+	resetAt   float64
+	busyReset float64
+}
+
+// NewResource creates a resource with cap servers.
+func (e *Engine) NewResource(name string, cap int) *Resource {
+	return &Resource{eng: e, Name: name, Cap: cap}
+}
+
+// Acquire takes one server, queueing FIFO if all are busy.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.Cap {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// Woken by Release with the server already transferred.
+}
+
+// Release frees one server, handing it to the first waiter if any.
+func (r *Resource) Release(p *Proc) {
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		p.eng.schedule(next, p.eng.now) // server passes directly to next
+		return
+	}
+	r.inUse--
+}
+
+// Use occupies one server for d seconds of virtual time.
+func (r *Resource) Use(p *Proc, d float64) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.BusyTime += d
+	r.Release(p)
+}
+
+// Utilization returns busy fraction (0..1) since the last ResetStats,
+// given the current time.
+func (r *Resource) Utilization() float64 {
+	window := r.eng.now - r.resetAt
+	if window <= 0 {
+		return 0
+	}
+	return (r.BusyTime - r.busyReset) / (window * float64(r.Cap))
+}
+
+// QueueLen returns the number of queued waiters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// ResetStats starts a fresh utilization window at the current time.
+func (r *Resource) ResetStats() {
+	r.resetAt = r.eng.now
+	r.busyReset = r.BusyTime
+}
+
+// ---------------------------------------------------------------------------
+// Network link
+// ---------------------------------------------------------------------------
+
+// Link models a symmetric network path with fixed one-way latency and
+// finite bandwidth. Transfer blocks the calling process for the
+// one-way delivery time of a message; a full request/response exchange
+// is two Transfers.
+type Link struct {
+	eng *Engine
+	// LatencyOneWay in seconds (RTT/2).
+	LatencyOneWay float64
+	// BandwidthBps in bytes/second.
+	BandwidthBps float64
+
+	Bytes    int64
+	Messages int64
+	resetAt  float64
+	bytesRst int64
+}
+
+// NewLink creates a link with the given RTT and bandwidth.
+func (e *Engine) NewLink(rtt float64, bwBps float64) *Link {
+	return &Link{eng: e, LatencyOneWay: rtt / 2, BandwidthBps: bwBps}
+}
+
+// Transfer delivers one message of the given size, blocking the caller
+// for propagation + serialization delay.
+func (l *Link) Transfer(p *Proc, bytes int) {
+	l.Bytes += int64(bytes)
+	l.Messages++
+	d := l.LatencyOneWay
+	if l.BandwidthBps > 0 {
+		d += float64(bytes) / l.BandwidthBps
+	}
+	p.Sleep(d)
+}
+
+// Throughput returns bytes/second since the last ResetStats.
+func (l *Link) Throughput() float64 {
+	window := l.eng.now - l.resetAt
+	if window <= 0 {
+		return 0
+	}
+	return float64(l.Bytes-l.bytesRst) / window
+}
+
+// ResetStats starts a fresh throughput window.
+func (l *Link) ResetStats() {
+	l.resetAt = l.eng.now
+	l.bytesRst = l.Bytes
+}
+
+// ---------------------------------------------------------------------------
+// Measurement helpers
+// ---------------------------------------------------------------------------
+
+// Hist collects samples for latency statistics.
+type Hist struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one sample.
+func (h *Hist) Add(v float64) {
+	h.xs = append(h.xs, v)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Hist) N() int { return len(h.xs) }
+
+// Mean returns the sample mean (0 if empty).
+func (h *Hist) Mean() float64 {
+	if len(h.xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range h.xs {
+		s += x
+	}
+	return s / float64(len(h.xs))
+}
+
+// P returns the q-quantile (0..1) by nearest rank.
+func (h *Hist) P(q float64) float64 {
+	if len(h.xs) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.xs)
+		h.sorted = true
+	}
+	i := int(q * float64(len(h.xs)-1))
+	return h.xs[i]
+}
+
+// Reset clears the samples.
+func (h *Hist) Reset() { h.xs = h.xs[:0]; h.sorted = false }

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := New()
+	var end float64
+	e.Spawn(0, func(p *Proc) {
+		p.Sleep(1.5)
+		p.Sleep(2.5)
+		end = p.Now()
+	})
+	e.Run(100)
+	if end != 4.0 {
+		t.Fatalf("end = %v, want 4.0", end)
+	}
+	if e.Live != 0 {
+		t.Fatalf("leaked %d processes", e.Live)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []int {
+		e := New()
+		var order []int
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Spawn(float64(i)*0.1, func(p *Proc) {
+				p.Sleep(float64(5-i) * 1.0)
+				order = append(order, i)
+			})
+		}
+		e.Run(100)
+		return order
+	}
+	a, b := run(), run()
+	want := []int{4, 3, 2, 1, 0} // i=4 sleeps 1s from t=0.4 → finishes first
+	for i := range want {
+		if a[i] != want[i] || b[i] != want[i] {
+			t.Fatalf("order = %v / %v, want %v", a, b, want)
+		}
+	}
+}
+
+// Single-server deterministic queue: utilization must equal λ·s and
+// waiting must appear once λ·s approaches 1.
+func TestResourceUtilizationClosedForm(t *testing.T) {
+	e := New()
+	cpu := e.NewResource("cpu", 1)
+	const service = 0.01
+	const interval = 0.025 // λ = 40/s ⇒ ρ = 0.4
+	for i := 0; i < 400; i++ {
+		at := float64(i) * interval
+		e.Spawn(at, func(p *Proc) { cpu.Use(p, service) })
+	}
+	end := e.Run(1e9)
+	util := cpu.BusyTime / end
+	if !almost(util, 0.4, 0.02) {
+		t.Fatalf("utilization = %v, want ≈0.4 (busy=%v end=%v)", util, cpu.BusyTime, end)
+	}
+}
+
+// Overloaded c-server queue: completion rate caps at c/service.
+func TestResourceSaturation(t *testing.T) {
+	e := New()
+	cpu := e.NewResource("cpu", 3)
+	const service = 0.01
+	done := 0
+	// Offered load 10× capacity.
+	for i := 0; i < 3000; i++ {
+		at := float64(i) * 0.0001
+		e.Spawn(at, func(p *Proc) {
+			cpu.Use(p, service)
+			done++
+		})
+	}
+	e.Run(1e9)
+	// 3000 jobs × 0.01s / 3 servers = 10s minimum.
+	if end := e.Now(); !almost(end, 10.0, 0.35) {
+		t.Fatalf("end = %v, want ≈10s", end)
+	}
+	if done != 3000 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestLinkLatencyAndBandwidth(t *testing.T) {
+	e := New()
+	l := e.NewLink(0.002, 1000) // RTT 2ms, 1000 B/s
+	var took float64
+	e.Spawn(0, func(p *Proc) {
+		start := p.Now()
+		l.Transfer(p, 500) // 1ms propagation + 0.5s serialization
+		took = p.Now() - start
+	})
+	e.Run(10)
+	if !almost(took, 0.501, 1e-9) {
+		t.Fatalf("transfer took %v, want 0.501", took)
+	}
+	if l.Bytes != 500 || l.Messages != 1 {
+		t.Fatalf("counters: %d bytes %d msgs", l.Bytes, l.Messages)
+	}
+}
+
+func TestParkWake(t *testing.T) {
+	e := New()
+	var waiter *Proc
+	got := -1.0
+	e.Spawn(0, func(p *Proc) {
+		waiter = p
+		p.Park()
+		got = p.Now()
+	})
+	e.Spawn(1, func(p *Proc) {
+		p.Sleep(2) // wake at t=3
+		p.Wake(waiter)
+	})
+	e.Run(100)
+	if got != 3.0 {
+		t.Fatalf("woken at %v, want 3.0", got)
+	}
+}
+
+func TestWaitPointWithResourceContention(t *testing.T) {
+	// Two processes serialize on a capacity-1 resource via WaitPoint
+	// semantics as sqldb would use them.
+	e := New()
+	res := e.NewResource("lock", 1)
+	var order []string
+	worker := func(name string, at, hold float64) {
+		e.Spawn(at, func(p *Proc) {
+			res.Acquire(p)
+			order = append(order, name+"-in")
+			p.Sleep(hold)
+			order = append(order, name+"-out")
+			res.Release(p)
+		})
+	}
+	worker("a", 0, 5)
+	worker("b", 1, 1)
+	e.Run(100)
+	want := []string{"a-in", "a-out", "b-in", "b-out"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Property: with one server and deterministic arrivals, the mean
+// latency is never below the service time and total busy time equals
+// jobs × service.
+func TestQueueingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		cpu := e.NewResource("cpu", 1+rng.Intn(4))
+		service := 0.001 + rng.Float64()*0.01
+		n := 50 + rng.Intn(100)
+		var h Hist
+		for i := 0; i < n; i++ {
+			at := rng.Float64() * 0.5
+			e.Spawn(at, func(p *Proc) {
+				t0 := p.Now()
+				cpu.Use(p, service)
+				h.Add(p.Now() - t0)
+			})
+		}
+		e.Run(1e9)
+		if h.N() != n {
+			return false
+		}
+		if h.Mean() < service-1e-12 {
+			return false
+		}
+		return almost(cpu.BusyTime, float64(n)*service, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if p := h.P(0.95); p < 94 || p > 97 {
+		t.Errorf("p95 = %v", p)
+	}
+	h.Reset()
+	if h.N() != 0 {
+		t.Error("reset failed")
+	}
+}

@@ -1,0 +1,80 @@
+package solver
+
+// Greedy is a local-search baseline: start from the all-APP partition
+// and repeatedly flip the single node whose move most reduces the cut
+// while keeping the load within budget, until no improving move
+// remains. Used in the solver-quality ablation; it finds the obvious
+// partitions but misses coordinated multi-node moves that min cut
+// captures.
+type Greedy struct {
+	// MaxPasses bounds the improvement loop (0 = 1000).
+	MaxPasses int
+}
+
+// Name implements Solver.
+func (g *Greedy) Name() string { return "greedy-local" }
+
+// Solve implements Solver.
+func (g *Greedy) Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if pinnedLoad(p) > p.Budget+1e-9 {
+		return nil, ErrInfeasible
+	}
+	maxPasses := g.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = 1000
+	}
+
+	assign := make([]bool, p.N)
+	for i, pin := range p.Pin {
+		assign[i] = pin == PinDB
+	}
+	adj := make([][]Edge, p.N)
+	for _, e := range p.Edges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], Edge{U: e.V, V: e.U, W: e.W})
+	}
+	obj, load := Evaluate(p, assign)
+
+	// flipGain returns the cut-weight reduction of flipping node i.
+	flipGain := func(i int) float64 {
+		gain := 0.0
+		for _, e := range adj[i] {
+			if assign[e.V] != assign[i] {
+				gain += e.W // currently cut, would heal
+			} else {
+				gain -= e.W // currently whole, would cut
+			}
+		}
+		return gain
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		bestI, bestGain := -1, 1e-12
+		for i := 0; i < p.N; i++ {
+			if p.Pin[i] != PinFree {
+				continue
+			}
+			if !assign[i] && load+p.NodeWeight[i] > p.Budget+1e-9 {
+				continue // can't move to DB
+			}
+			if gain := flipGain(i); gain > bestGain {
+				bestI, bestGain = i, gain
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		if assign[bestI] {
+			load -= p.NodeWeight[bestI]
+		} else {
+			load += p.NodeWeight[bestI]
+		}
+		assign[bestI] = !assign[bestI]
+		obj -= bestGain
+	}
+	obj, load = Evaluate(p, assign)
+	return &Solution{Assign: assign, Objective: obj, Load: load}, nil
+}

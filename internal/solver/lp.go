@@ -1,0 +1,242 @@
+package solver
+
+import (
+	"errors"
+	"math"
+)
+
+// This file implements a dense primal simplex for linear programs in
+// the inequality form
+//
+//	min c·x   s.t.  A·x ≤ b,  x ≥ 0,  b ≥ 0
+//
+// which is exactly the shape of the partition LP relaxation (all
+// right-hand sides are 0, 1, or the budget). Since b ≥ 0 the slack
+// basis is feasible and no phase-1 is needed; Bland's rule guarantees
+// termination.
+
+// ErrUnbounded reports an unbounded LP.
+var ErrUnbounded = errors.New("solver: LP unbounded")
+
+// ErrIterLimit reports that simplex hit its iteration cap.
+var ErrIterLimit = errors.New("solver: LP iteration limit exceeded")
+
+// SimplexSolve minimizes c·x subject to A·x ≤ b, x ≥ 0 (b ≥ 0
+// required). Returns the optimal x and objective.
+func SimplexSolve(c []float64, a [][]float64, b []float64, maxIter int) ([]float64, float64, error) {
+	m, n := len(a), len(c)
+	if maxIter == 0 {
+		maxIter = 20000
+	}
+	for _, bi := range b {
+		if bi < 0 {
+			return nil, 0, errors.New("solver: SimplexSolve requires b >= 0")
+		}
+	}
+	// Tableau: m rows × (n + m + 1) columns (vars, slacks, rhs).
+	width := n + m + 1
+	tab := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, width)
+		copy(tab[i], a[i])
+		tab[i][n+i] = 1
+		tab[i][width-1] = b[i]
+	}
+	// Cost row (reduced costs); minimize → keep c as-is and pick
+	// entering columns with negative reduced cost.
+	cost := make([]float64, width)
+	copy(cost, c)
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	const eps = 1e-9
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering variable: Bland's rule (lowest index with cost < 0).
+		enter := -1
+		for j := 0; j < n+m; j++ {
+			if cost[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			x := make([]float64, n)
+			obj := 0.0
+			for i, bi := range basis {
+				if bi < n {
+					x[bi] = tab[i][width-1]
+				}
+			}
+			for j := 0; j < n; j++ {
+				obj += c[j] * x[j]
+			}
+			return x, obj, nil
+		}
+		// Leaving variable: min ratio, ties by Bland (lowest basis idx).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > eps {
+				ratio := tab[i][width-1] / tab[i][enter]
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return nil, 0, ErrUnbounded
+		}
+		// Pivot.
+		piv := tab[leave][enter]
+		row := tab[leave]
+		for j := 0; j < width; j++ {
+			row[j] /= piv
+		}
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			f := tab[i][enter]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < width; j++ {
+				tab[i][j] -= f * row[j]
+			}
+		}
+		f := cost[enter]
+		for j := 0; j < n+m; j++ {
+			cost[j] -= f * row[j]
+		}
+		basis[leave] = enter
+	}
+	return nil, 0, ErrIterLimit
+}
+
+// LPRelaxation solves the fractional relaxation of the partitioning
+// BIP (node variables in [0,1]). Its objective is a lower bound on the
+// integer optimum; the fractional node values are also returned
+// (indexed like Problem nodes). Pins are eliminated by substitution
+// before the LP is formed:
+//
+//   - edge to a PinApp endpoint: the optimal edge variable equals n_v,
+//     so its weight moves onto n_v's objective coefficient;
+//   - edge to a PinDB endpoint: the optimal edge variable equals
+//     1 − n_v, contributing w − w·n_v (constant + negative coeff);
+//   - edges between two pins contribute a constant.
+func LPRelaxation(p *Problem) (lower float64, x []float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, err
+	}
+	// Map free nodes to LP variables.
+	varOf := make([]int, p.N)
+	nFree := 0
+	for i := 0; i < p.N; i++ {
+		if p.Pin[i] == PinFree {
+			varOf[i] = nFree
+			nFree++
+		} else {
+			varOf[i] = -1
+		}
+	}
+	pinVal := func(i int) float64 {
+		if p.Pin[i] == PinDB {
+			return 1
+		}
+		return 0
+	}
+
+	type freeEdge struct {
+		u, v int // LP var indices
+		w    float64
+	}
+	var fe []freeEdge
+	nodeCost := make([]float64, nFree)
+	constant := 0.0
+	for _, e := range p.Edges {
+		if e.W == 0 {
+			continue
+		}
+		up, vp := p.Pin[e.U] != PinFree, p.Pin[e.V] != PinFree
+		switch {
+		case up && vp:
+			if pinVal(e.U) != pinVal(e.V) {
+				constant += e.W
+			}
+		case up: // U pinned, V free
+			if pinVal(e.U) == 1 {
+				constant += e.W
+				nodeCost[varOf[e.V]] -= e.W
+			} else {
+				nodeCost[varOf[e.V]] += e.W
+			}
+		case vp: // V pinned, U free
+			if pinVal(e.V) == 1 {
+				constant += e.W
+				nodeCost[varOf[e.U]] -= e.W
+			} else {
+				nodeCost[varOf[e.U]] += e.W
+			}
+		default:
+			fe = append(fe, freeEdge{u: varOf[e.U], v: varOf[e.V], w: e.W})
+		}
+	}
+
+	// Variables: n_0..n_{nFree-1}, e_0..e_{len(fe)-1}.
+	nv := nFree + len(fe)
+	c := make([]float64, nv)
+	copy(c, nodeCost)
+	for k, e := range fe {
+		c[nFree+k] = e.w
+	}
+	var a [][]float64
+	var b []float64
+	row := func() []float64 { return make([]float64, nv) }
+	for k, e := range fe {
+		r1 := row()
+		r1[e.u], r1[e.v], r1[nFree+k] = 1, -1, -1 // n_u - n_v - e <= 0
+		a = append(a, r1)
+		b = append(b, 0)
+		r2 := row()
+		r2[e.v], r2[e.u], r2[nFree+k] = 1, -1, -1
+		a = append(a, r2)
+		b = append(b, 0)
+	}
+	// Budget over free nodes: Σ w_i n_i <= B - pinnedLoad.
+	rb := row()
+	for i := 0; i < p.N; i++ {
+		if varOf[i] >= 0 {
+			rb[varOf[i]] = p.NodeWeight[i]
+		}
+	}
+	remaining := p.Budget - pinnedLoad(p)
+	if remaining < 0 {
+		return 0, nil, ErrInfeasible
+	}
+	a = append(a, rb)
+	b = append(b, remaining)
+	// Upper bounds n_i <= 1 (needed because some costs are negative).
+	for i := 0; i < nFree; i++ {
+		r := row()
+		r[i] = 1
+		a = append(a, r)
+		b = append(b, 1)
+	}
+
+	xx, obj, err := SimplexSolve(c, a, b, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	nodes := make([]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		if varOf[i] >= 0 {
+			nodes[i] = xx[varOf[i]]
+		} else {
+			nodes[i] = pinVal(i)
+		}
+	}
+	return obj + constant, nodes, nil
+}

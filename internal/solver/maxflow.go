@@ -1,0 +1,118 @@
+package solver
+
+// dinic is a max-flow solver over a residual graph with float64
+// capacities, used to compute s-t min cuts of the partition graph.
+type dinic struct {
+	n     int
+	head  []int // adjacency list heads
+	to    []int
+	next  []int
+	cap_  []float64
+	level []int
+	iter  []int
+}
+
+const flowEps = 1e-12
+
+func newDinic(n int) *dinic {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &dinic{n: n, head: h}
+}
+
+// addEdge inserts a directed edge u→v with capacity c (and its reverse
+// residual with capacity rc — pass c for undirected cut edges).
+func (d *dinic) addEdge(u, v int, c, rc float64) {
+	d.to = append(d.to, v)
+	d.cap_ = append(d.cap_, c)
+	d.next = append(d.next, d.head[u])
+	d.head[u] = len(d.to) - 1
+
+	d.to = append(d.to, u)
+	d.cap_ = append(d.cap_, rc)
+	d.next = append(d.next, d.head[v])
+	d.head[v] = len(d.to) - 1
+}
+
+func (d *dinic) bfs(s, t int) bool {
+	d.level = make([]int, d.n)
+	for i := range d.level {
+		d.level[i] = -1
+	}
+	queue := []int{s}
+	d.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := d.head[u]; e != -1; e = d.next[e] {
+			if d.cap_[e] > flowEps && d.level[d.to[e]] < 0 {
+				d.level[d.to[e]] = d.level[u] + 1
+				queue = append(queue, d.to[e])
+			}
+		}
+	}
+	return d.level[t] >= 0
+}
+
+func (d *dinic) dfs(u, t int, f float64) float64 {
+	if u == t {
+		return f
+	}
+	for ; d.iter[u] != -1; d.iter[u] = d.next[d.iter[u]] {
+		e := d.iter[u]
+		v := d.to[e]
+		if d.cap_[e] > flowEps && d.level[v] == d.level[u]+1 {
+			got := d.dfs(v, t, minF(f, d.cap_[e]))
+			if got > flowEps {
+				d.cap_[e] -= got
+				d.cap_[e^1] += got
+				return got
+			}
+		}
+	}
+	return 0
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// maxflow computes the max s→t flow.
+func (d *dinic) maxflow(s, t int) float64 {
+	flow := 0.0
+	for d.bfs(s, t) {
+		d.iter = append([]int{}, d.head...)
+		for {
+			f := d.dfs(s, t, Inf)
+			if f <= flowEps {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// minCutSide returns which nodes remain reachable from s in the
+// residual graph (the source side of the min cut).
+func (d *dinic) minCutSide(s int) []bool {
+	side := make([]bool, d.n)
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := d.head[u]; e != -1; e = d.next[e] {
+			if d.cap_[e] > flowEps && !side[d.to[e]] {
+				side[d.to[e]] = true
+				stack = append(stack, d.to[e])
+			}
+		}
+	}
+	return side
+}

@@ -1,0 +1,387 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates every assignment (exact oracle for tiny
+// instances).
+func bruteForce(p *Problem) *Solution {
+	best := (*Solution)(nil)
+	assign := make([]bool, p.N)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == p.N {
+			if !Feasible(p, assign) {
+				return
+			}
+			obj, load := Evaluate(p, assign)
+			if best == nil || obj < best.Objective {
+				best = &Solution{Assign: append([]bool{}, assign...), Objective: obj, Load: load}
+			}
+			return
+		}
+		assign[i] = false
+		rec(i + 1)
+		assign[i] = true
+		rec(i + 1)
+	}
+	rec(0)
+	return best
+}
+
+func randomProblem(rng *rand.Rand, n int) *Problem {
+	p := &Problem{
+		N:          n,
+		NodeWeight: make([]float64, n),
+		Pin:        make([]int8, n),
+		Budget:     rng.Float64() * float64(n) * 2,
+	}
+	for i := 0; i < n; i++ {
+		p.NodeWeight[i] = rng.Float64() * 3
+		switch rng.Intn(6) {
+		case 0:
+			p.Pin[i] = PinApp
+		case 1:
+			p.Pin[i] = PinDB
+		default:
+			p.Pin[i] = PinFree
+		}
+	}
+	// Guarantee feasibility: budget covers pinned-DB load.
+	pinned := 0.0
+	for i := range p.Pin {
+		if p.Pin[i] == PinDB {
+			pinned += p.NodeWeight[i]
+		}
+	}
+	p.Budget += pinned
+	ne := rng.Intn(n * 2)
+	for k := 0; k < ne; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		p.Edges = append(p.Edges, Edge{U: u, V: v, W: rng.Float64() * 5})
+	}
+	return p
+}
+
+// TestBranchBoundMatchesBruteForce certifies the exact solver.
+func TestBranchBoundMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bb := &BranchBound{}
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng, 2+rng.Intn(8))
+		want := bruteForce(p)
+		got, err := bb.Solve(p)
+		if want == nil {
+			if err == nil {
+				t.Fatalf("trial %d: expected infeasible, got %v", trial, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-9 {
+			t.Fatalf("trial %d: bnb=%g brute=%g\nproblem=%+v", trial, got.Objective, want.Objective, p)
+		}
+		if !Feasible(p, got.Assign) {
+			t.Fatalf("trial %d: bnb solution infeasible", trial)
+		}
+	}
+}
+
+// TestMinCutNearOptimal: the Lagrangian min-cut solution is feasible
+// and its objective is within a small factor of the exact optimum on
+// random instances (and exactly optimal when the unconstrained cut
+// fits).
+func TestMinCutNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mc := &MinCutSolver{}
+	bb := &BranchBound{}
+	exactCount, total := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		p := randomProblem(rng, 2+rng.Intn(9))
+		want, err := bb.Solve(p)
+		if err != nil {
+			continue
+		}
+		got, err := mc.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !Feasible(p, got.Assign) {
+			t.Fatalf("trial %d: mincut solution infeasible (load=%g budget=%g)", trial, got.Load, p.Budget)
+		}
+		if got.Objective < want.Objective-1e-9 {
+			t.Fatalf("trial %d: mincut %g beats exact %g — exact solver broken", trial, got.Objective, want.Objective)
+		}
+		total++
+		if got.Objective <= want.Objective+1e-9 {
+			exactCount++
+		}
+		if got.Optimal && math.Abs(got.Objective-want.Objective) > 1e-9 {
+			t.Fatalf("trial %d: mincut claimed optimality at %g but exact is %g", trial, got.Objective, want.Objective)
+		}
+	}
+	if exactCount*10 < total*7 {
+		t.Errorf("mincut exact on only %d/%d instances; expected >= 70%%", exactCount, total)
+	}
+}
+
+func TestGreedyFeasibleAndSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := &Greedy{}
+	bb := &BranchBound{}
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng, 2+rng.Intn(9))
+		want, err := bb.Solve(p)
+		if err != nil {
+			continue
+		}
+		got, err := g.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !Feasible(p, got.Assign) {
+			t.Fatalf("trial %d: greedy infeasible", trial)
+		}
+		if got.Objective < want.Objective-1e-9 {
+			t.Fatalf("trial %d: greedy %g beats exact %g", trial, got.Objective, want.Objective)
+		}
+	}
+}
+
+// TestLPLowerBound: the LP relaxation never exceeds the integer
+// optimum.
+func TestLPLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	bb := &BranchBound{}
+	for trial := 0; trial < 80; trial++ {
+		p := randomProblem(rng, 2+rng.Intn(7))
+		want, err := bb.Solve(p)
+		if err != nil {
+			continue
+		}
+		lower, x, err := LPRelaxation(p)
+		if err != nil {
+			t.Fatalf("trial %d: LP: %v", trial, err)
+		}
+		if lower > want.Objective+1e-6 {
+			t.Fatalf("trial %d: LP bound %g exceeds integer optimum %g", trial, lower, want.Objective)
+		}
+		for i, xi := range x {
+			if xi < -1e-9 || xi > 1+1e-9 {
+				t.Fatalf("trial %d: x[%d]=%g out of [0,1]", trial, i, xi)
+			}
+			if p.Pin[i] == PinApp && xi > 1e-9 {
+				t.Fatalf("trial %d: PinApp violated (x=%g)", trial, xi)
+			}
+			if p.Pin[i] == PinDB && xi < 1-1e-9 {
+				t.Fatalf("trial %d: PinDB violated (x=%g)", trial, xi)
+			}
+		}
+	}
+}
+
+// TestBudgetZeroDegenerate: with budget 0 every solver returns the
+// all-APP partition (paper §4.3's degenerate case).
+func TestBudgetZeroDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		p := randomProblem(rng, 3+rng.Intn(6))
+		p.Budget = 0
+		for i := range p.Pin {
+			if p.Pin[i] == PinDB {
+				p.Pin[i] = PinFree // make budget 0 feasible
+			}
+			if p.NodeWeight[i] == 0 {
+				p.NodeWeight[i] = 0.1
+			}
+		}
+		for _, s := range []Solver{&MinCutSolver{}, &BranchBound{}, &Greedy{}} {
+			sol, err := s.Solve(p)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			for i, a := range sol.Assign {
+				if a {
+					t.Fatalf("%s: node %d on DB despite zero budget", s.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+func TestInfeasiblePins(t *testing.T) {
+	p := &Problem{
+		N:          2,
+		NodeWeight: []float64{5, 1},
+		Budget:     1,
+		Pin:        []int8{PinDB, PinFree},
+	}
+	for _, s := range []Solver{&MinCutSolver{}, &BranchBound{}, &Greedy{}} {
+		if _, err := s.Solve(p); err == nil {
+			t.Errorf("%s: expected infeasible error", s.Name())
+		}
+	}
+}
+
+func TestUnconstrainedIsPureMinCut(t *testing.T) {
+	// A classic two-terminal cut: pins at the ends, chain of edges;
+	// with infinite budget the solver must cut the cheapest edge.
+	p := &Problem{
+		N:          4,
+		NodeWeight: []float64{1, 1, 1, 1},
+		Budget:     100,
+		Pin:        []int8{PinApp, PinFree, PinFree, PinDB},
+		Edges: []Edge{
+			{U: 0, V: 1, W: 5},
+			{U: 1, V: 2, W: 1}, // cheapest: the cut should land here
+			{U: 2, V: 3, W: 7},
+		},
+	}
+	sol, err := (&MinCutSolver{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 1 {
+		t.Fatalf("objective = %g, want 1", sol.Objective)
+	}
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if sol.Assign[i] != want[i] {
+			t.Fatalf("assign = %v, want %v", sol.Assign, want)
+		}
+	}
+	if !sol.Optimal {
+		t.Error("unconstrained fit should be flagged optimal")
+	}
+}
+
+func TestSimplexBasics(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  (min -x-y)
+	x, obj, err := SimplexSolve(
+		[]float64{-1, -1},
+		[][]float64{{1, 2}, {3, 1}},
+		[]float64{4, 6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-(-2.8)) > 1e-9 {
+		t.Fatalf("obj = %g, want -2.8", obj)
+	}
+	if math.Abs(x[0]-1.6) > 1e-9 || math.Abs(x[1]-1.2) > 1e-9 {
+		t.Fatalf("x = %v, want [1.6 1.2]", x)
+	}
+
+	// Unbounded: min -x with no constraints on x.
+	_, _, err = SimplexSolve([]float64{-1}, [][]float64{{0}}, []float64{1}, 0)
+	if err != ErrUnbounded {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+}
+
+// Property: simplex optimum is no worse than any random feasible point.
+func TestSimplexDominatesRandomFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(3), 2+rng.Intn(3)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64()*4 - 1
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Float64() * 2
+			}
+			b[i] = rng.Float64() * 5
+		}
+		// Bound the polytope so negative costs stay bounded.
+		for j := 0; j < n; j++ {
+			r := make([]float64, n)
+			r[j] = 1
+			a = append(a, r)
+			b = append(b, 10)
+		}
+		x, obj, err := SimplexSolve(c, a, b, 0)
+		if err != nil {
+			return false
+		}
+		_ = x
+		// Sample feasible points; none may beat the simplex objective.
+		for trial := 0; trial < 50; trial++ {
+			pt := make([]float64, n)
+			for j := range pt {
+				pt[j] = rng.Float64() * 2
+			}
+			feas := true
+			for i := range a {
+				s := 0.0
+				for j := range pt {
+					s += a[i][j] * pt[j]
+				}
+				if s > b[i]+1e-9 {
+					feas = false
+					break
+				}
+			}
+			if !feas {
+				continue
+			}
+			v := 0.0
+			for j := range pt {
+				v += c[j] * pt[j]
+			}
+			if v < obj-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDinicClassic(t *testing.T) {
+	// Known max-flow instance: s=0, t=5.
+	d := newDinic(6)
+	add := func(u, v int, c float64) { d.addEdge(u, v, c, 0) }
+	add(0, 1, 16)
+	add(0, 2, 13)
+	add(1, 2, 10)
+	add(2, 1, 4)
+	add(1, 3, 12)
+	add(3, 2, 9)
+	add(2, 4, 14)
+	add(4, 3, 7)
+	add(3, 5, 20)
+	add(4, 5, 4)
+	if got := d.maxflow(0, 5); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("maxflow = %g, want 23", got)
+	}
+	side := d.minCutSide(0)
+	if !side[0] || side[5] {
+		t.Error("cut side must contain s and exclude t")
+	}
+}
+
+func TestBranchBoundTooLarge(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(1)), 40)
+	for i := range p.Pin {
+		p.Pin[i] = PinFree
+	}
+	bb := &BranchBound{MaxNodes: 10}
+	if _, err := bb.Solve(p); err != ErrTooLarge {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}

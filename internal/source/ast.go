@@ -1,0 +1,424 @@
+// Package source implements PyxJ, the small Java-like application
+// language that Pyxis partitions. It provides the lexer, parser,
+// resolved AST, type checker and pretty-printer. Every statement and
+// field declaration carries a stable NodeID; the partition graph,
+// profiler, placements and PyxIL all key off those IDs.
+package source
+
+// NodeID identifies a partitionable program element: a statement, a
+// field declaration, or a synthetic node (method entry, database code).
+type NodeID int
+
+// NoNode is the zero NodeID, used for "no node assigned".
+const NoNode NodeID = 0
+
+// Program is a checked PyxJ compilation unit.
+type Program struct {
+	Classes []*Class
+
+	classByName map[string]*Class
+
+	// Stmts maps every statement NodeID to its statement. Populated by
+	// the checker. Entries exist only for IDs that are statements.
+	Stmts map[NodeID]Stmt
+	// Fields maps field NodeIDs to field declarations.
+	Fields map[NodeID]*Field
+	// MethodEntries maps synthetic method-entry NodeIDs to methods.
+	MethodEntries map[NodeID]*Method
+
+	// MaxNode is the largest NodeID allocated (IDs are 1..MaxNode).
+	MaxNode NodeID
+}
+
+// Class looks up a class by name, or nil.
+func (p *Program) Class(name string) *Class { return p.classByName[name] }
+
+// EntryMethods returns all methods marked with the `entry` modifier,
+// in declaration order.
+func (p *Program) EntryMethods() []*Method {
+	var out []*Method
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			if m.Entry {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// Method resolves "Class.method", or nil.
+func (p *Program) Method(class, method string) *Method {
+	c := p.Class(class)
+	if c == nil {
+		return nil
+	}
+	return c.MethodByName(method)
+}
+
+// Class is a PyxJ class declaration.
+type Class struct {
+	Name    string
+	Fields  []*Field
+	Methods []*Method
+	Pos     Pos
+
+	fieldByName  map[string]*Field
+	methodByName map[string]*Method
+}
+
+// FieldByName looks up a declared field, or nil.
+func (c *Class) FieldByName(name string) *Field { return c.fieldByName[name] }
+
+// MethodByName looks up a declared method, or nil.
+func (c *Class) MethodByName(name string) *Method { return c.methodByName[name] }
+
+// Field is a field declaration. Its NodeID is a field node in the
+// partition graph; the solver assigns it a placement (where the
+// authoritative copy lives).
+type Field struct {
+	ID    NodeID
+	Name  string
+	Type  Type
+	Class *Class
+	Index int // ordinal within the class declaration
+	Pos   Pos
+}
+
+// QName returns "Class.field".
+func (f *Field) QName() string { return f.Class.Name + "." + f.Name }
+
+// Method is a method declaration. EntryID is a synthetic partition
+// graph node representing the method prologue; interprocedural control
+// and parameter-data edges attach to it.
+type Method struct {
+	Name    string
+	Class   *Class
+	Params  []*Local
+	Ret     Type
+	Body    *Block
+	Entry   bool // declared with the `entry` modifier
+	EntryID NodeID
+	Pos     Pos
+
+	// Locals lists every local variable in the method (parameters
+	// first), slot-numbered for the block compiler. Populated by the
+	// checker.
+	Locals []*Local
+	// IsCtor marks constructors (methods named after their class).
+	IsCtor bool
+}
+
+// QName returns "Class.method".
+func (m *Method) QName() string { return m.Class.Name + "." + m.Name }
+
+// Local is a local variable or parameter.
+type Local struct {
+	Name  string
+	Type  Type
+	Slot  int  // frame slot assigned by the checker
+	Param bool // true for parameters
+	Pos   Pos
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Stmt is a PyxJ statement. All statements have a NodeID and position.
+type Stmt interface {
+	ID() NodeID
+	StmtPos() Pos
+	stmtNode()
+}
+
+type stmtBase struct {
+	NID NodeID
+	Pos Pos
+}
+
+func (s *stmtBase) ID() NodeID   { return s.NID }
+func (s *stmtBase) StmtPos() Pos { return s.Pos }
+func (s *stmtBase) stmtNode()    {}
+
+// Block is a brace-delimited statement list. Blocks themselves are not
+// partition-graph nodes; their contained statements are.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// DeclStmt declares (and optionally initializes) a local variable.
+type DeclStmt struct {
+	stmtBase
+	Local *Local
+	Init  Expr // may be nil
+}
+
+// AssignOp is the operator of an assignment statement.
+type AssignOp uint8
+
+const (
+	AsnSet AssignOp = iota // =
+	AsnAdd                 // +=
+	AsnSub                 // -=
+	AsnMul                 // *=
+	AsnDiv                 // /=
+)
+
+func (op AssignOp) String() string {
+	switch op {
+	case AsnSet:
+		return "="
+	case AsnAdd:
+		return "+="
+	case AsnSub:
+		return "-="
+	case AsnMul:
+		return "*="
+	case AsnDiv:
+		return "/="
+	}
+	return "?="
+}
+
+// AssignStmt assigns to a variable, field, or array element.
+// x++ / x-- parse as x += 1 / x -= 1.
+type AssignStmt struct {
+	stmtBase
+	LHS Expr // VarExpr, FieldExpr, or IndexExpr
+	Op  AssignOp
+	RHS Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (method call
+// or builtin call).
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// IfStmt is a two-way branch. Its NodeID denotes the condition
+// evaluation; body statements are control-dependent on it.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+// WhileStmt is a pre-test loop; its NodeID denotes the condition.
+// C-style for loops are desugared to while by the parser.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body *Block
+}
+
+// ForEachStmt iterates over the elements of an array, binding each to
+// Var. Its NodeID denotes the loop header (Fig. 2 line 17 style).
+type ForEachStmt struct {
+	stmtBase
+	Var  *Local
+	Arr  Expr
+	Body *Block
+}
+
+// ReturnStmt exits the enclosing method.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // nil for void returns
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	stmtBase
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is a PyxJ expression. Types are attached by the checker.
+type Expr interface {
+	Type() Type
+	exprNode()
+}
+
+type exprBase struct {
+	T Type
+}
+
+func (e *exprBase) Type() Type { return e.T }
+func (e *exprBase) exprNode()  {}
+
+// Lit is an int, double, bool, string, or null literal.
+type Lit struct {
+	exprBase
+	I int64
+	F float64
+	S string
+	B bool
+}
+
+// VarExpr references a local variable or parameter.
+type VarExpr struct {
+	exprBase
+	Local *Local
+	Name  string
+}
+
+// ThisExpr references the receiver object.
+type ThisExpr struct {
+	exprBase
+}
+
+// FieldExpr reads (or, as an assignment target, writes) recv.field.
+type FieldExpr struct {
+	exprBase
+	Recv  Expr
+	Field *Field
+	Name  string
+}
+
+// IndexExpr reads (or writes) arr[idx].
+type IndexExpr struct {
+	exprBase
+	Arr, Idx Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd // && (short-circuit)
+	OpOr  // || (short-circuit)
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	exprBase
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+const (
+	OpNeg UnOp = iota // -x
+	OpNot             // !x
+)
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	exprBase
+	Op UnOp
+	X  Expr
+}
+
+// ConvExpr is an implicit int→double widening inserted by the checker.
+type ConvExpr struct {
+	exprBase
+	X Expr
+}
+
+// CallExpr invokes a user-defined method. Recv nil means an implicit
+// `this` call.
+type CallExpr struct {
+	exprBase
+	Recv   Expr // nil → this
+	Method *Method
+	Name   string
+	Args   []Expr
+}
+
+// NewObjectExpr allocates a class instance, optionally invoking a
+// constructor (a method named after the class). AllocID uniquely
+// identifies this allocation site for the points-to analysis.
+type NewObjectExpr struct {
+	exprBase
+	Class   *Class
+	Ctor    *Method // nil if the class has no constructor
+	Args    []Expr
+	AllocID int
+}
+
+// NewArrayExpr allocates an array of Len elements.
+type NewArrayExpr struct {
+	exprBase
+	Elem    Type
+	Len     Expr
+	AllocID int
+}
+
+// Builtin enumerates language built-ins: database access (the JDBC
+// analogue), console output, result-set accessors, and auxiliary
+// compute/string helpers.
+type Builtin uint8
+
+const (
+	BQuery     Builtin = iota // db.query(sql, args...) table
+	BUpdate                   // db.update(sql, args...) int
+	BBegin                    // db.begin()
+	BCommit                   // db.commit()
+	BRollback                 // db.rollback()
+	BPrint                    // sys.print(args...)  [pinned to APP]
+	BSha1                     // sys.sha1(int) int   [CPU-intensive work]
+	BStr                      // sys.str(x) string
+	BRows                     // t.rows() int
+	BGetInt                   // t.getInt(r, c) int
+	BGetDouble                // t.getDouble(r, c) double
+	BGetString                // t.getString(r, c) string
+	BLen                      // arr.length int
+)
+
+var builtinNames = [...]string{
+	"db.query", "db.update", "db.begin", "db.commit", "db.rollback",
+	"sys.print", "sys.sha1", "sys.str",
+	"rows", "getInt", "getDouble", "getString", "length",
+}
+
+func (b Builtin) String() string { return builtinNames[b] }
+
+// IsDB reports whether the builtin is a database (JDBC-like) call.
+// All such calls in a program are constrained to a single partition
+// (the driver holds unserializable connection state — paper §4.3).
+func (b Builtin) IsDB() bool { return b <= BRollback }
+
+// BuiltinExpr invokes a builtin. For BQuery/BUpdate, Args[0] is the
+// SQL string literal and the rest are parameters. For table accessors
+// and BLen, Recv is the table/array expression. AllocID is set for
+// BQuery (the returned table is an allocation site).
+type BuiltinExpr struct {
+	exprBase
+	B       Builtin
+	Recv    Expr // table/array receiver, nil otherwise
+	Args    []Expr
+	AllocID int
+}
+
+// SQLText returns the SQL string of a BQuery/BUpdate call.
+func (e *BuiltinExpr) SQLText() string {
+	if len(e.Args) > 0 {
+		if l, ok := e.Args[0].(*Lit); ok && l.T.K == KString {
+			return l.S
+		}
+	}
+	return ""
+}

@@ -1,0 +1,284 @@
+package source
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns PyxJ source text into tokens. It supports // line
+// comments and /* block */ comments, decimal int and float literals,
+// and double-quoted strings with \n \t \" \\ escapes.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (lx *Lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return fmt.Errorf("%s: unterminated block comment", start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// Next returns the next token, or an error for malformed input.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	p := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TEOF, Pos: p}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isAlpha(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: TIdent, Text: text, Pos: p}, nil
+	case isDigit(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		kind := TInt
+		if lx.peek() == '.' && isDigit(lx.peek2()) {
+			kind = TFloat
+			lx.advance()
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			save := *lx
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+			if isDigit(lx.peek()) {
+				kind = TFloat
+				for lx.off < len(lx.src) && isDigit(lx.peek()) {
+					lx.advance()
+				}
+			} else {
+				*lx = save
+			}
+		}
+		return Token{Kind: kind, Text: lx.src[start:lx.off], Pos: p}, nil
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return Token{}, fmt.Errorf("%s: unterminated string literal", p)
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if lx.off >= len(lx.src) {
+					return Token{}, fmt.Errorf("%s: unterminated escape", p)
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return Token{}, fmt.Errorf("%s: unknown escape \\%c", p, esc)
+				}
+				continue
+			}
+			if ch == '\n' {
+				return Token{}, fmt.Errorf("%s: newline in string literal", p)
+			}
+			b.WriteByte(ch)
+		}
+		return Token{Kind: TString, Text: b.String(), Pos: p}, nil
+	}
+
+	two := func(k TokKind) (Token, error) {
+		t := lx.src[lx.off : lx.off+2]
+		lx.advance()
+		lx.advance()
+		return Token{Kind: k, Text: t, Pos: p}, nil
+	}
+	one := func(k TokKind) (Token, error) {
+		t := string(lx.advance())
+		return Token{Kind: k, Text: t, Pos: p}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(TLParen)
+	case ')':
+		return one(TRParen)
+	case '{':
+		return one(TLBrace)
+	case '}':
+		return one(TRBrace)
+	case '[':
+		return one(TLBracket)
+	case ']':
+		return one(TRBracket)
+	case ';':
+		return one(TSemi)
+	case ',':
+		return one(TComma)
+	case '.':
+		return one(TDot)
+	case ':':
+		return one(TColon)
+	case '+':
+		switch lx.peek2() {
+		case '=':
+			return two(TPlusEq)
+		case '+':
+			return two(TPlusPlus)
+		}
+		return one(TPlus)
+	case '-':
+		switch lx.peek2() {
+		case '=':
+			return two(TMinusEq)
+		case '-':
+			return two(TMinusMinus)
+		}
+		return one(TMinus)
+	case '*':
+		if lx.peek2() == '=' {
+			return two(TStarEq)
+		}
+		return one(TStar)
+	case '/':
+		if lx.peek2() == '=' {
+			return two(TSlashEq)
+		}
+		return one(TSlash)
+	case '%':
+		return one(TPercent)
+	case '!':
+		if lx.peek2() == '=' {
+			return two(TNe)
+		}
+		return one(TNot)
+	case '=':
+		if lx.peek2() == '=' {
+			return two(TEq)
+		}
+		return one(TAssign)
+	case '<':
+		if lx.peek2() == '=' {
+			return two(TLe)
+		}
+		return one(TLt)
+	case '>':
+		if lx.peek2() == '=' {
+			return two(TGe)
+		}
+		return one(TGt)
+	case '&':
+		if lx.peek2() == '&' {
+			return two(TAndAnd)
+		}
+	case '|':
+		if lx.peek2() == '|' {
+			return two(TOrOr)
+		}
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", p, string(c))
+}
+
+// LexAll tokenizes the whole input (including the final EOF token).
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TEOF {
+			return toks, nil
+		}
+	}
+}

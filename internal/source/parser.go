@@ -1,0 +1,919 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser builds the PyxJ AST. Names are left unresolved; Check binds
+// them. Statement and field NodeIDs are assigned here (in source
+// order) and remain stable for the rest of the pipeline.
+type Parser struct {
+	toks      []Token
+	pos       int
+	nextNode  NodeID
+	nextAlloc int
+}
+
+// Parse lexes and parses src into an unchecked Program. Callers
+// normally use Load (parse + check) instead.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, nextNode: 1, nextAlloc: 1}
+	prog := &Program{classByName: map[string]*Class{}}
+	for p.cur().Kind != TEOF {
+		c, err := p.parseClass()
+		if err != nil {
+			return nil, err
+		}
+		if prog.classByName[c.Name] != nil {
+			return nil, fmt.Errorf("%s: duplicate class %s", c.Pos, c.Name)
+		}
+		prog.Classes = append(prog.Classes, c)
+		prog.classByName[c.Name] = c
+	}
+	prog.MaxNode = p.nextNode - 1
+	return prog, nil
+}
+
+// Load parses and type-checks src, returning a fully resolved program.
+func Load(src string) (*Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustLoad is Load but panics on error; intended for tests and
+// embedded benchmark sources that are known-good.
+func MustLoad(src string) *Program {
+	p, err := Load(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *Parser) peekAt(n int) Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) advance() Token {
+	t := p.cur()
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, fmt.Errorf("%s: expected %s, found %s %q", p.cur().Pos, k, p.cur().Kind, p.cur().Text)
+	}
+	return p.advance(), nil
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) newID() NodeID {
+	id := p.nextNode
+	p.nextNode++
+	return id
+}
+
+func (p *Parser) newAlloc() int {
+	id := p.nextAlloc
+	p.nextAlloc++
+	return id
+}
+
+func (p *Parser) base(pos Pos) stmtBase { return stmtBase{NID: p.newID(), Pos: pos} }
+
+// isTypeStart reports whether the token can begin a type.
+func isTypeStart(k TokKind) bool {
+	switch k {
+	case TKwInt, TKwDouble, TKwBool, TKwString, TKwVoid, TKwTable, TIdent:
+		return true
+	}
+	return false
+}
+
+// parseType parses a (possibly array) type. Class names resolve later.
+func (p *Parser) parseType() (Type, error) {
+	var t Type
+	switch p.cur().Kind {
+	case TKwInt:
+		t = IntT()
+	case TKwDouble:
+		t = DoubleT()
+	case TKwBool:
+		t = BoolT()
+	case TKwString:
+		t = StringT()
+	case TKwVoid:
+		t = VoidT()
+	case TKwTable:
+		t = TableT()
+	case TIdent:
+		// Unresolved class reference: record the name in a placeholder
+		// Class that the checker swaps for the real declaration.
+		t = Type{K: KClass, Class: &Class{Name: p.cur().Text}}
+	default:
+		return Type{}, fmt.Errorf("%s: expected type, found %q", p.cur().Pos, p.cur().Text)
+	}
+	p.advance()
+	for p.cur().Kind == TLBracket && p.peek().Kind == TRBracket {
+		p.advance()
+		p.advance()
+		t = ArrayT(t)
+	}
+	return t, nil
+}
+
+func (p *Parser) parseClass() (*Class, error) {
+	kw, err := p.expect(TKwClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TLBrace); err != nil {
+		return nil, err
+	}
+	c := &Class{Name: name.Text, Pos: kw.Pos,
+		fieldByName: map[string]*Field{}, methodByName: map[string]*Method{}}
+	for !p.accept(TRBrace) {
+		if p.cur().Kind == TEOF {
+			return nil, fmt.Errorf("%s: unexpected EOF in class %s", p.cur().Pos, c.Name)
+		}
+		if err := p.parseMember(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (p *Parser) parseMember(c *Class) error {
+	entry := p.accept(TKwEntry)
+	pos := p.cur().Pos
+
+	// Constructor: ClassName '(' with no preceding return type.
+	if p.cur().Kind == TIdent && p.cur().Text == c.Name && p.peek().Kind == TLParen {
+		name := p.advance()
+		m, err := p.parseMethodRest(c, name.Text, VoidT(), pos, entry)
+		if err != nil {
+			return err
+		}
+		m.IsCtor = true
+		return p.addMethod(c, m)
+	}
+
+	t, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return err
+	}
+	if p.cur().Kind == TLParen {
+		m, err := p.parseMethodRest(c, name.Text, t, pos, entry)
+		if err != nil {
+			return err
+		}
+		return p.addMethod(c, m)
+	}
+	if entry {
+		return fmt.Errorf("%s: `entry` modifier is only valid on methods", pos)
+	}
+	// Field declaration (initializers are not allowed on fields: their
+	// placement is decided by the solver, and initialization happens in
+	// constructors).
+	if p.cur().Kind == TAssign {
+		return fmt.Errorf("%s: field initializers are not supported; initialize %s.%s in a constructor", pos, c.Name, name.Text)
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return err
+	}
+	if c.fieldByName[name.Text] != nil {
+		return fmt.Errorf("%s: duplicate field %s.%s", pos, c.Name, name.Text)
+	}
+	f := &Field{ID: p.newID(), Name: name.Text, Type: t, Class: c, Index: len(c.Fields), Pos: pos}
+	c.Fields = append(c.Fields, f)
+	c.fieldByName[name.Text] = f
+	return nil
+}
+
+func (p *Parser) addMethod(c *Class, m *Method) error {
+	if c.methodByName[m.Name] != nil {
+		return fmt.Errorf("%s: duplicate method %s.%s", m.Pos, c.Name, m.Name)
+	}
+	c.Methods = append(c.Methods, m)
+	c.methodByName[m.Name] = m
+	return nil
+}
+
+func (p *Parser) parseMethodRest(c *Class, name string, ret Type, pos Pos, entry bool) (*Method, error) {
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	m := &Method{Name: name, Class: c, Ret: ret, Entry: entry, EntryID: p.newID(), Pos: pos}
+	for p.cur().Kind != TRParen {
+		if len(m.Params) > 0 {
+			if _, err := p.expect(TComma); err != nil {
+				return nil, err
+			}
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		m.Params = append(m.Params, &Local{Name: pn.Text, Type: pt, Param: true, Pos: pn.Pos})
+	}
+	p.advance() // ')'
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	m.Body = body
+	return m, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(TLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for !p.accept(TRBrace) {
+		if p.cur().Kind == TEOF {
+			return nil, fmt.Errorf("%s: unexpected EOF in block", p.cur().Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s...)
+	}
+	return b, nil
+}
+
+// blockOf wraps a statement list into a block (used for single
+// statement if/loop bodies so the rest of the pipeline sees blocks).
+func blockOf(pos Pos, ss []Stmt) *Block { return &Block{Stmts: ss, Pos: pos} }
+
+// parseStmt returns one or more statements (desugaring can produce
+// several, e.g. a C-style for's init statement).
+func (p *Parser) parseStmt() ([]Stmt, error) {
+	switch p.cur().Kind {
+	case TLBrace:
+		b, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return b.Stmts, nil
+	case TKwIf:
+		s, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{s}, nil
+	case TKwWhile:
+		pos := p.advance().Pos
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		base := p.base(pos)
+		body, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{&WhileStmt{stmtBase: base, Cond: cond, Body: body}}, nil
+	case TKwFor:
+		return p.parseFor()
+	case TKwReturn:
+		pos := p.advance().Pos
+		var x Expr
+		if p.cur().Kind != TSemi {
+			var err error
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return []Stmt{&ReturnStmt{stmtBase: p.base(pos), X: x}}, nil
+	case TKwBreak:
+		pos := p.advance().Pos
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return []Stmt{&BreakStmt{stmtBase: p.base(pos)}}, nil
+	}
+
+	if p.startsDecl() {
+		s, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return []Stmt{s}, nil
+	}
+
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+// startsDecl looks ahead to distinguish `T x ...` declarations from
+// expression statements. Patterns: builtin-type ..., Ident Ident,
+// Ident '[' ']' ....
+func (p *Parser) startsDecl() bool {
+	switch p.cur().Kind {
+	case TKwInt, TKwDouble, TKwBool, TKwString, TKwTable:
+		return true
+	case TIdent:
+		if p.peek().Kind == TIdent {
+			return true
+		}
+		if p.peek().Kind == TLBracket && p.peekAt(2).Kind == TRBracket {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) parseDecl() (Stmt, error) {
+	pos := p.cur().Pos
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	base := p.base(pos)
+	var init Expr
+	if p.accept(TAssign) {
+		init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &DeclStmt{stmtBase: base, Local: &Local{Name: name.Text, Type: t, Pos: pos}, Init: init}, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement
+// (without the trailing semicolon).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var op AssignOp
+	switch p.cur().Kind {
+	case TAssign:
+		op = AsnSet
+	case TPlusEq:
+		op = AsnAdd
+	case TMinusEq:
+		op = AsnSub
+	case TStarEq:
+		op = AsnMul
+	case TSlashEq:
+		op = AsnDiv
+	case TPlusPlus, TMinusMinus:
+		inc := p.advance()
+		op = AsnAdd
+		if inc.Kind == TMinusMinus {
+			op = AsnSub
+		}
+		one := &Lit{I: 1}
+		one.T = IntT()
+		return &AssignStmt{stmtBase: p.base(pos), LHS: lhs, Op: op, RHS: one}, nil
+	default:
+		return &ExprStmt{stmtBase: p.base(pos), X: lhs}, nil
+	}
+	p.advance()
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{stmtBase: p.base(pos), LHS: lhs, Op: op, RHS: rhs}, nil
+}
+
+func (p *Parser) parseStmtAsBlock() (*Block, error) {
+	pos := p.cur().Pos
+	ss, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return blockOf(pos, ss), nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.advance().Pos // 'if'
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	base := p.base(pos)
+	then, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els *Block
+	if p.accept(TKwElse) {
+		els, err = p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{stmtBase: base, Cond: cond, Then: then, Else: els}, nil
+}
+
+// parseFor handles both `for (T x : arr)` (foreach, kept as a node)
+// and C-style `for (init; cond; post)` which desugars to
+// { init; while (cond) { body...; post } }.
+func (p *Parser) parseFor() ([]Stmt, error) {
+	pos := p.advance().Pos // 'for'
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+
+	// foreach? `Type Ident :`
+	if p.looksForEach() {
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TColon); err != nil {
+			return nil, err
+		}
+		arr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		base := p.base(pos)
+		body, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{&ForEachStmt{stmtBase: base,
+			Var: &Local{Name: name.Text, Type: t, Pos: pos}, Arr: arr, Body: body}}, nil
+	}
+
+	// C-style.
+	var init Stmt
+	var err error
+	if p.cur().Kind != TSemi {
+		if p.startsDecl() {
+			init, err = p.parseDecl()
+		} else {
+			init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	var cond Expr
+	if p.cur().Kind != TSemi {
+		cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cond = &Lit{B: true}
+		cond.(*Lit).T = BoolT()
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	whileBase := p.base(pos)
+	var post Stmt
+	if p.cur().Kind != TRParen {
+		post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	if post != nil {
+		body.Stmts = append(body.Stmts, post)
+	}
+	w := &WhileStmt{stmtBase: whileBase, Cond: cond, Body: body}
+	if init != nil {
+		return []Stmt{init, w}, nil
+	}
+	return []Stmt{w}, nil
+}
+
+func (p *Parser) looksForEach() bool {
+	// Type Ident ':' — type may be a builtin or Ident with [] suffixes.
+	i := 0
+	if !isTypeStart(p.peekAt(i).Kind) {
+		return false
+	}
+	i++
+	for p.peekAt(i).Kind == TLBracket && p.peekAt(i+1).Kind == TRBracket {
+		i += 2
+	}
+	return p.peekAt(i).Kind == TIdent && p.peekAt(i+1).Kind == TColon
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TOrOr {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TAndAnd {
+		p.advance()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[TokKind]BinOp{
+	TEq: OpEq, TNe: OpNe, TLt: OpLt, TLe: OpLe, TGt: OpGt, TGe: OpGe,
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		p.advance()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TPlus || p.cur().Kind == TMinus {
+		op := OpAdd
+		if p.cur().Kind == TMinus {
+			op = OpSub
+		}
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case TStar:
+			op = OpMul
+		case TSlash:
+			op = OpDiv
+		case TPercent:
+			op = OpMod
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TMinus:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNeg, X: x}, nil
+	case TNot:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNot, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TDot:
+			p.advance()
+			name, err := p.expect(TIdent)
+			if err != nil {
+				return nil, err
+			}
+			if p.cur().Kind == TLParen {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				// Table accessors and method calls are disambiguated by
+				// the checker using the receiver type; parse as CallExpr.
+				x = &CallExpr{Recv: x, Name: name.Text, Args: args}
+			} else {
+				x = &FieldExpr{Recv: x, Name: name.Text}
+			}
+		case TLBracket:
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Arr: x, Idx: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.cur().Kind != TRParen {
+		if len(args) > 0 {
+			if _, err := p.expect(TComma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.advance()
+	return args, nil
+}
+
+var dbBuiltins = map[string]Builtin{
+	"query": BQuery, "update": BUpdate, "begin": BBegin,
+	"commit": BCommit, "rollback": BRollback,
+}
+
+var sysBuiltins = map[string]Builtin{
+	"print": BPrint, "sha1": BSha1, "str": BStr,
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TInt:
+		p.advance()
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad int literal %q", t.Pos, t.Text)
+		}
+		e := &Lit{I: i}
+		e.T = IntT()
+		return e, nil
+	case TFloat:
+		p.advance()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad float literal %q", t.Pos, t.Text)
+		}
+		e := &Lit{F: f}
+		e.T = DoubleT()
+		return e, nil
+	case TString:
+		p.advance()
+		e := &Lit{S: t.Text}
+		e.T = StringT()
+		return e, nil
+	case TKwTrue, TKwFalse:
+		p.advance()
+		e := &Lit{B: t.Kind == TKwTrue}
+		e.T = BoolT()
+		return e, nil
+	case TKwNull:
+		p.advance()
+		e := &Lit{}
+		e.T = NullT()
+		return e, nil
+	case TKwThis:
+		p.advance()
+		return &ThisExpr{}, nil
+	case TLParen:
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TKwNew:
+		return p.parseNew()
+	case TIdent:
+		// db.* and sys.* builtin namespaces.
+		if (t.Text == "db" || t.Text == "sys") && p.peek().Kind == TDot {
+			ns := t.Text
+			p.advance() // ns
+			p.advance() // '.'
+			name, err := p.expect(TIdent)
+			if err != nil {
+				return nil, err
+			}
+			var b Builtin
+			var ok bool
+			if ns == "db" {
+				b, ok = dbBuiltins[name.Text]
+			} else {
+				b, ok = sysBuiltins[name.Text]
+			}
+			if !ok {
+				return nil, fmt.Errorf("%s: unknown builtin %s.%s", name.Pos, ns, name.Text)
+			}
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			e := &BuiltinExpr{B: b, Args: args}
+			if b == BQuery {
+				e.AllocID = p.newAlloc()
+			}
+			return e, nil
+		}
+		p.advance()
+		if p.cur().Kind == TLParen {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.Text, Args: args}, nil // implicit this
+		}
+		return &VarExpr{Name: t.Text}, nil
+	}
+	return nil, fmt.Errorf("%s: unexpected token %q in expression", t.Pos, t.Text)
+}
+
+func (p *Parser) parseNew() (Expr, error) {
+	p.advance() // 'new'
+	pos := p.cur().Pos
+	var elem Type
+	switch p.cur().Kind {
+	case TKwInt:
+		elem = IntT()
+	case TKwDouble:
+		elem = DoubleT()
+	case TKwBool:
+		elem = BoolT()
+	case TKwString:
+		elem = StringT()
+	case TIdent:
+		elem = Type{K: KClass, Class: &Class{Name: p.cur().Text}}
+	default:
+		return nil, fmt.Errorf("%s: expected type after new", pos)
+	}
+	p.advance()
+	if p.cur().Kind == TLBracket {
+		p.advance()
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRBracket); err != nil {
+			return nil, err
+		}
+		return &NewArrayExpr{Elem: elem, Len: n, AllocID: p.newAlloc()}, nil
+	}
+	if elem.K != KClass {
+		return nil, fmt.Errorf("%s: new %s requires [length]", pos, elem)
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	return &NewObjectExpr{Class: elem.Class, Args: args, AllocID: p.newAlloc()}, nil
+}

@@ -1,0 +1,223 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the program back to PyxJ source. The output is
+// re-parseable and is the "normalized source" the rest of the
+// pipeline refers to. An optional annotate callback can prefix each
+// statement (PyxIL uses it to print :APP:/:DB: placements).
+func Print(p *Program) string { return PrintAnnotated(p, nil, nil) }
+
+// PrintAnnotated renders the program with per-statement prefix and
+// suffix annotations. Either callback may be nil.
+func PrintAnnotated(p *Program, prefix func(Stmt) string, suffix func(Stmt) []string) string {
+	pr := &printer{prefix: prefix, suffix: suffix}
+	for i, c := range p.Classes {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.class(c)
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+	prefix func(Stmt) string
+	suffix func(Stmt) []string
+}
+
+func (pr *printer) nl()           { pr.b.WriteByte('\n') }
+func (pr *printer) pad()          { pr.b.WriteString(strings.Repeat("    ", pr.indent)) }
+func (pr *printer) line(s string) { pr.pad(); pr.b.WriteString(s); pr.nl() }
+func (pr *printer) open(s string) { pr.line(s + " {"); pr.indent++ }
+func (pr *printer) close()        { pr.indent--; pr.line("}") }
+
+func (pr *printer) class(c *Class) {
+	pr.open("class " + c.Name)
+	for _, f := range c.Fields {
+		pr.line(fmt.Sprintf("%s %s;", f.Type, f.Name))
+	}
+	for _, m := range c.Methods {
+		pr.nl()
+		pr.method(m)
+	}
+	pr.close()
+}
+
+func (pr *printer) method(m *Method) {
+	var params []string
+	for _, p := range m.Params {
+		params = append(params, fmt.Sprintf("%s %s", p.Type, p.Name))
+	}
+	head := ""
+	if m.Entry {
+		head = "entry "
+	}
+	if m.IsCtor {
+		head += fmt.Sprintf("%s(%s)", m.Name, strings.Join(params, ", "))
+	} else {
+		head += fmt.Sprintf("%s %s(%s)", m.Ret, m.Name, strings.Join(params, ", "))
+	}
+	pr.open(head)
+	pr.stmts(m.Body)
+	pr.close()
+}
+
+func (pr *printer) stmts(b *Block) {
+	for _, s := range b.Stmts {
+		pr.stmt(s)
+	}
+}
+
+func (pr *printer) ann(s Stmt) string {
+	if pr.prefix == nil {
+		return ""
+	}
+	return pr.prefix(s)
+}
+
+func (pr *printer) post(s Stmt) {
+	if pr.suffix == nil {
+		return
+	}
+	for _, line := range pr.suffix(s) {
+		pr.line(line)
+	}
+}
+
+func (pr *printer) stmt(s Stmt) {
+	a := pr.ann(s)
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			pr.line(fmt.Sprintf("%s%s %s = %s;", a, st.Local.Type, st.Local.Name, ExprString(st.Init)))
+		} else {
+			pr.line(fmt.Sprintf("%s%s %s;", a, st.Local.Type, st.Local.Name))
+		}
+	case *AssignStmt:
+		pr.line(fmt.Sprintf("%s%s %s %s;", a, ExprString(st.LHS), st.Op, ExprString(st.RHS)))
+	case *ExprStmt:
+		pr.line(fmt.Sprintf("%s%s;", a, ExprString(st.X)))
+	case *IfStmt:
+		pr.pad()
+		pr.b.WriteString(fmt.Sprintf("%sif (%s) {\n", a, ExprString(st.Cond)))
+		pr.indent++
+		pr.stmts(st.Then)
+		pr.indent--
+		if st.Else != nil {
+			pr.line("} else {")
+			pr.indent++
+			pr.stmts(st.Else)
+			pr.indent--
+		}
+		pr.line("}")
+	case *WhileStmt:
+		pr.pad()
+		pr.b.WriteString(fmt.Sprintf("%swhile (%s) {\n", a, ExprString(st.Cond)))
+		pr.indent++
+		pr.stmts(st.Body)
+		pr.indent--
+		pr.line("}")
+	case *ForEachStmt:
+		pr.pad()
+		pr.b.WriteString(fmt.Sprintf("%sfor (%s %s : %s) {\n", a, st.Var.Type, st.Var.Name, ExprString(st.Arr)))
+		pr.indent++
+		pr.stmts(st.Body)
+		pr.indent--
+		pr.line("}")
+	case *ReturnStmt:
+		if st.X != nil {
+			pr.line(fmt.Sprintf("%sreturn %s;", a, ExprString(st.X)))
+		} else {
+			pr.line(a + "return;")
+		}
+	case *BreakStmt:
+		pr.line(a + "break;")
+	}
+	pr.post(s)
+}
+
+// ExprString renders an expression as PyxJ source.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Lit:
+		switch x.T.K {
+		case KInt:
+			return strconv.FormatInt(x.I, 10)
+		case KDouble:
+			s := strconv.FormatFloat(x.F, 'g', -1, 64)
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+			return s
+		case KString:
+			return strconv.Quote(x.S)
+		case KBool:
+			if x.B {
+				return "true"
+			}
+			return "false"
+		default:
+			return "null"
+		}
+	case *VarExpr:
+		return x.Name
+	case *ThisExpr:
+		return "this"
+	case *ConvExpr:
+		return ExprString(x.X)
+	case *FieldExpr:
+		if _, isThis := x.Recv.(*ThisExpr); isThis {
+			return x.Name
+		}
+		return ExprString(x.Recv) + "." + x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ExprString(x.Arr), ExprString(x.Idx))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.L), x.Op, ExprString(x.R))
+	case *UnaryExpr:
+		op := "-"
+		if x.Op == OpNot {
+			op = "!"
+		}
+		return op + ExprString(x.X)
+	case *CallExpr:
+		recv := ""
+		if x.Recv != nil {
+			if _, isThis := x.Recv.(*ThisExpr); !isThis {
+				recv = ExprString(x.Recv) + "."
+			}
+		}
+		return fmt.Sprintf("%s%s(%s)", recv, x.Name, argList(x.Args))
+	case *BuiltinExpr:
+		switch {
+		case x.B == BLen:
+			return ExprString(x.Recv) + ".length"
+		case x.Recv != nil:
+			return fmt.Sprintf("%s.%s(%s)", ExprString(x.Recv), x.B, argList(x.Args))
+		default:
+			return fmt.Sprintf("%s(%s)", x.B, argList(x.Args))
+		}
+	case *NewObjectExpr:
+		return fmt.Sprintf("new %s(%s)", x.Class.Name, argList(x.Args))
+	case *NewArrayExpr:
+		return fmt.Sprintf("new %s[%s]", x.Elem, ExprString(x.Len))
+	}
+	return "<?>"
+}
+
+func argList(args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = ExprString(a)
+	}
+	return strings.Join(parts, ", ")
+}

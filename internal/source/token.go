@@ -1,0 +1,126 @@
+package source
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds of PyxJ.
+type TokKind uint8
+
+const (
+	TEOF TokKind = iota
+	TIdent
+	TInt
+	TFloat
+	TString
+
+	// Punctuation and operators.
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TLBracket
+	TRBracket
+	TSemi
+	TComma
+	TDot
+	TColon
+	TAssign   // =
+	TPlusEq   // +=
+	TMinusEq  // -=
+	TStarEq   // *=
+	TSlashEq  // /=
+	TPlusPlus // ++
+	TMinusMinus
+	TPlus
+	TMinus
+	TStar
+	TSlash
+	TPercent
+	TNot
+	TEq // ==
+	TNe // !=
+	TLt
+	TLe
+	TGt
+	TGe
+	TAndAnd
+	TOrOr
+
+	// Keywords.
+	TKwClass
+	TKwEntry
+	TKwInt
+	TKwDouble
+	TKwBool
+	TKwString
+	TKwVoid
+	TKwTable
+	TKwIf
+	TKwElse
+	TKwWhile
+	TKwFor
+	TKwReturn
+	TKwBreak
+	TKwNew
+	TKwTrue
+	TKwFalse
+	TKwNull
+	TKwThis
+)
+
+var keywords = map[string]TokKind{
+	"class":  TKwClass,
+	"entry":  TKwEntry,
+	"int":    TKwInt,
+	"double": TKwDouble,
+	"bool":   TKwBool,
+	"string": TKwString,
+	"void":   TKwVoid,
+	"table":  TKwTable,
+	"if":     TKwIf,
+	"else":   TKwElse,
+	"while":  TKwWhile,
+	"for":    TKwFor,
+	"return": TKwReturn,
+	"break":  TKwBreak,
+	"new":    TKwNew,
+	"true":   TKwTrue,
+	"false":  TKwFalse,
+	"null":   TKwNull,
+	"this":   TKwThis,
+}
+
+var tokNames = map[TokKind]string{
+	TEOF: "EOF", TIdent: "identifier", TInt: "int literal", TFloat: "float literal",
+	TString: "string literal", TLParen: "(", TRParen: ")", TLBrace: "{", TRBrace: "}",
+	TLBracket: "[", TRBracket: "]", TSemi: ";", TComma: ",", TDot: ".", TColon: ":",
+	TAssign: "=", TPlusEq: "+=", TMinusEq: "-=", TStarEq: "*=", TSlashEq: "/=",
+	TPlusPlus: "++", TMinusMinus: "--", TPlus: "+", TMinus: "-", TStar: "*",
+	TSlash: "/", TPercent: "%", TNot: "!", TEq: "==", TNe: "!=", TLt: "<",
+	TLe: "<=", TGt: ">", TGe: ">=", TAndAnd: "&&", TOrOr: "||",
+	TKwClass: "class", TKwEntry: "entry", TKwInt: "int", TKwDouble: "double",
+	TKwBool: "bool", TKwString: "string", TKwVoid: "void", TKwTable: "table",
+	TKwIf: "if", TKwElse: "else", TKwWhile: "while", TKwFor: "for",
+	TKwReturn: "return", TKwBreak: "break", TKwNew: "new", TKwTrue: "true",
+	TKwFalse: "false", TKwNull: "null", TKwThis: "this",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its literal text and position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}

@@ -1,0 +1,121 @@
+package source
+
+import "pyxis/internal/val"
+
+// TypeKind enumerates PyxJ types.
+type TypeKind uint8
+
+const (
+	KVoid TypeKind = iota
+	KInt
+	KDouble
+	KBool
+	KString
+	KNull  // the type of the null literal
+	KClass // user-defined class
+	KArray // element type in Elem
+	KTable // database query result
+)
+
+// Type is a PyxJ static type. Class types carry their resolved *Class;
+// array types carry the element type.
+type Type struct {
+	K     TypeKind
+	Class *Class
+	Elem  *Type
+}
+
+// Named type constructors.
+
+func VoidT() Type          { return Type{K: KVoid} }
+func IntT() Type           { return Type{K: KInt} }
+func DoubleT() Type        { return Type{K: KDouble} }
+func BoolT() Type          { return Type{K: KBool} }
+func StringT() Type        { return Type{K: KString} }
+func NullT() Type          { return Type{K: KNull} }
+func TableT() Type         { return Type{K: KTable} }
+func ClassT(c *Class) Type { return Type{K: KClass, Class: c} }
+func ArrayT(elem Type) Type {
+	e := elem
+	return Type{K: KArray, Elem: &e}
+}
+
+// Equal reports structural type equality.
+func (t Type) Equal(o Type) bool {
+	if t.K != o.K {
+		return false
+	}
+	switch t.K {
+	case KClass:
+		return t.Class == o.Class
+	case KArray:
+		return t.Elem.Equal(*o.Elem)
+	}
+	return true
+}
+
+// IsRef reports whether values of this type live on the heap.
+func (t Type) IsRef() bool {
+	return t.K == KClass || t.K == KArray || t.K == KTable || t.K == KNull
+}
+
+// IsNumeric reports int or double.
+func (t Type) IsNumeric() bool { return t.K == KInt || t.K == KDouble }
+
+// AssignableFrom reports whether a value of type src may be assigned
+// to a location of type t (identical types, null→ref, int→double).
+func (t Type) AssignableFrom(src Type) bool {
+	if t.Equal(src) {
+		return true
+	}
+	if t.K == KDouble && src.K == KInt {
+		return true
+	}
+	if t.IsRef() && src.K == KNull {
+		return true
+	}
+	return false
+}
+
+// Zero returns the zero value of the type.
+func (t Type) Zero() val.Value {
+	switch t.K {
+	case KInt:
+		return val.IntV(0)
+	case KDouble:
+		return val.DoubleV(0)
+	case KBool:
+		return val.BoolV(false)
+	case KString:
+		return val.StrV("")
+	default:
+		return val.NullV()
+	}
+}
+
+func (t Type) String() string {
+	switch t.K {
+	case KVoid:
+		return "void"
+	case KInt:
+		return "int"
+	case KDouble:
+		return "double"
+	case KBool:
+		return "bool"
+	case KString:
+		return "string"
+	case KNull:
+		return "null"
+	case KTable:
+		return "table"
+	case KClass:
+		if t.Class != nil {
+			return t.Class.Name
+		}
+		return "<class>"
+	case KArray:
+		return t.Elem.String() + "[]"
+	}
+	return "<?>"
+}

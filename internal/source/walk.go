@@ -1,0 +1,134 @@
+package source
+
+// WalkStmts invokes fn on every statement in the block, in source
+// order, recursing into nested blocks and loop/if bodies. If fn
+// returns false, children of that statement are skipped.
+func WalkStmts(b *Block, fn func(Stmt) bool) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		walkStmt(s, fn)
+	}
+}
+
+func walkStmt(s Stmt, fn func(Stmt) bool) {
+	if !fn(s) {
+		return
+	}
+	switch st := s.(type) {
+	case *IfStmt:
+		WalkStmts(st.Then, fn)
+		WalkStmts(st.Else, fn)
+	case *WhileStmt:
+		WalkStmts(st.Body, fn)
+	case *ForEachStmt:
+		WalkStmts(st.Body, fn)
+	}
+}
+
+// WalkMethodStmts walks all statements of a method body.
+func WalkMethodStmts(m *Method, fn func(Stmt) bool) { WalkStmts(m.Body, fn) }
+
+// WalkExprs invokes fn on every expression in the statement (not
+// recursing into nested statements), in evaluation order, including
+// sub-expressions (parents after children is NOT guaranteed; fn is
+// called on the node before its children).
+func WalkExprs(s Stmt, fn func(Expr)) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		walkExpr(st.Init, fn)
+	case *AssignStmt:
+		walkExpr(st.LHS, fn)
+		walkExpr(st.RHS, fn)
+	case *ExprStmt:
+		walkExpr(st.X, fn)
+	case *IfStmt:
+		walkExpr(st.Cond, fn)
+	case *WhileStmt:
+		walkExpr(st.Cond, fn)
+	case *ForEachStmt:
+		walkExpr(st.Arr, fn)
+	case *ReturnStmt:
+		walkExpr(st.X, fn)
+	}
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *FieldExpr:
+		walkExpr(x.Recv, fn)
+	case *IndexExpr:
+		walkExpr(x.Arr, fn)
+		walkExpr(x.Idx, fn)
+	case *BinaryExpr:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *UnaryExpr:
+		walkExpr(x.X, fn)
+	case *ConvExpr:
+		walkExpr(x.X, fn)
+	case *CallExpr:
+		walkExpr(x.Recv, fn)
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *BuiltinExpr:
+		walkExpr(x.Recv, fn)
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *NewObjectExpr:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *NewArrayExpr:
+		walkExpr(x.Len, fn)
+	}
+}
+
+// Calls returns the user-method call expressions made directly by s.
+func Calls(s Stmt) []*CallExpr {
+	var out []*CallExpr
+	WalkExprs(s, func(e Expr) {
+		if c, ok := e.(*CallExpr); ok {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// Builtins returns the builtin call expressions made directly by s.
+func Builtins(s Stmt) []*BuiltinExpr {
+	var out []*BuiltinExpr
+	WalkExprs(s, func(e Expr) {
+		if b, ok := e.(*BuiltinExpr); ok {
+			out = append(out, b)
+		}
+	})
+	return out
+}
+
+// HasDBCall reports whether the statement performs a database call.
+func HasDBCall(s Stmt) bool {
+	for _, b := range Builtins(s) {
+		if b.B.IsDB() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPrint reports whether the statement writes to the console.
+func HasPrint(s Stmt) bool {
+	for _, b := range Builtins(s) {
+		if b.B == BPrint {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,494 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pyxis/internal/val"
+)
+
+// Common engine errors.
+var (
+	ErrNoSuchTable   = errors.New("sqldb: no such table")
+	ErrDupKey        = errors.New("sqldb: duplicate primary key")
+	ErrTxnAborted    = errors.New("sqldb: transaction aborted")
+	ErrNoTransaction = errors.New("sqldb: no transaction in progress")
+	ErrInTransaction = errors.New("sqldb: transaction already in progress")
+)
+
+// Stats counts engine operations; the benchmark harness reads them to
+// charge simulated CPU cost per database operation.
+type Stats struct {
+	Selects, Inserts, Updates, Deletes int64
+	RowsScanned                        int64
+}
+
+// DB is an in-memory relational database. A single mutex serializes
+// structural access; transaction isolation comes from the 2PL lock
+// manager, whose waits happen outside the mutex so both goroutines and
+// the discrete-event simulator can block on row locks.
+type DB struct {
+	mu        sync.Mutex
+	tables    map[string]*Table
+	lm        *lockManager
+	planCache map[string]SQLStmt
+	nextTxn   int64
+	stats     Stats
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{
+		tables:    map[string]*Table{},
+		lm:        newLockManager(),
+		planCache: map[string]SQLStmt{},
+	}
+}
+
+// Stats returns a snapshot of operation counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}
+
+// Snapshot returns every live row of every table, sorted by primary
+// key, keyed by table name. Tests use it to compare database states.
+func (db *DB) Snapshot() map[string][][]val.Value {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := map[string][][]val.Value{}
+	for name, t := range db.tables {
+		var rows [][]val.Value
+		t.pk.Scan(nil, nil, func(_ []val.Value, slot int) bool {
+			if t.rows[slot] != nil {
+				rows = append(rows, append([]val.Value{}, t.rows[slot]...))
+			}
+			return true
+		})
+		out[name] = rows
+	}
+	return out
+}
+
+// LockWaits returns (waits, deadlocks) counters from the lock manager.
+func (db *DB) LockWaits() (int64, int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.lm.Waits, db.lm.Deadlocks
+}
+
+// Table is one relation: rows are stored in slots; a nil row is a
+// tombstone. The primary key and all secondary indexes are B+trees.
+type Table struct {
+	name   string
+	cols   []ColumnDef
+	colIdx map[string]int
+	pkCols []int
+	rows   [][]val.Value
+	free   []int
+	pk     *btree
+	idxs   []*index
+}
+
+type index struct {
+	name   string
+	cols   []int
+	unique bool
+	tree   *btree
+}
+
+// NumRows returns the live row count (PK entries).
+func (t *Table) NumRows() int { return t.pk.Len() }
+
+// Table returns a table by name, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tables[normName(name)]
+}
+
+// Txn is an in-flight transaction: held locks plus an undo log.
+type Txn struct {
+	id      int64
+	locks   []lockKey
+	undo    []undoRec
+	freed   []freedSlot
+	aborted bool
+}
+
+type freedSlot struct {
+	t    *Table
+	slot int
+}
+
+type undoKind uint8
+
+const (
+	uInsert undoKind = iota
+	uUpdate
+	uDelete
+)
+
+type undoRec struct {
+	t      *Table
+	kind   undoKind
+	slot   int
+	before []val.Value
+}
+
+// WaitPointFunc supplies a (wait, wake) pair used to block on
+// contended locks: wait parks the caller, wake releases it. The
+// default uses a channel; the simulator substitutes virtual-time
+// parking.
+type WaitPointFunc func() (wait func(), wake func())
+
+func chanWaitPoint() (func(), func()) {
+	ch := make(chan struct{})
+	return func() { <-ch }, func() { close(ch) }
+}
+
+// Session is a client connection handle: it owns at most one open
+// transaction. Statements executed outside a transaction autocommit.
+type Session struct {
+	db        *DB
+	txn       *Txn
+	WaitPoint WaitPointFunc
+}
+
+// NewSession creates a session on db.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, WaitPoint: chanWaitPoint}
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.txn != nil }
+
+// Begin starts an explicit transaction.
+func (s *Session) Begin() error {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if s.txn != nil {
+		return ErrInTransaction
+	}
+	s.txn = s.db.newTxn()
+	return nil
+}
+
+func (db *DB) newTxn() *Txn {
+	db.nextTxn++
+	return &Txn{id: db.nextTxn}
+}
+
+// Commit commits the open transaction, releasing its locks.
+func (s *Session) Commit() error {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if s.txn == nil {
+		return ErrNoTransaction
+	}
+	s.db.commit(s.txn)
+	s.txn = nil
+	return nil
+}
+
+// Rollback aborts the open transaction, undoing its effects.
+func (s *Session) Rollback() error {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if s.txn == nil {
+		return ErrNoTransaction
+	}
+	s.db.rollback(s.txn)
+	s.txn = nil
+	return nil
+}
+
+// commit finalizes txn under db.mu.
+func (db *DB) commit(txn *Txn) {
+	for _, f := range txn.freed {
+		f.t.rows[f.slot] = nil
+		f.t.free = append(f.t.free, f.slot)
+	}
+	db.lm.releaseAll(txn)
+	txn.undo = nil
+	txn.freed = nil
+}
+
+// rollback undoes txn's changes in reverse order under db.mu.
+func (db *DB) rollback(txn *Txn) {
+	for i := len(txn.undo) - 1; i >= 0; i-- {
+		u := txn.undo[i]
+		switch u.kind {
+		case uInsert:
+			u.t.dropFromIndexes(u.t.rows[u.slot], u.slot)
+			u.t.rows[u.slot] = nil
+			u.t.free = append(u.t.free, u.slot)
+		case uUpdate:
+			u.t.dropFromIndexes(u.t.rows[u.slot], u.slot)
+			u.t.rows[u.slot] = u.before
+			u.t.addToIndexes(u.before, u.slot)
+		case uDelete:
+			u.t.rows[u.slot] = u.before
+			u.t.addToIndexes(u.before, u.slot)
+		}
+	}
+	db.lm.cancelWaits(txn)
+	db.lm.releaseAll(txn)
+	txn.undo = nil
+	txn.freed = nil
+	txn.aborted = true
+}
+
+func (t *Table) keyFor(cols []int, row []val.Value, slot int, unique bool) []val.Value {
+	key := make([]val.Value, 0, len(cols)+1)
+	for _, c := range cols {
+		key = append(key, row[c])
+	}
+	if !unique {
+		key = append(key, val.IntV(int64(slot)))
+	}
+	return key
+}
+
+func (t *Table) addToIndexes(row []val.Value, slot int) {
+	t.pk.Insert(t.keyFor(t.pkCols, row, slot, true), slot)
+	for _, ix := range t.idxs {
+		ix.tree.Insert(t.keyFor(ix.cols, row, slot, ix.unique), slot)
+	}
+}
+
+func (t *Table) dropFromIndexes(row []val.Value, slot int) {
+	t.pk.Delete(t.keyFor(t.pkCols, row, slot, true))
+	for _, ix := range t.idxs {
+		ix.tree.Delete(t.keyFor(ix.cols, row, slot, ix.unique))
+	}
+}
+
+// acquireLock blocks (via the session's wait point) until txn holds
+// key at mode, or returns ErrDeadlock.
+func (s *Session) acquireLock(txn *Txn, key lockKey, mode LockMode) error {
+	wait, wake := s.WaitPoint()
+	ok, err := s.db.lm.acquire(txn, key, mode, wake)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	s.db.mu.Unlock()
+	wait()
+	s.db.mu.Lock()
+	return nil
+}
+
+// parse returns a cached parse of sql.
+func (db *DB) parse(sql string) (SQLStmt, error) {
+	if st, ok := db.planCache[sql]; ok {
+		return st, nil
+	}
+	st, err := ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.planCache[sql] = st
+	return st, nil
+}
+
+// ResultSet is the result of a query: column names plus rows.
+type ResultSet struct {
+	Cols []string
+	Rows [][]val.Value
+}
+
+// Size estimates the wire size of the result set in bytes.
+func (r *ResultSet) Size() int {
+	n := 0
+	for _, c := range r.Cols {
+		n += len(c) + 5
+	}
+	for _, row := range r.Rows {
+		n += val.SizeOfRow(row)
+	}
+	return n
+}
+
+// Exec runs a DDL or DML statement. It returns the number of rows
+// affected. Outside an explicit transaction the statement autocommits.
+func (s *Session) Exec(sql string, args ...val.Value) (int, error) {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	st, err := s.db.parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	return s.execStmt(st, args)
+}
+
+// Query runs a SELECT and returns its result set.
+func (s *Session) Query(sql string, args ...val.Value) (*ResultSet, error) {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	st, err := s.db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires SELECT, got %T", st)
+	}
+	txn, auto := s.currentTxn()
+	rs, err := s.execSelect(txn, sel, args)
+	s.finishAuto(txn, auto, err)
+	return rs, err
+}
+
+// currentTxn returns the session transaction or a fresh autocommit one.
+func (s *Session) currentTxn() (*Txn, bool) {
+	if s.txn != nil {
+		return s.txn, false
+	}
+	return s.db.newTxn(), true
+}
+
+// finishAuto commits or rolls back an autocommit transaction.
+func (s *Session) finishAuto(txn *Txn, auto bool, err error) {
+	if !auto {
+		if err != nil && errors.Is(err, ErrDeadlock) {
+			// Deadlock aborts the whole transaction (MySQL semantics).
+			s.db.rollback(txn)
+			s.txn = nil
+		}
+		return
+	}
+	if err != nil {
+		s.db.rollback(txn)
+	} else {
+		s.db.commit(txn)
+	}
+}
+
+func (s *Session) execStmt(st SQLStmt, args []val.Value) (int, error) {
+	switch t := st.(type) {
+	case *CreateTableStmt:
+		return 0, s.db.createTable(t)
+	case *CreateIndexStmt:
+		return 0, s.db.createIndex(t)
+	case *InsertStmt:
+		txn, auto := s.currentTxn()
+		n, err := s.execInsert(txn, t, args)
+		s.finishAuto(txn, auto, err)
+		return n, err
+	case *UpdateStmt:
+		txn, auto := s.currentTxn()
+		n, err := s.execUpdate(txn, t, args)
+		s.finishAuto(txn, auto, err)
+		return n, err
+	case *DeleteStmt:
+		txn, auto := s.currentTxn()
+		n, err := s.execDelete(txn, t, args)
+		s.finishAuto(txn, auto, err)
+		return n, err
+	case *SelectStmt:
+		return 0, fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
+	}
+	return 0, fmt.Errorf("sqldb: unsupported statement %T", st)
+}
+
+func normName(s string) string {
+	// Identifiers are case-insensitive; the lexer upper-cases them.
+	up := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		up[i] = c
+	}
+	return string(up)
+}
+
+func (db *DB) createTable(st *CreateTableStmt) error {
+	if _, exists := db.tables[st.Table]; exists {
+		return fmt.Errorf("sqldb: table %s already exists", st.Table)
+	}
+	if len(st.PK) == 0 {
+		return fmt.Errorf("sqldb: table %s requires a PRIMARY KEY", st.Table)
+	}
+	t := &Table{
+		name:   st.Table,
+		cols:   st.Cols,
+		colIdx: map[string]int{},
+		pk:     newBTree(),
+	}
+	for i, c := range st.Cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return fmt.Errorf("sqldb: duplicate column %s.%s", st.Table, c.Name)
+		}
+		t.colIdx[c.Name] = i
+	}
+	for _, pkc := range st.PK {
+		ci, ok := t.colIdx[pkc]
+		if !ok {
+			return fmt.Errorf("sqldb: primary key column %s not in table %s", pkc, st.Table)
+		}
+		t.pkCols = append(t.pkCols, ci)
+	}
+	db.tables[st.Table] = t
+	return nil
+}
+
+func (db *DB) createIndex(st *CreateIndexStmt) error {
+	t, ok := db.tables[st.Table]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, st.Table)
+	}
+	ix := &index{name: st.Name, unique: st.Unique, tree: newBTree()}
+	for _, cn := range st.Cols {
+		ci, ok := t.colIdx[cn]
+		if !ok {
+			return fmt.Errorf("sqldb: index column %s not in table %s", cn, st.Table)
+		}
+		ix.cols = append(ix.cols, ci)
+	}
+	for slot, row := range t.rows {
+		if row != nil {
+			ix.tree.Insert(t.keyFor(ix.cols, row, slot, ix.unique), slot)
+		}
+	}
+	t.idxs = append(t.idxs, ix)
+	return nil
+}
+
+// coerceCol converts v to the column type, or errors.
+func coerceCol(v val.Value, ct ColType) (val.Value, error) {
+	if v.K == val.Null {
+		return v, nil
+	}
+	switch ct {
+	case CInt:
+		if v.K == val.Int {
+			return v, nil
+		}
+		if v.K == val.Double {
+			return val.IntV(int64(v.F)), nil
+		}
+	case CDouble:
+		if v.K == val.Double {
+			return v, nil
+		}
+		if v.K == val.Int {
+			return val.DoubleV(float64(v.I)), nil
+		}
+	case CString:
+		if v.K == val.Str {
+			return v, nil
+		}
+	case CBool:
+		if v.K == val.Bool {
+			return v, nil
+		}
+	}
+	return val.Value{}, fmt.Errorf("sqldb: cannot store %s into %s column", v.K, ct)
+}

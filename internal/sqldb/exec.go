@@ -1,0 +1,832 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pyxis/internal/val"
+)
+
+// rowCtx binds table aliases to their current row during evaluation.
+type rowCtx struct {
+	aliases []string
+	tables  []*Table
+	rows    [][]val.Value
+}
+
+func (rc *rowCtx) lookup(cr ColRef) (val.Value, error) {
+	for i, a := range rc.aliases {
+		if cr.Table != "" && cr.Table != a {
+			continue
+		}
+		if ci, ok := rc.tables[i].colIdx[cr.Col]; ok {
+			if rc.rows[i] == nil {
+				return val.Value{}, fmt.Errorf("sqldb: column %s not bound yet", cr.Col)
+			}
+			return rc.rows[i][ci], nil
+		}
+		if cr.Table != "" {
+			return val.Value{}, fmt.Errorf("sqldb: no column %s in %s", cr.Col, cr.Table)
+		}
+	}
+	return val.Value{}, fmt.Errorf("sqldb: unknown column %s", cr.Col)
+}
+
+func evalSQL(e SQLExpr, rc *rowCtx, args []val.Value) (val.Value, error) {
+	switch x := e.(type) {
+	case LitExpr:
+		return x.V, nil
+	case ParamExpr:
+		if x.Index >= len(args) {
+			return val.Value{}, fmt.Errorf("sqldb: missing parameter %d", x.Index+1)
+		}
+		return args[x.Index], nil
+	case ColRef:
+		return rc.lookup(x)
+	case *ArithExpr:
+		l, err := evalSQL(x.L, rc, args)
+		if err != nil {
+			return val.Value{}, err
+		}
+		r, err := evalSQL(x.R, rc, args)
+		if err != nil {
+			return val.Value{}, err
+		}
+		if l.K == val.Int && r.K == val.Int {
+			switch x.Op {
+			case '+':
+				return val.IntV(l.I + r.I), nil
+			case '-':
+				return val.IntV(l.I - r.I), nil
+			case '*':
+				return val.IntV(l.I * r.I), nil
+			}
+		}
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch x.Op {
+		case '+':
+			return val.DoubleV(lf + rf), nil
+		case '-':
+			return val.DoubleV(lf - rf), nil
+		case '*':
+			return val.DoubleV(lf * rf), nil
+		}
+	}
+	return val.Value{}, fmt.Errorf("sqldb: cannot evaluate expression %T", e)
+}
+
+func condHolds(c Cond, rc *rowCtx, args []val.Value) (bool, error) {
+	l, err := evalSQL(c.L, rc, args)
+	if err != nil {
+		return false, err
+	}
+	r, err := evalSQL(c.R, rc, args)
+	if err != nil {
+		return false, err
+	}
+	if c.Op == CmpLike {
+		if l.K != val.Str || r.K != val.Str {
+			return false, nil
+		}
+		return likeMatch(l.S, r.S), nil
+	}
+	cmp := val.Compare(l, r)
+	switch c.Op {
+	case CmpEq:
+		return l.Equal(r), nil
+	case CmpNe:
+		return !l.Equal(r), nil
+	case CmpLt:
+		return cmp < 0, nil
+	case CmpLe:
+		return cmp <= 0, nil
+	case CmpGt:
+		return cmp > 0, nil
+	case CmpGe:
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("sqldb: bad comparison op")
+}
+
+// likeMatch implements SQL LIKE with % wildcards (no '_' support).
+func likeMatch(s, pat string) bool {
+	parts := strings.Split(pat, "%")
+	if len(parts) == 1 {
+		return s == pat
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for i := 1; i < len(parts)-1; i++ {
+		p := parts[i]
+		if p == "" {
+			continue
+		}
+		idx := strings.Index(s, p)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(p):]
+	}
+	last := parts[len(parts)-1]
+	return strings.HasSuffix(s, last)
+}
+
+// ---------------------------------------------------------------------------
+// INSERT / UPDATE / DELETE
+// ---------------------------------------------------------------------------
+
+func (s *Session) execInsert(txn *Txn, st *InsertStmt, args []val.Value) (int, error) {
+	db := s.db
+	t, ok := db.tables[st.Table]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, st.Table)
+	}
+	db.stats.Inserts++
+	row := make([]val.Value, len(t.cols))
+	if len(st.Cols) == 0 {
+		if len(st.Vals) != len(t.cols) {
+			return 0, fmt.Errorf("sqldb: INSERT into %s: want %d values, got %d", t.name, len(t.cols), len(st.Vals))
+		}
+		for i, e := range st.Vals {
+			v, err := evalSQL(e, nil, args)
+			if err != nil {
+				return 0, err
+			}
+			row[i], err = coerceCol(v, t.cols[i].Type)
+			if err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		if len(st.Cols) != len(st.Vals) {
+			return 0, fmt.Errorf("sqldb: INSERT column/value count mismatch")
+		}
+		for i, cn := range st.Cols {
+			ci, ok := t.colIdx[cn]
+			if !ok {
+				return 0, fmt.Errorf("sqldb: no column %s in %s", cn, t.name)
+			}
+			v, err := evalSQL(st.Vals[i], nil, args)
+			if err != nil {
+				return 0, err
+			}
+			row[ci], err = coerceCol(v, t.cols[ci].Type)
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	pkKey := t.keyFor(t.pkCols, row, 0, true)
+	if _, exists := t.pk.Get(pkKey); exists {
+		return 0, fmt.Errorf("%w: %s %v", ErrDupKey, t.name, pkKey)
+	}
+
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = row
+	} else {
+		slot = len(t.rows)
+		t.rows = append(t.rows, row)
+	}
+	// The fresh slot is uncontended; the X lock makes the row invisible
+	// to concurrent readers until commit.
+	if err := s.acquireLock(txn, lockKey{t.name, slot}, LockX); err != nil {
+		t.rows[slot] = nil
+		t.free = append(t.free, slot)
+		return 0, err
+	}
+	t.addToIndexes(row, slot)
+	txn.undo = append(txn.undo, undoRec{t: t, kind: uInsert, slot: slot})
+	return 1, nil
+}
+
+// matchSlots finds the slots of t whose rows satisfy conds, locking
+// each matching row at mode. Predicates are re-checked after each lock
+// wait (the row may have changed while blocked).
+func (s *Session) matchSlots(txn *Txn, t *Table, alias string, conds []Cond, args []val.Value, mode LockMode) ([]int, error) {
+	db := s.db
+	rc := &rowCtx{aliases: []string{alias}, tables: []*Table{t}, rows: [][]val.Value{nil}}
+
+	check := func(slot int) (bool, error) {
+		row := t.rows[slot]
+		if row == nil {
+			return false, nil
+		}
+		rc.rows[0] = row
+		for _, c := range conds {
+			ok, err := condHolds(c, rc, args)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var candidates []int
+	ap := choosePath(t, alias, conds, args)
+	if ap != nil {
+		key := make([]val.Value, len(ap.eqExprs))
+		for i, e := range ap.eqExprs {
+			v, err := evalSQL(e, nil, args)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		ap.tree.Scan(key, key, func(_ []val.Value, slot int) bool {
+			candidates = append(candidates, slot)
+			return true
+		})
+		db.stats.RowsScanned += int64(len(candidates))
+	} else {
+		for slot, row := range t.rows {
+			if row != nil {
+				candidates = append(candidates, slot)
+			}
+		}
+		db.stats.RowsScanned += int64(len(candidates))
+	}
+
+	var out []int
+	for _, slot := range candidates {
+		ok, err := check(slot)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if err := s.acquireLock(txn, lockKey{t.name, slot}, mode); err != nil {
+			return nil, err
+		}
+		// Re-check after a potential wait.
+		ok, err = check(slot)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, slot)
+		}
+	}
+	return out, nil
+}
+
+// accessPath is an index-equality lookup plan.
+type accessPath struct {
+	tree    *btree
+	eqExprs []SQLExpr // expressions producing the key prefix, in index order
+}
+
+// choosePath picks the index (PK or secondary) with the longest
+// equality-bound prefix. Only conditions whose other side is free of
+// column references (literal/param) qualify.
+func choosePath(t *Table, alias string, conds []Cond, args []val.Value) *accessPath {
+	eq := map[int]SQLExpr{} // column -> binding expression
+	for _, c := range conds {
+		if c.Op != CmpEq {
+			continue
+		}
+		if cr, ok := c.L.(ColRef); ok && (cr.Table == "" || cr.Table == alias) && exprIsBound(c.R) {
+			if ci, ok := t.colIdx[cr.Col]; ok {
+				eq[ci] = c.R
+			}
+		} else if cr, ok := c.R.(ColRef); ok && (cr.Table == "" || cr.Table == alias) && exprIsBound(c.L) {
+			if ci, ok := t.colIdx[cr.Col]; ok {
+				eq[ci] = c.L
+			}
+		}
+	}
+	if len(eq) == 0 {
+		return nil
+	}
+	best := (*accessPath)(nil)
+	bestLen := 0
+	consider := func(tree *btree, cols []int) {
+		var exprs []SQLExpr
+		for _, ci := range cols {
+			e, ok := eq[ci]
+			if !ok {
+				break
+			}
+			exprs = append(exprs, e)
+		}
+		if len(exprs) > bestLen {
+			best = &accessPath{tree: tree, eqExprs: exprs}
+			bestLen = len(exprs)
+		}
+	}
+	consider(t.pk, t.pkCols)
+	for _, ix := range t.idxs {
+		consider(ix.tree, ix.cols)
+	}
+	return best
+}
+
+func exprIsBound(e SQLExpr) bool {
+	switch x := e.(type) {
+	case LitExpr, ParamExpr:
+		return true
+	case *ArithExpr:
+		return exprIsBound(x.L) && exprIsBound(x.R)
+	}
+	return false
+}
+
+func (s *Session) execUpdate(txn *Txn, st *UpdateStmt, args []val.Value) (int, error) {
+	db := s.db
+	t, ok := db.tables[st.Table]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, st.Table)
+	}
+	db.stats.Updates++
+	slots, err := s.matchSlots(txn, t, st.Table, st.Where, args, LockX)
+	if err != nil {
+		return 0, err
+	}
+	rc := &rowCtx{aliases: []string{st.Table}, tables: []*Table{t}, rows: [][]val.Value{nil}}
+	for _, slot := range slots {
+		old := t.rows[slot]
+		rc.rows[0] = old
+		newRow := append([]val.Value{}, old...)
+		keyChanged := false
+		for _, set := range st.Sets {
+			ci, ok := t.colIdx[set.Col]
+			if !ok {
+				return 0, fmt.Errorf("sqldb: no column %s in %s", set.Col, t.name)
+			}
+			v, err := evalSQL(set.Expr, rc, args)
+			if err != nil {
+				return 0, err
+			}
+			cv, err := coerceCol(v, t.cols[ci].Type)
+			if err != nil {
+				return 0, err
+			}
+			newRow[ci] = cv
+			if isIndexedCol(t, ci) {
+				keyChanged = true
+			}
+		}
+		txn.undo = append(txn.undo, undoRec{t: t, kind: uUpdate, slot: slot, before: old})
+		if keyChanged {
+			t.dropFromIndexes(old, slot)
+			t.rows[slot] = newRow
+			t.addToIndexes(newRow, slot)
+		} else {
+			t.rows[slot] = newRow
+		}
+	}
+	return len(slots), nil
+}
+
+func isIndexedCol(t *Table, ci int) bool {
+	for _, c := range t.pkCols {
+		if c == ci {
+			return true
+		}
+	}
+	for _, ix := range t.idxs {
+		for _, c := range ix.cols {
+			if c == ci {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *Session) execDelete(txn *Txn, st *DeleteStmt, args []val.Value) (int, error) {
+	db := s.db
+	t, ok := db.tables[st.Table]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, st.Table)
+	}
+	db.stats.Deletes++
+	slots, err := s.matchSlots(txn, t, st.Table, st.Where, args, LockX)
+	if err != nil {
+		return 0, err
+	}
+	for _, slot := range slots {
+		old := t.rows[slot]
+		t.dropFromIndexes(old, slot)
+		txn.undo = append(txn.undo, undoRec{t: t, kind: uDelete, slot: slot, before: old})
+		// Tombstone now; the slot is recycled only at commit so rollback
+		// can restore in place.
+		t.rows[slot] = append([]val.Value{}, old...)
+		t.rows[slot] = nil
+		txn.freed = append(txn.freed, freedSlot{t: t, slot: slot})
+	}
+	return len(slots), nil
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+func (s *Session) execSelect(txn *Txn, st *SelectStmt, args []val.Value) (*ResultSet, error) {
+	db := s.db
+	db.stats.Selects++
+	tables := make([]*Table, len(st.Tables))
+	aliases := make([]string, len(st.Tables))
+	for i, tr := range st.Tables {
+		t, ok := db.tables[tr.Table]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, tr.Table)
+		}
+		tables[i] = t
+		aliases[i] = tr.Alias
+	}
+
+	rs := &ResultSet{}
+	agg := false
+	resolves := func(cr ColRef) bool {
+		for i, a := range aliases {
+			if cr.Table != "" && cr.Table != a {
+				continue
+			}
+			if hasCol(tables[i], cr.Col) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, sc := range st.Cols {
+		if sc.Agg != "" {
+			agg = true
+		}
+		if !sc.Star && sc.Col.Col != "" && !resolves(sc.Col) {
+			return nil, fmt.Errorf("sqldb: unknown column %s", sc.Col.Col)
+		}
+	}
+	for _, ok := range st.OrderBy {
+		if !resolves(ok.Col) {
+			return nil, fmt.Errorf("sqldb: unknown ORDER BY column %s", ok.Col.Col)
+		}
+	}
+	for _, sc := range st.Cols {
+		switch {
+		case sc.Star:
+			for i, t := range tables {
+				for _, c := range t.cols {
+					_ = i
+					rs.Cols = append(rs.Cols, c.Name)
+				}
+			}
+		case sc.Agg != "":
+			if sc.Col.Col == "" {
+				rs.Cols = append(rs.Cols, sc.Agg+"(*)")
+			} else {
+				rs.Cols = append(rs.Cols, sc.Agg+"("+sc.Col.Col+")")
+			}
+		default:
+			rs.Cols = append(rs.Cols, sc.Col.Col)
+		}
+	}
+
+	// Nested-loop join over the tables in FROM order. At each level,
+	// conditions fully bound by the tables joined so far act as the
+	// level's filter; index lookups use equality conditions bound by
+	// earlier levels.
+	rc := &rowCtx{aliases: aliases, tables: tables, rows: make([][]val.Value, len(tables))}
+	var joined [][]val.Value // accumulated result rows (pre order/limit)
+	var sortKeys [][]val.Value
+
+	condLevel := make([]int, len(st.Where))
+	for ci, c := range st.Where {
+		condLevel[ci] = condDepth(c, aliases, tables)
+	}
+
+	var descend func(level int) error
+	descend = func(level int) error {
+		if level == len(tables) {
+			out := projectRow(st, rc, tables)
+			joined = append(joined, out)
+			if len(st.OrderBy) > 0 {
+				key := make([]val.Value, len(st.OrderBy))
+				for i, ok := range st.OrderBy {
+					v, err := rc.lookup(ok.Col)
+					if err != nil {
+						return err
+					}
+					key[i] = v
+				}
+				sortKeys = append(sortKeys, key)
+			}
+			return nil
+		}
+		t := tables[level]
+		var levelConds []Cond
+		for ci, c := range st.Where {
+			if condLevel[ci] == level {
+				levelConds = append(levelConds, c)
+			}
+		}
+		slots, err := s.matchJoin(txn, rc, t, aliases[level], level, levelConds, args)
+		if err != nil {
+			return err
+		}
+		for _, slot := range slots {
+			rc.rows[level] = t.rows[slot]
+			if rc.rows[level] == nil {
+				continue
+			}
+			if err := descend(level + 1); err != nil {
+				return err
+			}
+		}
+		rc.rows[level] = nil
+		return nil
+	}
+	if err := descend(0); err != nil {
+		return nil, err
+	}
+
+	if agg {
+		row, err := computeAggregates(st, joined, rs.Cols)
+		if err != nil {
+			return nil, err
+		}
+		rs.Rows = [][]val.Value{row}
+		return rs, nil
+	}
+
+	if len(st.OrderBy) > 0 {
+		idx := make([]int, len(joined))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
+			for i, okey := range st.OrderBy {
+				c := val.Compare(ka[i], kb[i])
+				if c == 0 {
+					continue
+				}
+				if okey.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([][]val.Value, len(joined))
+		for i, j := range idx {
+			sorted[i] = joined[j]
+		}
+		joined = sorted
+	}
+	if st.Limit >= 0 && len(joined) > st.Limit {
+		joined = joined[:st.Limit]
+	}
+	rs.Rows = joined
+	return rs, nil
+}
+
+// condDepth returns the highest table level a condition references
+// (the level at which it becomes fully bound).
+func condDepth(c Cond, aliases []string, tables []*Table) int {
+	depth := 0
+	var visit func(e SQLExpr)
+	visit = func(e SQLExpr) {
+		switch x := e.(type) {
+		case ColRef:
+			for i, a := range aliases {
+				if x.Table == a || (x.Table == "" && hasCol(tables[i], x.Col)) {
+					if i > depth {
+						depth = i
+					}
+					return
+				}
+			}
+		case *ArithExpr:
+			visit(x.L)
+			visit(x.R)
+		}
+	}
+	visit(c.L)
+	visit(c.R)
+	return depth
+}
+
+func hasCol(t *Table, col string) bool {
+	_, ok := t.colIdx[col]
+	return ok
+}
+
+// matchJoin finds slots of t at the given join level satisfying conds
+// (whose earlier-level column references are already bound in rc),
+// S-locking matches.
+func (s *Session) matchJoin(txn *Txn, rc *rowCtx, t *Table, alias string, level int, conds []Cond, args []val.Value) ([]int, error) {
+	db := s.db
+	check := func(slot int) (bool, error) {
+		row := t.rows[slot]
+		if row == nil {
+			return false, nil
+		}
+		rc.rows[level] = row
+		for _, c := range conds {
+			ok, err := condHolds(c, rc, args)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// Index path: equality conditions whose other side is bound by
+	// params/literals or earlier levels.
+	eq := map[int]SQLExpr{}
+	for _, c := range conds {
+		if c.Op != CmpEq {
+			continue
+		}
+		if cr, ok := c.L.(ColRef); ok && refersTo(cr, alias, t) && boundBefore(c.R, level, rc) {
+			if ci, ok := t.colIdx[cr.Col]; ok {
+				eq[ci] = c.R
+			}
+		} else if cr, ok := c.R.(ColRef); ok && refersTo(cr, alias, t) && boundBefore(c.L, level, rc) {
+			if ci, ok := t.colIdx[cr.Col]; ok {
+				eq[ci] = c.L
+			}
+		}
+	}
+	var candidates []int
+	found := false
+	if len(eq) > 0 {
+		var bestTree *btree
+		var bestExprs []SQLExpr
+		consider := func(tree *btree, cols []int) {
+			var exprs []SQLExpr
+			for _, ci := range cols {
+				e, ok := eq[ci]
+				if !ok {
+					break
+				}
+				exprs = append(exprs, e)
+			}
+			if len(exprs) > len(bestExprs) {
+				bestTree, bestExprs = tree, exprs
+			}
+		}
+		consider(t.pk, t.pkCols)
+		for _, ix := range t.idxs {
+			consider(ix.tree, ix.cols)
+		}
+		if bestTree != nil {
+			key := make([]val.Value, len(bestExprs))
+			for i, e := range bestExprs {
+				v, err := evalSQL(e, rc, args)
+				if err != nil {
+					return nil, err
+				}
+				key[i] = v
+			}
+			bestTree.Scan(key, key, func(_ []val.Value, slot int) bool {
+				candidates = append(candidates, slot)
+				return true
+			})
+			found = true
+		}
+	}
+	if !found {
+		for slot, row := range t.rows {
+			if row != nil {
+				candidates = append(candidates, slot)
+			}
+		}
+	}
+	db.stats.RowsScanned += int64(len(candidates))
+
+	var out []int
+	for _, slot := range candidates {
+		ok, err := check(slot)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if err := s.acquireLock(txn, lockKey{t.name, slot}, LockS); err != nil {
+			return nil, err
+		}
+		ok, err = check(slot)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, slot)
+		}
+	}
+	return out, nil
+}
+
+func refersTo(cr ColRef, alias string, t *Table) bool {
+	if cr.Table != "" {
+		return cr.Table == alias
+	}
+	return hasCol(t, cr.Col)
+}
+
+// boundBefore reports whether e only references tables at levels < level.
+func boundBefore(e SQLExpr, level int, rc *rowCtx) bool {
+	switch x := e.(type) {
+	case LitExpr, ParamExpr:
+		return true
+	case ColRef:
+		for i, a := range rc.aliases {
+			if x.Table == a || (x.Table == "" && hasCol(rc.tables[i], x.Col)) {
+				return i < level
+			}
+		}
+		return false
+	case *ArithExpr:
+		return boundBefore(x.L, level, rc) && boundBefore(x.R, level, rc)
+	}
+	return false
+}
+
+func projectRow(st *SelectStmt, rc *rowCtx, tables []*Table) []val.Value {
+	var out []val.Value
+	for _, sc := range st.Cols {
+		switch {
+		case sc.Star:
+			for i := range tables {
+				out = append(out, rc.rows[i]...)
+			}
+		case sc.Agg != "":
+			// Aggregates project the raw column value; computeAggregates
+			// folds them afterwards. COUNT(*) needs no value.
+			if sc.Col.Col != "" {
+				v, _ := rc.lookup(sc.Col)
+				out = append(out, v)
+			} else {
+				out = append(out, val.IntV(1))
+			}
+		default:
+			v, _ := rc.lookup(sc.Col)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func computeAggregates(st *SelectStmt, rows [][]val.Value, cols []string) ([]val.Value, error) {
+	out := make([]val.Value, len(st.Cols))
+	for i, sc := range st.Cols {
+		if sc.Agg == "" {
+			return nil, fmt.Errorf("sqldb: mixing aggregates and plain columns requires GROUP BY (unsupported)")
+		}
+		switch sc.Agg {
+		case "COUNT":
+			out[i] = val.IntV(int64(len(rows)))
+		case "SUM", "AVG":
+			sum := 0.0
+			isInt := true
+			for _, r := range rows {
+				if r[i].K == val.Double {
+					isInt = false
+				}
+				sum += r[i].AsFloat()
+			}
+			if sc.Agg == "AVG" {
+				if len(rows) == 0 {
+					out[i] = val.NullV()
+				} else {
+					out[i] = val.DoubleV(sum / float64(len(rows)))
+				}
+			} else if isInt {
+				out[i] = val.IntV(int64(sum))
+			} else {
+				out[i] = val.DoubleV(sum)
+			}
+		case "MIN", "MAX":
+			if len(rows) == 0 {
+				out[i] = val.NullV()
+				continue
+			}
+			best := rows[0][i]
+			for _, r := range rows[1:] {
+				c := val.Compare(r[i], best)
+				if (sc.Agg == "MIN" && c < 0) || (sc.Agg == "MAX" && c > 0) {
+					best = r[i]
+				}
+			}
+			out[i] = best
+		default:
+			return nil, fmt.Errorf("sqldb: unsupported aggregate %s", sc.Agg)
+		}
+	}
+	return out, nil
+}

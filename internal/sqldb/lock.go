@@ -1,0 +1,226 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned when granting a lock would create a cycle in
+// the wait-for graph. The requesting transaction should abort.
+var ErrDeadlock = errors.New("sqldb: deadlock detected")
+
+// LockMode is shared (reads) or exclusive (writes).
+type LockMode uint8
+
+const (
+	LockS LockMode = iota
+	LockX
+)
+
+func (m LockMode) String() string {
+	if m == LockX {
+		return "X"
+	}
+	return "S"
+}
+
+// lockKey identifies a lockable resource: a row slot within a table,
+// or the whole table (slot == -1, used by scans for stability).
+type lockKey struct {
+	table string
+	slot  int
+}
+
+func (k lockKey) String() string { return fmt.Sprintf("%s[%d]", k.table, k.slot) }
+
+type lockWaiter struct {
+	txn  *Txn
+	mode LockMode
+	wake func() // invoked (under the engine mutex) when the lock is granted
+}
+
+type lockState struct {
+	holders map[*Txn]LockMode
+	queue   []*lockWaiter
+}
+
+// lockManager implements strict two-phase locking. It is not
+// internally synchronized: the engine's single big mutex serializes
+// all calls. Waiting is externalized through wake callbacks so both
+// real goroutines (channel close) and the discrete-event simulator
+// (virtual-time wakeup) can block on locks.
+type lockManager struct {
+	locks map[lockKey]*lockState
+	// waitsFor edges: waiting txn -> set of txns it waits on.
+	waitsFor map[*Txn]map[*Txn]bool
+	// stats
+	Waits     int64
+	Deadlocks int64
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{
+		locks:    map[lockKey]*lockState{},
+		waitsFor: map[*Txn]map[*Txn]bool{},
+	}
+}
+
+func compatible(held, want LockMode) bool { return held == LockS && want == LockS }
+
+// acquire attempts to take key in mode for txn. It returns:
+//   - (true, nil): granted (or already held at sufficient strength);
+//   - (false, nil): txn must wait; wake will be called upon grant —
+//     after wake fires the lock IS held (no retry needed);
+//   - (false, ErrDeadlock): waiting would deadlock; caller must abort.
+func (lm *lockManager) acquire(txn *Txn, key lockKey, mode LockMode, wake func()) (bool, error) {
+	ls := lm.locks[key]
+	if ls == nil {
+		ls = &lockState{holders: map[*Txn]LockMode{}}
+		lm.locks[key] = ls
+	}
+	if held, ok := ls.holders[txn]; ok {
+		if held >= mode {
+			return true, nil
+		}
+		// Upgrade S→X: allowed immediately iff txn is the only holder
+		// and nobody is queued ahead.
+		if len(ls.holders) == 1 {
+			ls.holders[txn] = LockX
+			txn.locks = append(txn.locks, key)
+			return true, nil
+		}
+	}
+	canGrant := len(ls.queue) == 0
+	if canGrant {
+		for h, hm := range ls.holders {
+			if h == txn {
+				continue
+			}
+			if !(compatible(hm, mode) && mode == LockS) {
+				canGrant = false
+				break
+			}
+		}
+	}
+	if canGrant {
+		if _, already := ls.holders[txn]; !already {
+			ls.holders[txn] = mode
+			txn.locks = append(txn.locks, key)
+		} else {
+			ls.holders[txn] = mode
+		}
+		return true, nil
+	}
+
+	// Must wait: record wait-for edges and check for a cycle.
+	blockers := map[*Txn]bool{}
+	for h := range ls.holders {
+		if h != txn {
+			blockers[h] = true
+		}
+	}
+	for _, w := range ls.queue {
+		if w.txn != txn {
+			blockers[w.txn] = true
+		}
+	}
+	lm.waitsFor[txn] = blockers
+	if lm.cycleFrom(txn) {
+		delete(lm.waitsFor, txn)
+		lm.Deadlocks++
+		return false, ErrDeadlock
+	}
+	lm.Waits++
+	ls.queue = append(ls.queue, &lockWaiter{txn: txn, mode: mode, wake: wake})
+	return false, nil
+}
+
+// cycleFrom reports whether start can reach itself in the wait-for graph.
+func (lm *lockManager) cycleFrom(start *Txn) bool {
+	seen := map[*Txn]bool{}
+	var dfs func(t *Txn) bool
+	dfs = func(t *Txn) bool {
+		for next := range lm.waitsFor[t] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// releaseAll drops every lock held by txn and grants queued waiters
+// whose requests have become compatible, invoking their wake callbacks.
+func (lm *lockManager) releaseAll(txn *Txn) {
+	delete(lm.waitsFor, txn)
+	for _, key := range txn.locks {
+		ls := lm.locks[key]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, txn)
+		lm.grantWaiters(key, ls)
+		if len(ls.holders) == 0 && len(ls.queue) == 0 {
+			delete(lm.locks, key)
+		}
+	}
+	txn.locks = txn.locks[:0]
+}
+
+// cancelWaits removes txn from every wait queue (used when a waiting
+// transaction aborts).
+func (lm *lockManager) cancelWaits(txn *Txn) {
+	delete(lm.waitsFor, txn)
+	for key, ls := range lm.locks {
+		changed := false
+		out := ls.queue[:0]
+		for _, w := range ls.queue {
+			if w.txn == txn {
+				changed = true
+				continue
+			}
+			out = append(out, w)
+		}
+		ls.queue = out
+		if changed {
+			lm.grantWaiters(key, ls)
+		}
+	}
+}
+
+func (lm *lockManager) grantWaiters(key lockKey, ls *lockState) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		ok := true
+		for h, hm := range ls.holders {
+			if h == w.txn {
+				continue
+			}
+			if !(compatible(hm, w.mode) && w.mode == LockS) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		if _, already := ls.holders[w.txn]; already {
+			if w.mode > ls.holders[w.txn] {
+				ls.holders[w.txn] = w.mode
+			}
+		} else {
+			ls.holders[w.txn] = w.mode
+			w.txn.locks = append(w.txn.locks, key)
+		}
+		delete(lm.waitsFor, w.txn)
+		w.wake()
+	}
+}

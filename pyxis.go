@@ -1,0 +1,207 @@
+// Package pyxis automatically partitions database applications between
+// an application server and a database server, reproducing the system
+// of Cheung, Arden, Madden and Myers, "Automatic Partitioning of
+// Database Applications" (VLDB 2012).
+//
+// The pipeline mirrors the paper's architecture (Fig. 1):
+//
+//	src := `class Order { ... entry void placeOrder(int cid, double dct) {...} }`
+//	sys, _ := pyxis.Load(src)
+//	db := sqldb.Open()                      // the database substrate
+//	// 1. Profile a representative workload (paper §4.1).
+//	sys.ProfileWorkload(db, func(ip *interp.Interp) error { ... })
+//	// 2. Build the weighted partition graph (§4.2) and solve the
+//	//    placement BIP under a DB instruction budget (§4.3).
+//	part, _ := sys.Partition(sys.TotalLoad() * 0.9)
+//	// 3. Deploy the compiled execution blocks on the two runtimes (§5, §6).
+//	dep := part.Deploy(db, runtime.Options{RTT: 2 * time.Millisecond})
+//	oid, _ := dep.Client.NewObject("Order", val.IntV(42))
+//	dep.Client.CallEntry("Order.placeOrder", oid, val.IntV(7), val.DoubleV(0.9))
+//
+// Multiple partitions generated at different budgets can be installed
+// behind a runtime.DynamicClient, which switches between them as
+// database load changes (§6.3).
+package pyxis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pyxis/internal/analysis"
+	"pyxis/internal/compile"
+	"pyxis/internal/core"
+	"pyxis/internal/dbapi"
+	"pyxis/internal/interp"
+	"pyxis/internal/pdg"
+	"pyxis/internal/profile"
+	"pyxis/internal/pyxil"
+	"pyxis/internal/runtime"
+	"pyxis/internal/solver"
+	"pyxis/internal/source"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// System is a loaded application: checked source plus the static
+// analyses, ready to be profiled and partitioned.
+type System struct {
+	Prog     *source.Program
+	Analysis *analysis.Result
+	Profile  *profile.Profile
+	Graph    *pdg.Graph
+
+	// GraphOpts tunes partition-graph weights (latency/bandwidth
+	// override; zero values take the profile's measurements).
+	GraphOpts pdg.Options
+	// Solver is used by Partition (default: Lagrangian min cut).
+	Solver solver.Solver
+	// NoReorder disables the §4.4 statement reordering.
+	NoReorder bool
+}
+
+// Load parses, checks and statically analyzes a PyxJ program.
+func Load(src string) (*System, error) {
+	prog, err := source.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Prog:     prog,
+		Analysis: analysis.Run(prog),
+		Profile:  profile.New(),
+	}, nil
+}
+
+// MustLoad is Load for known-good embedded sources.
+func MustLoad(src string) *System {
+	s, err := Load(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ProfileWorkload executes a workload against the reference
+// interpreter with profiling instrumentation enabled, accumulating
+// execution counts and data sizes (paper §4.1). It may be called
+// multiple times; counts accumulate.
+func (s *System) ProfileWorkload(db *sqldb.DB, fn func(ip *interp.Interp) error) error {
+	ip := interp.New(s.Prog, dbapi.NewLocal(db))
+	ip.Hooks = s.Profile.Hooks()
+	if err := fn(ip); err != nil {
+		return err
+	}
+	s.Graph = nil // weights are stale; rebuild lazily
+	return nil
+}
+
+// ProfileSynthetic builds a rough profile by invoking every entry
+// method once with zero-valued arguments against db. Real deployments
+// should profile a representative workload instead (§4.1); this keeps
+// CLI tools usable without one. Entry failures are tolerated (the
+// partial profile still weights the code that did run).
+func (s *System) ProfileSynthetic(db *sqldb.DB) error {
+	return s.ProfileWorkload(db, func(ip *interp.Interp) error {
+		for _, m := range s.Prog.EntryMethods() {
+			obj, err := ip.NewObject(m.Class.Name)
+			if err != nil {
+				continue
+			}
+			args := make([]val.Value, len(m.Params))
+			for i, p := range m.Params {
+				args[i] = p.Type.Zero()
+			}
+			_, _ = ip.CallEntry(m, obj, args...)
+		}
+		return nil
+	})
+}
+
+// ExecScript runs ';'-separated SQL statements against db (schema
+// loading for tools and tests).
+func ExecScript(db *sqldb.DB, script string) error {
+	sess := db.NewSession()
+	for _, stmt := range strings.Split(script, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if _, err := sess.Exec(stmt); err != nil {
+			return fmt.Errorf("pyxis: schema statement %q: %w", stmt, err)
+		}
+	}
+	return nil
+}
+
+// EnsureGraph builds (or rebuilds) the weighted partition graph.
+func (s *System) EnsureGraph() *pdg.Graph {
+	if s.Graph == nil {
+		s.Graph = pdg.Build(s.Analysis, s.Profile, s.GraphOpts)
+	}
+	return s.Graph
+}
+
+// TotalLoad is the DB instruction load of running every statement on
+// the database (the budget that admits an all-DB partition).
+func (s *System) TotalLoad() float64 { return core.TotalLoad(s.EnsureGraph()) }
+
+// Partition solves placement under the given DB instruction budget
+// and compiles the resulting PyxIL to execution blocks.
+func (s *System) Partition(budget float64) (*Partition, error) {
+	g := s.EnsureGraph()
+	pt := core.New(g)
+	if s.Solver != nil {
+		pt.Solver = s.Solver
+	}
+	place, rep, err := pt.Partition(budget)
+	if err != nil {
+		return nil, err
+	}
+	px := pyxil.Generate(s.Analysis, g, place, pyxil.Options{NoReorder: s.NoReorder})
+	compiled, err := compile.Compile(px)
+	if err != nil {
+		return nil, err
+	}
+	return &Partition{System: s, Place: place, PyxIL: px, Compiled: compiled, Report: rep}, nil
+}
+
+// PartitionAt is Partition at a fraction of the total load (0 = all
+// statements on the application server; 1 = budget for everything on
+// the database server).
+func (s *System) PartitionAt(fraction float64) (*Partition, error) {
+	return s.Partition(s.TotalLoad() * fraction)
+}
+
+// Partition is one generated partitioning: placements, PyxIL, and the
+// compiled execution-block program.
+type Partition struct {
+	System   *System
+	Place    pdg.Placement
+	PyxIL    *pyxil.Program
+	Compiled *compile.Program
+	Report   *core.Report
+}
+
+// Deploy wires the partition to a database in-process (tests,
+// examples, simulation). For a real two-machine deployment see
+// cmd/pyxis-dbserver and cmd/pyxis-app.
+func (p *Partition) Deploy(db *sqldb.DB, opts runtime.Options) *runtime.Deployment {
+	return runtime.NewDeployment(p.Compiled, db, opts)
+}
+
+// DBStatements returns how many statements the partition placed on the
+// database server.
+func (p *Partition) DBStatements() int { return p.Report.DBNodes }
+
+// Describe summarizes the partition.
+func (p *Partition) Describe() string {
+	return fmt.Sprintf("%s; transfers(static)=%d", p.Report,
+		pyxil.ControlTransfers(p.System.Prog, p.Place))
+}
+
+// WritePyxIL renders the PyxIL program (Fig. 3 style) to w.
+func (p *Partition) WritePyxIL(w io.Writer) error {
+	_, err := io.WriteString(w, p.PyxIL.String())
+	return err
+}
