@@ -3,11 +3,17 @@
 // connects to its database and control-transfer ports over TCP, and
 // invokes an entry method with the given scalar arguments.
 //
+// With -clients N it drives N concurrent sessions, each its own
+// logical thread of control with its own object, multiplexed over one
+// TCP connection per port, and reports aggregate throughput plus
+// per-session latency.
+//
 // Usage (after starting pyxis-dbserver with the same -src/-schema/-budget):
 //
 //	pyxis-app -src order.pyxj -budget 1.0 -schema schema.sql \
 //	    -db localhost:7001 -ctl localhost:7002 \
-//	    -new Order -args 7 -call Order.placeOrder -callargs 3,0.9
+//	    -new Order -args 7 -call Order.placeOrder -callargs 3,0.9 \
+//	    -clients 8 -n 100
 package main
 
 import (
@@ -16,8 +22,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"pyxis"
+	"pyxis/internal/bench"
 	"pyxis/internal/dbapi"
 	"pyxis/internal/pdg"
 	"pyxis/internal/rpc"
@@ -37,11 +46,16 @@ func main() {
 		ctorArgs = flag.String("args", "", "comma-separated constructor arguments")
 		call     = flag.String("call", "", "entry method Class.method to invoke (required)")
 		callArgs = flag.String("callargs", "", "comma-separated entry arguments")
+		clients  = flag.Int("clients", 1, "number of concurrent client sessions")
+		repeat   = flag.Int("n", 1, "entry invocations per client")
 	)
 	flag.Parse()
 	if *srcPath == "" || *newClass == "" || *call == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *clients < 1 || *repeat < 1 {
+		fatal(fmt.Errorf("-clients and -n must be >= 1"))
 	}
 
 	src, err := os.ReadFile(*srcPath)
@@ -71,33 +85,88 @@ func main() {
 	}
 	fmt.Printf("pyxis-app: partition {%s}\n", part.Describe())
 
-	dbWire, err := rpc.Dial(*dbAddr)
+	// One multiplexed connection per port; every client session is a
+	// (db session, ctl session) pair on them.
+	dbMux, err := rpc.DialMux(*dbAddr)
 	if err != nil {
 		fatal(fmt.Errorf("dial db: %w", err))
 	}
-	defer dbWire.Close()
-	ctlWire, err := rpc.Dial(*ctlAddr)
+	defer dbMux.Close()
+	ctlMux, err := rpc.DialMux(*ctlAddr)
 	if err != nil {
 		fatal(fmt.Errorf("dial ctl: %w", err))
 	}
-	defer ctlWire.Close()
+	defer ctlMux.Close()
 
-	peer := runtime.NewPeer(part.Compiled, pdg.App, dbapi.NewClient(dbWire), os.Stdout)
-	client := &runtime.Client{Peer: peer, Remote: ctlWire}
+	appPeer := runtime.NewPeer(part.Compiled, pdg.App, os.Stdout)
+	ctorVals := parseArgs(*ctorArgs)
+	callVals := parseArgs(*callArgs)
 
-	oid, err := client.NewObject(*newClass, parseArgs(*ctorArgs)...)
-	if err != nil {
-		fatal(err)
+	type result struct {
+		ret  val.Value
+		lats []float64 // milliseconds
+		err  error
 	}
-	ret, err := client.CallEntry(*call, oid, parseArgs(*callArgs)...)
-	if err != nil {
-		fatal(err)
+	results := make([]result, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dbT := dbMux.Session()
+			ctlT := ctlMux.Session()
+			sess := appPeer.NewSession(dbapi.NewClient(dbT))
+			client := runtime.NewClient(sess, ctlT)
+			defer client.Close()
+			oid, err := client.NewObject(*newClass, ctorVals...)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			for k := 0; k < *repeat; k++ {
+				t0 := time.Now()
+				ret, err := client.CallEntry(*call, oid, callVals...)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				results[i].ret = ret
+				results[i].lats = append(results[i].lats, float64(time.Since(t0).Microseconds())/1e3)
+			}
+		}(i)
 	}
-	fmt.Printf("pyxis-app: %s returned %s\n", *call, ret)
-	ctl := ctlWire.Stats()
-	db := dbWire.Stats()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	failed := 0
+	var all []float64
+	for i, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "pyxis-app: session %d: %v\n", i, r.err)
+			continue
+		}
+		all = append(all, r.lats...)
+		if *clients == 1 {
+			fmt.Printf("pyxis-app: %s returned %s\n", *call, r.ret)
+		}
+	}
+	if *clients > 1 || *repeat > 1 {
+		fmt.Printf("pyxis-app: %d sessions x %d calls in %v (%.1f txn/s)\n",
+			*clients, *repeat, elapsed.Round(time.Millisecond),
+			float64(len(all))/elapsed.Seconds())
+		st := bench.Summarize(all)
+		fmt.Printf("pyxis-app: latency mean=%.3fms p95=%.3fms max=%.3fms\n",
+			st.MeanMs, st.P95Ms, st.MaxMs)
+	}
+	ctl := ctlMux.Stats()
+	db := dbMux.Stats()
 	fmt.Printf("pyxis-app: control transfers=%d (%d B), app-side db round trips=%d (%d B)\n",
 		ctl.Calls, ctl.BytesSent+ctl.BytesRecv, db.Calls, db.BytesSent+db.BytesRecv)
+	if failed > 0 {
+		os.Exit(1)
+	}
 }
 
 // parseArgs converts "7,0.9,true,hi" into scalar values.

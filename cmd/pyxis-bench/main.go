@@ -20,8 +20,10 @@ import (
 
 func main() {
 	var (
-		full = flag.Bool("full", false, "run paper-scale sweeps (slower)")
-		exps = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1", "comma-separated experiments")
+		full    = flag.Bool("full", false, "run paper-scale sweeps (slower)")
+		exps    = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1,parallel", "comma-separated experiments")
+		clients = flag.Int("clients", 16, "max concurrent sessions for the parallel experiment")
+		txns    = flag.Int("txns", 200, "transactions per client for the parallel experiment")
 	)
 	flag.Parse()
 
@@ -45,6 +47,10 @@ func main() {
 			runMicro1()
 			continue
 		}
+		if name == "parallel" {
+			runParallel(*clients, *txns)
+			continue
+		}
 		run, ok := runners[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "pyxis-bench: unknown experiment %q\n", name)
@@ -59,6 +65,43 @@ func main() {
 		fmt.Println(table)
 		fmt.Printf("(%s generated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runParallel measures real (wall-clock) multi-session scaling: N
+// goroutine clients multiplexed over one connection per wire against
+// one shared DB-side runtime, for both the stored-procedure-like
+// (budget 1.0) and client-side-query (budget 0) partitions.
+func runParallel(maxClients, txns int) {
+	if maxClients < 1 || txns < 1 {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: -clients and -txns must be >= 1")
+		os.Exit(2)
+	}
+	// Doubling sweep, always ending at the exact requested size.
+	var sizes []int
+	for n := 1; n < maxClients; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	sizes = append(sizes, maxClients)
+	fmt.Println("== Concurrent sessions: aggregate throughput over one multiplexed connection ==")
+	for _, budget := range []float64{1.0, 0} {
+		part, err := bench.ParallelPartition(budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pyxis-bench: parallel:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("budget %.1f: {%s}\n", budget, part.Describe())
+		for _, n := range sizes {
+			res, err := bench.RunParallel(part, bench.ParallelCfg{
+				Clients: n, Txns: txns, ShareEvery: 8, TCP: true,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pyxis-bench: parallel:", err)
+				os.Exit(1)
+			}
+			fmt.Println("  " + res.String())
+		}
+	}
+	fmt.Println()
 }
 
 // runMicro1 measures the real execution-block overhead (paper §7.3).

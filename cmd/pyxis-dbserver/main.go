@@ -5,8 +5,12 @@
 //
 // It listens on two ports: -db serves the database wire protocol
 // (what a JDBC-like client or an APP-side partition connects to), and
-// -ctl serves Pyxis control transfers. The PyxJ source, schema and
-// budget must match the ones pyxis-app uses so both sides compile the
+// -ctl serves Pyxis control transfers. Both ports speak the
+// multiplexed session protocol: one connection from an application
+// server carries any number of concurrent client sessions, each with
+// its own heap, stack and transaction context, all sharing the one
+// compiled program and database. The PyxJ source, schema and budget
+// must match the ones pyxis-app uses so both sides compile the
 // identical partition.
 //
 // Usage:
@@ -76,15 +80,24 @@ func main() {
 		fatal(err)
 	}
 
-	dbSrv, err := rpc.NewServer(*dbAddr, func() rpc.Handler { return dbapi.NewHandler(db) })
+	// Both ports speak the multiplexed protocol: one TCP connection
+	// from an app server carries any number of concurrent sessions.
+	// Session IDs are connection-scoped, so each accepted connection
+	// gets its own handler registry.
+	dbSrv, err := rpc.NewMuxServer(*dbAddr, func() rpc.SessionHandlers {
+		return dbapi.MuxHandlers(db)
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer dbSrv.Close()
 
-	ctlSrv, err := rpc.NewServer(*ctlAddr, func() rpc.Handler {
-		peer := runtime.NewPeer(part.Compiled, pdg.DB, dbapi.NewLocal(db), os.Stdout)
-		return runtime.Handler(peer)
+	// One shared DB-side runtime peer hosts every control-transfer
+	// session; the SessionManager gives each session its own heap,
+	// stack and database connection.
+	dbPeer := runtime.NewPeer(part.Compiled, pdg.DB, os.Stdout)
+	ctlSrv, err := rpc.NewMuxServer(*ctlAddr, func() rpc.SessionHandlers {
+		return runtime.NewSessionManager(dbPeer, func() dbapi.Conn { return dbapi.NewLocal(db) })
 	})
 	if err != nil {
 		fatal(err)

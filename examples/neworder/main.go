@@ -37,9 +37,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer dbSrv.Close()
+	dbPeer := runtime.NewPeer(part.Compiled, pdg.DB, nil)
 	ctlSrv, err := rpc.NewServer("127.0.0.1:0", func() rpc.Handler {
-		peer := runtime.NewPeer(part.Compiled, pdg.DB, dbapi.NewLocal(db), nil)
-		return runtime.Handler(peer)
+		// One runtime session per accepted connection: the plain
+		// Transport is the single-session special case of the
+		// multiplexed protocol cmd/pyxis-dbserver speaks.
+		return runtime.Handler(dbPeer.NewSession(dbapi.NewLocal(db)))
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -59,8 +62,9 @@ func main() {
 	}
 	defer ctlWire.Close()
 
-	appPeer := runtime.NewPeer(part.Compiled, pdg.App, dbapi.NewClient(dbWire), nil)
-	client := &runtime.Client{Peer: appPeer, Remote: ctlWire}
+	appPeer := runtime.NewPeer(part.Compiled, pdg.App, nil)
+	appSess := appPeer.NewSession(dbapi.NewClient(dbWire))
+	client := runtime.NewClient(appSess, ctlWire)
 
 	oid, err := client.NewObject("TPCC")
 	if err != nil {

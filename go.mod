@@ -1,0 +1,3 @@
+module pyxis
+
+go 1.24

@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"pyxis"
+	"pyxis/internal/dbapi"
+	"pyxis/internal/interp"
+	"pyxis/internal/pdg"
+	"pyxis/internal/rpc"
+	"pyxis/internal/runtime"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// This file is the wall-clock concurrent workload driver: unlike the
+// discrete-event harness in runner.go (which simulates many clients on
+// one goroutine), it runs N real goroutine clients, each an
+// independent Pyxis session, multiplexed over one connection per port
+// against ONE shared DB-side runtime — the deployment shape
+// cmd/pyxis-dbserver + cmd/pyxis-app produce, measured for real.
+
+// ParallelSource is the driver's ledger workload: every transaction
+// explicitly begins, updates an account balance, appends a history
+// row, reads the balance back, and commits — so concurrent clients
+// hold multi-statement row locks, exercising per-session transaction
+// contexts and 2PL contention in the shared database.
+const ParallelSource = `
+class Ledger {
+    int id;
+
+    Ledger(int id) {
+        this.id = id;
+    }
+
+    entry double deposit(int acct, int seq, double amt) {
+        db.begin();
+        db.update("UPDATE accounts SET balance = balance + ? WHERE cid = ?", amt, acct);
+        db.update("INSERT INTO history VALUES (?, ?, ?)", id, seq, amt);
+        table t = db.query("SELECT balance FROM accounts WHERE cid = ?", acct);
+        db.commit();
+        return t.getDouble(0, 0);
+    }
+
+    entry double balance(int acct) {
+        table t = db.query("SELECT balance FROM accounts WHERE cid = ?", acct);
+        return t.getDouble(0, 0);
+    }
+}
+`
+
+// parallelDB creates the ledger schema with one account per client
+// plus one shared account (id = clients), all starting at balance 0.
+func parallelDB(clients int) (*sqldb.DB, error) {
+	db := sqldb.Open()
+	sess := db.NewSession()
+	stmts := []string{
+		"CREATE TABLE accounts (cid INT PRIMARY KEY, balance DOUBLE)",
+		"CREATE TABLE history (owner INT, seq INT, amt DOUBLE, PRIMARY KEY (owner, seq))",
+	}
+	for _, sql := range stmts {
+		if _, err := sess.Exec(sql); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i <= clients; i++ {
+		if _, err := sess.Exec("INSERT INTO accounts VALUES (?, 0.0)", val.IntV(int64(i))); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// ParallelPartition compiles the ledger workload at the given budget
+// fraction (1.0 = stored-procedure-like: the whole transaction body on
+// the database server, one control transfer per call).
+func ParallelPartition(budget float64) (*pyxis.Partition, error) {
+	sys, err := pyxis.Load(ParallelSource)
+	if err != nil {
+		return nil, err
+	}
+	profDB, err := parallelDB(1)
+	if err != nil {
+		return nil, err
+	}
+	err = sys.ProfileWorkload(profDB, func(ip *interp.Interp) error {
+		obj, err := ip.NewObject("Ledger", interp.Scalar(val.IntV(0)))
+		if err != nil {
+			return err
+		}
+		dep := sys.Prog.Method("Ledger", "deposit")
+		bal := sys.Prog.Method("Ledger", "balance")
+		for k := 0; k < 10; k++ {
+			if _, err := ip.CallEntry(dep, obj, val.IntV(0), val.IntV(int64(k)), val.DoubleV(1)); err != nil {
+				return err
+			}
+		}
+		_, err = ip.CallEntry(bal, obj, val.IntV(0))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sys.PartitionAt(budget)
+}
+
+// ParallelCfg configures one concurrent measurement.
+type ParallelCfg struct {
+	Clients int // concurrent sessions (goroutines)
+	Txns    int // deposits per client
+	// ShareEvery: every k-th deposit goes to the shared account
+	// (contended row). 0 disables sharing.
+	ShareEvery int
+	// TCP runs the wires over real loopback TCP mux servers instead of
+	// in-process pipes.
+	TCP bool
+}
+
+// SessionStat is one session's latency profile.
+type SessionStat struct {
+	N                    int
+	MeanMs, P95Ms, MaxMs float64
+}
+
+// ParallelResult aggregates one run.
+type ParallelResult struct {
+	Clients    int
+	TotalTxns  int
+	Elapsed    time.Duration
+	Tput       float64 // transactions/second across all sessions
+	MeanMs     float64
+	P95Ms      float64
+	PerSession []SessionStat
+	// Transfers is the number of control transfers the shared DB-side
+	// peer served (> 0 proves partitioned code ran on the DB side).
+	Transfers int64
+	// FinalTotal is the sum of all account balances after the run; the
+	// caller can check it equals the sum of all deposits (no lost
+	// updates under concurrency).
+	FinalTotal float64
+}
+
+// RunParallel drives cfg.Clients concurrent sessions — each its own
+// logical thread of control with its own Ledger object — over ONE
+// multiplexed connection per wire against one shared DB-side runtime
+// and one shared database, and reports aggregate throughput plus
+// per-session latency.
+func RunParallel(part *pyxis.Partition, cfg ParallelCfg) (*ParallelResult, error) {
+	if cfg.Clients < 1 || cfg.Txns < 1 {
+		return nil, fmt.Errorf("bench: RunParallel needs Clients >= 1 and Txns >= 1")
+	}
+	db, err := parallelDB(cfg.Clients)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := part.Compiled
+	dbPeer := runtime.NewPeer(prog, pdg.DB, nil)
+	appPeer := runtime.NewPeer(prog, pdg.App, nil)
+	// Session IDs are connection-scoped, so each connection needs its
+	// own manager; they all share dbPeer (and so its metrics).
+	newMgr := func() rpc.SessionHandlers {
+		return runtime.NewSessionManager(dbPeer, func() dbapi.Conn { return dbapi.NewLocal(db) })
+	}
+
+	// One mux connection for control transfers, one for the APP-side
+	// database wire — all sessions share them.
+	var ctlMux, dbMux *rpc.MuxClient
+	if cfg.TCP {
+		ctlSrv, err := rpc.NewMuxServer("127.0.0.1:0", newMgr)
+		if err != nil {
+			return nil, err
+		}
+		defer ctlSrv.Close()
+		dbSrv, err := rpc.NewMuxServer("127.0.0.1:0", func() rpc.SessionHandlers { return dbapi.MuxHandlers(db) })
+		if err != nil {
+			return nil, err
+		}
+		defer dbSrv.Close()
+		if ctlMux, err = rpc.DialMux(ctlSrv.Addr()); err != nil {
+			return nil, err
+		}
+		defer ctlMux.Close()
+		if dbMux, err = rpc.DialMux(dbSrv.Addr()); err != nil {
+			return nil, err
+		}
+		defer dbMux.Close()
+	} else {
+		ctlMux = inProcMux(newMgr())
+		defer ctlMux.Close()
+		dbMux = inProcMux(dbapi.MuxHandlers(db))
+		defer dbMux.Close()
+	}
+
+	type sessionOut struct {
+		lats []float64 // milliseconds
+		err  error
+	}
+	outs := make([]sessionOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctlT := ctlMux.Session()
+			dbT := dbMux.Session()
+			sess := appPeer.NewSession(dbapi.NewClient(dbT))
+			client := runtime.NewClient(sess, ctlT)
+			// Retire both server-side sessions as this client finishes
+			// instead of letting them accumulate until connection
+			// teardown.
+			defer client.Close()
+			oid, err := client.NewObject("Ledger", val.IntV(int64(i)))
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			for k := 0; k < cfg.Txns; k++ {
+				acct := int64(i)
+				if cfg.ShareEvery > 0 && k%cfg.ShareEvery == 0 {
+					acct = int64(cfg.Clients) // contended shared account
+				}
+				t0 := time.Now()
+				_, err := client.CallEntry("Ledger.deposit", oid,
+					val.IntV(acct), val.IntV(int64(k)), val.DoubleV(1))
+				if err != nil {
+					outs[i].err = fmt.Errorf("session %d txn %d: %w", i, k, err)
+					return
+				}
+				outs[i].lats = append(outs[i].lats, float64(time.Since(t0).Microseconds())/1e3)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &ParallelResult{Clients: cfg.Clients, Elapsed: elapsed}
+	var all []float64
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		res.PerSession = append(res.PerSession, Summarize(outs[i].lats))
+		all = append(all, outs[i].lats...)
+	}
+	res.TotalTxns = len(all)
+	res.Tput = float64(len(all)) / elapsed.Seconds()
+	agg := Summarize(all)
+	res.MeanMs, res.P95Ms = agg.MeanMs, agg.P95Ms
+	res.Transfers = dbPeer.Metrics.Snapshot().Transfers
+
+	sess := db.NewSession()
+	rs, err := sess.Query("SELECT balance FROM accounts")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rs.Rows {
+		res.FinalTotal += row[0].F
+	}
+	return res, nil
+}
+
+// inProcMux wires a MuxClient directly to a demux loop over an
+// in-process pipe (no TCP, but the same framed mux protocol).
+func inProcMux(h rpc.SessionHandlers) *rpc.MuxClient {
+	srv, cli := net.Pipe()
+	go rpc.ServeMuxConn(srv, h)
+	return rpc.NewMuxClient(cli)
+}
+
+// Summarize computes mean/p95/max over a latency sample in
+// milliseconds (shared by the bench driver and cmd/pyxis-app).
+func Summarize(lats []float64) SessionStat {
+	st := SessionStat{N: len(lats)}
+	if len(lats) == 0 {
+		return st
+	}
+	sorted := append([]float64{}, lats...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	st.MeanMs = sum / float64(len(sorted))
+	// Nearest-rank percentile: ceil(q*n) is the rank, 1-indexed.
+	i := int(math.Ceil(0.95*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	st.P95Ms = sorted[i]
+	st.MaxMs = sorted[len(sorted)-1]
+	return st
+}
+
+// String renders the result as one table row block.
+func (r *ParallelResult) String() string {
+	return fmt.Sprintf("clients=%d txns=%d elapsed=%v tput=%.0f txn/s lat(mean=%.3fms p95=%.3fms) transfers=%d",
+		r.Clients, r.TotalTxns, r.Elapsed.Round(time.Millisecond), r.Tput, r.MeanMs, r.P95Ms, r.Transfers)
+}

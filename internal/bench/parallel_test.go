@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestRunParallelMux is the acceptance test for the concurrent
+// runtime: >= 8 concurrent sessions multiplexed over one connection
+// per wire against one shared DB-side runtime, with the ledger
+// invariant proving no update was lost under contention.
+func TestRunParallelMux(t *testing.T) {
+	part, err := ParallelPartition(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.DBStatements() == 0 {
+		t.Fatal("budget 1.0 should place statements on the DB server")
+	}
+	cfg := ParallelCfg{Clients: 8, Txns: 10, ShareEvery: 4}
+	res, err := RunParallel(part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTxns := cfg.Clients * cfg.Txns
+	if res.TotalTxns != wantTxns {
+		t.Errorf("completed %d txns, want %d", res.TotalTxns, wantTxns)
+	}
+	if res.Transfers == 0 {
+		t.Error("shared DB-side peer served no control transfers")
+	}
+	// Every deposit added exactly 1.0 somewhere; lost updates on the
+	// contended shared account would show up as a lower total.
+	if res.FinalTotal != float64(wantTxns) {
+		t.Errorf("sum of balances = %v, want %v (lost update under concurrency)", res.FinalTotal, wantTxns)
+	}
+	if len(res.PerSession) != cfg.Clients {
+		t.Errorf("per-session stats for %d sessions, want %d", len(res.PerSession), cfg.Clients)
+	}
+	for i, s := range res.PerSession {
+		if s.N != cfg.Txns {
+			t.Errorf("session %d recorded %d latencies, want %d", i, s.N, cfg.Txns)
+		}
+	}
+}
+
+// TestRunParallelTCP runs the same shape over real loopback TCP.
+func TestRunParallelTCP(t *testing.T) {
+	part, err := ParallelPartition(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunParallel(part, ParallelCfg{Clients: 8, Txns: 5, ShareEvery: 2, TCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTxns != 40 {
+		t.Errorf("completed %d txns, want 40", res.TotalTxns)
+	}
+	if res.FinalTotal != 40 {
+		t.Errorf("sum of balances = %v, want 40", res.FinalTotal)
+	}
+}
+
+// TestRunParallelAppSide exercises the low-budget partition (queries
+// issued from the APP side over the database wire) under concurrency.
+func TestRunParallelAppSide(t *testing.T) {
+	part, err := ParallelPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunParallel(part, ParallelCfg{Clients: 8, Txns: 5, ShareEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTxns != 40 {
+		t.Errorf("completed %d txns, want 40", res.TotalTxns)
+	}
+	if res.FinalTotal != 40 {
+		t.Errorf("sum of balances = %v, want 40", res.FinalTotal)
+	}
+}

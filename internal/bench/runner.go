@@ -151,17 +151,19 @@ func (sc *SimClient) RollbackAll() {
 func NewSimClient(prog *compile.Program, db *sqldb.DB, p *sim.Proc, env *Env) *SimClient {
 	dbLocal := dbapi.NewLocal(db)
 	dbLocal.Sess.WaitPoint = p.WaitPoint
-	dbPeer := runtime.NewPeer(prog, pdg.DB, dbLocal, nil)
+	dbPeer := runtime.NewPeer(prog, pdg.DB, nil)
 	dbPeer.Env = env
+	dbSess := dbPeer.NewSession(dbLocal)
 
 	appLocal := dbapi.NewLocal(db)
 	appLocal.Sess.WaitPoint = p.WaitPoint
-	appPeer := runtime.NewPeer(prog, pdg.App, appLocal, nil)
+	appPeer := runtime.NewPeer(prog, pdg.App, nil)
 	appPeer.Env = env
+	appSess := appPeer.NewSession(appLocal)
 
-	ctl := rpc.NewInProc(runtime.Handler(dbPeer), 0) // latency charged via env
+	ctl := rpc.NewInProc(runtime.Handler(dbSess), 0) // latency charged via env
 	return &SimClient{
-		Client:  &runtime.Client{Peer: appPeer, Remote: ctl},
+		Client:  runtime.NewClient(appSess, ctl),
 		AppConn: appLocal,
 		DBConn:  dbLocal,
 		DBPeer:  dbPeer,

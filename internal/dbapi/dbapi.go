@@ -10,6 +10,7 @@ package dbapi
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"pyxis/internal/rpc"
 	"pyxis/internal/sqldb"
@@ -163,6 +164,38 @@ func decodeError(msg string) error {
 func NewHandler(db *sqldb.DB) rpc.Handler {
 	sess := db.NewSession()
 	return SessionHandler(sess)
+}
+
+// MuxHandlers serves the database wire protocol on a multiplexed
+// connection: each mux session gets its own sqldb session (and so its
+// own transaction context); a session left with an open transaction is
+// rolled back on close so its locks never outlive it.
+func MuxHandlers(db *sqldb.DB) rpc.SessionHandlers {
+	return &muxHandlers{db: db, sessions: map[uint32]*sqldb.Session{}}
+}
+
+type muxHandlers struct {
+	db       *sqldb.DB
+	mu       sync.Mutex
+	sessions map[uint32]*sqldb.Session
+}
+
+func (h *muxHandlers) Open(sid uint32) rpc.Handler {
+	sess := h.db.NewSession()
+	h.mu.Lock()
+	h.sessions[sid] = sess
+	h.mu.Unlock()
+	return SessionHandler(sess)
+}
+
+func (h *muxHandlers) Closed(sid uint32) {
+	h.mu.Lock()
+	sess := h.sessions[sid]
+	delete(h.sessions, sid)
+	h.mu.Unlock()
+	if sess != nil && sess.InTxn() {
+		_ = sess.Rollback()
+	}
 }
 
 // SessionHandler serves the wire protocol against an existing session

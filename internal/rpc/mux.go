@@ -1,0 +1,468 @@
+package rpc
+
+// This file adds multiplexed transports: many logical sessions share
+// one connection, each session carrying concurrent request/response
+// exchanges. The plain Transport of transport.go remains the
+// single-session special case; a MuxSession implements the same
+// Transport interface, so everything built on Transport (dbapi.Client,
+// the runtime's control-transfer protocol) works unchanged over a
+// multiplexed connection.
+//
+// Mux wire format: every frame is the usual 4-byte length prefix
+// followed by a 9-byte header and the body:
+//
+//	[sid u32][rid u32][kind u8][body...]
+//
+// sid identifies the session (allocated by the client, scoped to the
+// connection), rid the request within the session. Kinds:
+//
+//	muxCall      client -> server   body = request payload
+//	muxReplyOK   server -> client   body = response payload
+//	muxReplyErr  server -> client   body = error text
+//	muxCloseSess client -> server   session teardown (no reply)
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	muxCall byte = iota
+	muxReplyOK
+	muxReplyErr
+	muxCloseSess
+)
+
+const muxHeaderLen = 9
+
+type muxFrame struct {
+	sid  uint32
+	rid  uint32
+	kind byte
+	body []byte
+}
+
+func writeMuxFrame(w io.Writer, f muxFrame) error {
+	// Length prefix and mux header share one stack buffer; the body is
+	// written directly — no per-frame copy of the payload (heap-sync
+	// transfers can be large and this is the RPC hot path).
+	var hdr [4 + muxHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(muxHeaderLen+len(f.body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], f.sid)
+	binary.LittleEndian.PutUint32(hdr[8:12], f.rid)
+	hdr[12] = f.kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.body) == 0 {
+		return nil
+	}
+	_, err := w.Write(f.body)
+	return err
+}
+
+func readMuxFrame(r io.Reader) (muxFrame, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return muxFrame{}, err
+	}
+	if len(payload) < muxHeaderLen {
+		return muxFrame{}, fmt.Errorf("rpc: mux frame too short (%d bytes)", len(payload))
+	}
+	return muxFrame{
+		sid:  binary.LittleEndian.Uint32(payload),
+		rid:  binary.LittleEndian.Uint32(payload[4:]),
+		kind: payload[8],
+		body: payload[muxHeaderLen:],
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+// MuxClient multiplexes many sessions over one connection. Sessions
+// are created with Session(); each is an independent Transport whose
+// calls may be issued concurrently with calls on other sessions (and
+// even with other calls on the same session — responses are matched
+// by request ID, not order). A session may have a bounded number of
+// calls outstanding at once; beyond that the server sheds the excess
+// with an error reply.
+type MuxClient struct {
+	conn io.ReadWriteCloser
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxFrame // (sid<<32|rid) -> reply slot
+	err     error                    // sticky: set when the read loop dies
+	closed  bool
+
+	nextSID atomic.Uint32
+	// Self-aligning atomics (plain int64 + atomic.AddInt64 would fault
+	// on 32-bit platforms at this struct offset).
+	calls, bytesSent, bytesRecv atomic.Int64
+}
+
+// NewMuxClient starts a multiplexed client over an existing
+// connection and takes ownership of it.
+func NewMuxClient(conn io.ReadWriteCloser) *MuxClient {
+	c := &MuxClient{conn: conn, pending: map[uint64]chan muxFrame{}}
+	go c.readLoop()
+	return c
+}
+
+// DialMux connects a MuxClient to a MuxServer at addr.
+func DialMux(addr string) (*MuxClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewMuxClient(conn), nil
+}
+
+func muxKey(sid, rid uint32) uint64 { return uint64(sid)<<32 | uint64(rid) }
+
+func (c *MuxClient) readLoop() {
+	for {
+		f, err := readMuxFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("rpc: mux connection lost: %w", err))
+			return
+		}
+		c.bytesRecv.Add(int64(len(f.body)) + muxHeaderLen + 4)
+		c.mu.Lock()
+		ch, ok := c.pending[muxKey(f.sid, f.rid)]
+		if ok {
+			delete(c.pending, muxKey(f.sid, f.rid))
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// fail poisons the client: every pending and future call returns err.
+func (c *MuxClient) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pend := c.pending
+	c.pending = map[uint64]chan muxFrame{}
+	c.mu.Unlock()
+	for _, ch := range pend {
+		close(ch) // receiver observes closed channel -> c.err
+	}
+}
+
+func (c *MuxClient) call(sid, rid uint32, req []byte) ([]byte, error) {
+	ch := make(chan muxFrame, 1)
+	key := muxKey(sid, rid)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[key] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeMuxFrame(c.conn, muxFrame{sid: sid, rid: rid, kind: muxCall, body: req})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, key)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.calls.Add(1)
+	c.bytesSent.Add(int64(len(req)) + muxHeaderLen + 4)
+
+	f, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("rpc: mux client closed")
+		}
+		return nil, err
+	}
+	switch f.kind {
+	case muxReplyOK:
+		return f.body, nil
+	case muxReplyErr:
+		return nil, fmt.Errorf("rpc: remote error: %s", string(f.body))
+	}
+	return nil, fmt.Errorf("rpc: malformed mux reply kind %d", f.kind)
+}
+
+// Session opens a new logical session. The returned transport is safe
+// for concurrent use and independent of every other session on the
+// connection.
+func (c *MuxClient) Session() *MuxSession {
+	return &MuxSession{c: c, sid: c.nextSID.Add(1)}
+}
+
+// Stats returns aggregate traffic counters across all sessions.
+func (c *MuxClient) Stats() Stats {
+	return Stats{
+		Calls:     c.calls.Load(),
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+	}
+}
+
+// Close tears down the connection; all sessions fail afterwards.
+func (c *MuxClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.fail(fmt.Errorf("rpc: mux client closed"))
+	return err
+}
+
+// MuxSession is one logical session on a MuxClient. It implements
+// Transport.
+type MuxSession struct {
+	c       *MuxClient
+	sid     uint32
+	nextRID atomic.Uint32
+	closed  atomic.Bool
+}
+
+// ID returns the session's connection-scoped identifier.
+func (s *MuxSession) ID() uint32 { return s.sid }
+
+// Call implements Transport.
+func (s *MuxSession) Call(req []byte) ([]byte, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("rpc: session %d closed", s.sid)
+	}
+	return s.c.call(s.sid, s.nextRID.Add(1), req)
+}
+
+// Close implements Transport: it retires this session on the server
+// (releasing its state) but leaves the shared connection open.
+func (s *MuxSession) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.c.wmu.Lock()
+	defer s.c.wmu.Unlock()
+	return writeMuxFrame(s.c.conn, muxFrame{sid: s.sid, kind: muxCloseSess})
+}
+
+// ---------------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------------
+
+// SessionHandlers provides per-session request handlers for one
+// multiplexed connection. Open is called once per new session ID;
+// Closed is called when the session ends (explicit close frame or
+// connection teardown), at most once per opened session.
+type SessionHandlers interface {
+	Open(sid uint32) Handler
+	Closed(sid uint32)
+}
+
+// HandlerFactory adapts a stateless per-session handler constructor to
+// SessionHandlers (no teardown needed).
+type HandlerFactory func(sid uint32) Handler
+
+func (f HandlerFactory) Open(sid uint32) Handler { return f(sid) }
+func (f HandlerFactory) Closed(uint32)           {}
+
+// sessionWorker preserves per-session request ordering: all calls for
+// one session run on one goroutine, while distinct sessions run
+// concurrently.
+type sessionWorker struct {
+	ch chan muxFrame
+}
+
+// sessionQueueDepth bounds how many requests one session may have
+// outstanding; excess calls are rejected with an error reply rather
+// than blocking the connection's read loop (which would wedge every
+// session behind one flooded queue). The Pyxis runtime keeps a single
+// logical thread per session (at most one outstanding call), so the
+// limit is never hit in normal operation.
+const sessionQueueDepth = 32
+
+// ServeMuxConn demuxes one multiplexed connection, dispatching each
+// session's requests to its own handler on its own goroutine. It
+// returns when the connection fails or closes, after all session
+// workers have drained and Closed has fired for each open session.
+func ServeMuxConn(conn io.ReadWriteCloser, handlers SessionHandlers) {
+	var (
+		wmu      sync.Mutex
+		wg       sync.WaitGroup
+		sessions = map[uint32]*sessionWorker{}
+		// retired tombstones recently closed session IDs: a call racing
+		// its session's close frame can arrive just after the close and
+		// must fail, not resurrect the session with fresh empty state.
+		// The race window is at most the session's in-flight calls, so
+		// a bounded FIFO suffices and keeps long-lived connections from
+		// accumulating one entry per session ever served.
+		retired      = map[uint32]bool{}
+		retiredOrder []uint32
+	)
+	const retiredCap = 1024
+	defer func() {
+		for sid, sw := range sessions {
+			close(sw.ch)
+			delete(sessions, sid)
+		}
+		wg.Wait()
+	}()
+	for {
+		f, err := readMuxFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.kind {
+		case muxCall:
+			if retired[f.sid] {
+				wmu.Lock()
+				werr := writeMuxFrame(conn, muxFrame{sid: f.sid, rid: f.rid, kind: muxReplyErr,
+					body: []byte(fmt.Sprintf("session %d closed", f.sid))})
+				wmu.Unlock()
+				if werr != nil {
+					return
+				}
+				continue
+			}
+			sw := sessions[f.sid]
+			if sw == nil {
+				sw = &sessionWorker{ch: make(chan muxFrame, sessionQueueDepth)}
+				sessions[f.sid] = sw
+				h := handlers.Open(f.sid)
+				sid := f.sid
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer handlers.Closed(sid)
+					for req := range sw.ch {
+						resp, herr := h(req.body)
+						out := muxFrame{sid: req.sid, rid: req.rid, kind: muxReplyOK, body: resp}
+						if herr != nil {
+							out.kind = muxReplyErr
+							out.body = []byte(herr.Error())
+						}
+						wmu.Lock()
+						werr := writeMuxFrame(conn, out)
+						wmu.Unlock()
+						if werr != nil {
+							// The connection is dead; keep draining so the
+							// read loop never blocks on a full queue before
+							// it notices the failure itself.
+							for range sw.ch {
+							}
+							return
+						}
+					}
+				}()
+			}
+			select {
+			case sw.ch <- f:
+			default:
+				// Queue full: shed this call so one flooded session
+				// can never stall the read loop (and with it every
+				// other session on the connection).
+				wmu.Lock()
+				werr := writeMuxFrame(conn, muxFrame{sid: f.sid, rid: f.rid, kind: muxReplyErr,
+					body: []byte(fmt.Sprintf("session %d queue overflow (max %d outstanding calls)", f.sid, sessionQueueDepth))})
+				wmu.Unlock()
+				if werr != nil {
+					return
+				}
+			}
+		case muxCloseSess:
+			if sw := sessions[f.sid]; sw != nil {
+				close(sw.ch)
+				delete(sessions, f.sid)
+			}
+			if !retired[f.sid] {
+				retired[f.sid] = true
+				retiredOrder = append(retiredOrder, f.sid)
+				if len(retiredOrder) > retiredCap {
+					delete(retired, retiredOrder[0])
+					retiredOrder = retiredOrder[1:]
+				}
+			}
+		default:
+			// Unknown frame kind from a client: drop the connection.
+			return
+		}
+	}
+}
+
+// MuxServer accepts connections and serves each as a multiplexed
+// session stream. The factory runs once per connection, producing that
+// connection's SessionHandlers (so session IDs from different
+// connections never collide).
+type MuxServer struct {
+	lis     net.Listener
+	factory func() SessionHandlers
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewMuxServer listens on addr, creating per-connection session
+// handlers via factory.
+func NewMuxServer(addr string, factory func() SessionHandlers) (*MuxServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &MuxServer{lis: lis, factory: factory}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *MuxServer) Addr() string { return s.lis.Addr().String() }
+
+func (s *MuxServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		h := s.factory()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			ServeMuxConn(conn, h)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (s *MuxServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}

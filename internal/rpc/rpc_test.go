@@ -191,3 +191,79 @@ func TestTCPConcurrentClients(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// Property: values of EVERY kind — including the reference kinds Obj,
+// Arr, Table and the scalars Null/Bool the narrower property above
+// skips — survive the codec, alone and in slices.
+func TestValueCodecAllKinds(t *testing.T) {
+	gen := func(kind val.Kind, i int64, f float64, s string, b bool) val.Value {
+		switch kind {
+		case val.Null:
+			return val.NullV()
+		case val.Int:
+			return val.IntV(i)
+		case val.Double:
+			return val.DoubleV(f)
+		case val.Bool:
+			return val.BoolV(b)
+		case val.Str:
+			return val.StrV(s)
+		case val.Obj:
+			return val.Value{K: val.Obj, I: i}
+		case val.Arr:
+			return val.Value{K: val.Arr, I: i}
+		default:
+			return val.Value{K: val.Table, I: i}
+		}
+	}
+	kinds := []val.Kind{val.Null, val.Int, val.Double, val.Bool, val.Str, val.Obj, val.Arr, val.Table}
+	f := func(picks []uint8, is []int64, fs []float64, ss []string, bs []bool) bool {
+		var in []val.Value
+		for j, p := range picks {
+			var (
+				iv int64
+				fv float64
+				sv string
+				bv bool
+			)
+			if len(is) > 0 {
+				iv = is[j%len(is)]
+			}
+			if len(fs) > 0 {
+				fv = fs[j%len(fs)]
+			}
+			if len(ss) > 0 {
+				sv = ss[j%len(ss)]
+			}
+			if len(bs) > 0 {
+				bv = bs[j%len(bs)]
+			}
+			in = append(in, gen(kinds[int(p)%len(kinds)], iv, fv, sv, bv))
+		}
+		var w Writer
+		w.Vals(in)
+		r := &Reader{Buf: w.Buf}
+		out := r.Vals()
+		if r.Err() != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].K != in[i].K || !in[i].Equal(out[i]) {
+				return false
+			}
+		}
+		return r.Off == len(w.Buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Corrupt kind bytes must error, not panic or mis-decode.
+func TestValueCodecBadKind(t *testing.T) {
+	r := &Reader{Buf: []byte{99}}
+	_ = r.Val()
+	if r.Err() == nil {
+		t.Fatal("bad value kind should stick an error")
+	}
+}

@@ -2,7 +2,9 @@
 // request/response transports used both by the database client (the
 // JDBC analogue) and by the Pyxis runtime's control-transfer protocol.
 // Transports are pluggable: in-process (optionally latency-injected)
-// for tests and simulation, TCP for real two-server deployments.
+// for tests and simulation, TCP for real two-server deployments, and
+// multiplexed TCP (mux.go) where one connection carries any number of
+// concurrent sessions, each an independent Transport.
 package rpc
 
 import (

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pyxis/internal/compile"
 	"pyxis/internal/dbapi"
@@ -15,7 +17,10 @@ import (
 
 // Env observes and charges execution costs. The discrete-event
 // simulator implements it to account virtual CPU and network time;
-// real deployments leave it nil.
+// real deployments leave it nil. A peer's Env is invoked from every
+// session the peer hosts: when sessions run on concurrent goroutines
+// the implementation must be safe for concurrent use (the simulator's
+// is exempt — it schedules all virtual clients on one goroutine).
 type Env interface {
 	// BlockExecuted is called after each block with its instruction count.
 	BlockExecuted(side pdg.Loc, instrs int)
@@ -28,31 +33,81 @@ type Env interface {
 	TransferSend(from pdg.Loc, bytes int)
 }
 
-// Metrics counts a peer's activity.
+// Metrics counts a peer's activity, aggregated across every session it
+// hosts. All counters are atomic: sessions update them concurrently.
 type Metrics struct {
-	Transfers int64
-	BytesSent int64
-	BytesRecv int64
-	DBCalls   int64
-	Blocks    int64
-	Instrs    int64
+	Transfers atomic.Int64
+	BytesSent atomic.Int64
+	BytesRecv atomic.Int64
+	DBCalls   atomic.Int64
+	Blocks    atomic.Int64
+	Instrs    atomic.Int64
 }
 
-// Peer is one side of a partitioned deployment: the compiled program,
-// this side's heap, a database connection (embedded on the DB side,
-// wire client on the APP side), and pending heap synchronization.
+// MetricsSnapshot is a plain copy of Metrics at one instant.
+type MetricsSnapshot struct {
+	Transfers, BytesSent, BytesRecv, DBCalls, Blocks, Instrs int64
+}
+
+// Snapshot reads every counter.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Transfers: m.Transfers.Load(),
+		BytesSent: m.BytesSent.Load(),
+		BytesRecv: m.BytesRecv.Load(),
+		DBCalls:   m.DBCalls.Load(),
+		Blocks:    m.Blocks.Load(),
+		Instrs:    m.Instrs.Load(),
+	}
+}
+
+// Peer is one side of a partitioned deployment: the compiled program
+// and the side-wide execution environment, shared by every session the
+// side hosts. Per-session state (heap, frame stack, database
+// connection, pending sync) lives in Session; a Peer plus N Sessions
+// serves N concurrent logical threads of control over one program.
 type Peer struct {
 	Prog *compile.Program
 	Side pdg.Loc
-	DB   dbapi.Conn
-	Out  io.Writer
-	Heap *Heap
-	Env  Env
+	// Out receives sys.print output from every session; writes are
+	// serialized by the peer, so any io.Writer is safe.
+	Out io.Writer
+	Env Env
 
 	Metrics Metrics
 
+	outMu sync.Mutex
+}
+
+// NewPeer creates the shared engine for one side.
+func NewPeer(prog *compile.Program, side pdg.Loc, out io.Writer) *Peer {
+	if out == nil {
+		out = io.Discard
+	}
+	return &Peer{Prog: prog, Side: side, Out: out}
+}
+
+// Session is one logical client's state on a peer: its half of the
+// distributed heap, its database connection (embedded on the DB side,
+// wire client on the APP side), and the heap synchronization pending
+// for its next control transfer. A Session preserves the paper's
+// single logical thread of control — it must not be used from more
+// than one goroutine at a time — but distinct Sessions on the same
+// Peer run fully concurrently.
+type Session struct {
+	Peer *Peer
+	DB   dbapi.Conn
+	Heap *Heap
+
 	pending []pendingSync
 	pendSet map[pendKey]bool
+}
+
+// NewSession creates a session on p using the given database
+// connection (which the session owns: one connection = one
+// transaction context).
+func (p *Peer) NewSession(db dbapi.Conn) *Session {
+	return &Session{Peer: p, DB: db, Heap: NewHeap(p.Side), pendSet: map[pendKey]bool{}}
 }
 
 type pendKey struct {
@@ -61,28 +116,28 @@ type pendKey struct {
 	part pdg.Loc
 }
 
-// NewPeer creates a peer for one side.
-func NewPeer(prog *compile.Program, side pdg.Loc, db dbapi.Conn, out io.Writer) *Peer {
-	if out == nil {
-		out = io.Discard
-	}
-	return &Peer{Prog: prog, Side: side, DB: db, Out: out, Heap: NewHeap(side), pendSet: map[pendKey]bool{}}
-}
-
-func (p *Peer) addPending(ps pendingSync) {
+func (sn *Session) addPending(ps pendingSync) {
 	k := pendKey{ps.kind, ps.oid, ps.part}
-	if p.pendSet[k] {
+	if sn.pendSet[k] {
 		return
 	}
-	p.pendSet[k] = true
-	p.pending = append(p.pending, ps)
+	sn.pendSet[k] = true
+	sn.pending = append(sn.pending, ps)
 }
 
-func (p *Peer) takePending() []pendingSync {
-	out := p.pending
-	p.pending = nil
-	p.pendSet = map[pendKey]bool{}
+func (sn *Session) takePending() []pendingSync {
+	out := sn.pending
+	sn.pending = nil
+	sn.pendSet = map[pendKey]bool{}
 	return out
+}
+
+// Close releases the session's database connection.
+func (sn *Session) Close() error {
+	if sn.DB == nil {
+		return nil
+	}
+	return sn.DB.Close()
 }
 
 // Frame is one activation record. RetSlot/Cont say where the caller
@@ -106,7 +161,18 @@ func runErr(format string, args ...any) error {
 // Run executes blocks starting at b until control leaves this side
 // (done=false, next=remote block) or the bottom frame returns
 // (done=true with the return value).
-func (p *Peer) Run(b compile.BlockID, stack []*Frame) (next compile.BlockID, done bool, ret val.Value, outStack []*Frame, err error) {
+func (sn *Session) Run(b compile.BlockID, stack []*Frame) (next compile.BlockID, done bool, ret val.Value, outStack []*Frame, err error) {
+	p := sn.Peer
+	// Counters batch into the shared atomic metrics once per Run: the
+	// block loop is the interpreter's hot path and per-block atomic
+	// traffic measurably slows single-session latency.
+	var blocks, instrs int64
+	defer func() {
+		if blocks > 0 {
+			p.Metrics.Blocks.Add(blocks)
+			p.Metrics.Instrs.Add(instrs)
+		}
+	}()
 	for {
 		blk := p.Prog.Block(b)
 		if blk.Loc != p.Side {
@@ -114,12 +180,12 @@ func (p *Peer) Run(b compile.BlockID, stack []*Frame) (next compile.BlockID, don
 		}
 		fr := stack[len(stack)-1]
 		for i := range blk.Code {
-			if err := p.exec(&blk.Code[i], fr); err != nil {
+			if err := sn.exec(&blk.Code[i], fr); err != nil {
 				return 0, false, val.Value{}, stack, err
 			}
 		}
-		p.Metrics.Blocks++
-		p.Metrics.Instrs += int64(len(blk.Code))
+		blocks++
+		instrs += int64(len(blk.Code))
 		if p.Env != nil {
 			p.Env.BlockExecuted(p.Side, len(blk.Code))
 		}
@@ -163,7 +229,8 @@ func (p *Peer) Run(b compile.BlockID, stack []*Frame) (next compile.BlockID, don
 	}
 }
 
-func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
+func (sn *Session) exec(in *compile.Instr, fr *Frame) error {
+	p := sn.Peer
 	s := fr.Slots
 	switch in.Op {
 	case compile.OpConst:
@@ -190,27 +257,27 @@ func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
 			}
 		}
 	case compile.OpNewObj:
-		s[in.A] = val.ObjV(p.Heap.NewObject(in.Class))
+		s[in.A] = val.ObjV(sn.Heap.NewObject(in.Class))
 	case compile.OpNewArr:
 		n := s[in.B].I
 		if n < 0 {
 			return runErr("negative array length %d", n)
 		}
-		s[in.A] = val.ArrV(p.Heap.NewArray(int(n), in.Lit))
+		s[in.A] = val.ArrV(sn.Heap.NewArray(int(n), in.Lit))
 	case compile.OpGetField:
-		o, err := p.Heap.Object(s[in.B].OID(), in.Field.Class)
+		o, err := sn.Heap.Object(s[in.B].OID(), in.Field.Class)
 		if err != nil {
 			return err
 		}
 		s[in.A] = o.Part(in.Field.Loc)[in.Field.PartIdx]
 	case compile.OpSetField:
-		o, err := p.Heap.Object(s[in.A].OID(), in.Field.Class)
+		o, err := sn.Heap.Object(s[in.A].OID(), in.Field.Class)
 		if err != nil {
 			return err
 		}
 		o.Part(in.Field.Loc)[in.Field.PartIdx] = s[in.B]
 	case compile.OpGetIdx:
-		a, err := p.Heap.Array(s[in.B].OID())
+		a, err := sn.Heap.Array(s[in.B].OID())
 		if err != nil {
 			return err
 		}
@@ -220,7 +287,7 @@ func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
 		}
 		s[in.A] = a.Elems[i]
 	case compile.OpSetIdx:
-		a, err := p.Heap.Array(s[in.A].OID())
+		a, err := sn.Heap.Array(s[in.A].OID())
 		if err != nil {
 			return err
 		}
@@ -234,13 +301,13 @@ func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
 			s[in.A] = val.IntV(int64(len(s[in.B].S)))
 			break
 		}
-		a, err := p.Heap.Array(s[in.B].OID())
+		a, err := sn.Heap.Array(s[in.B].OID())
 		if err != nil {
 			return err
 		}
 		s[in.A] = val.IntV(int64(len(a.Elems)))
 	case compile.OpDBQuery:
-		p.Metrics.DBCalls++
+		p.Metrics.DBCalls.Add(1)
 		if p.Env != nil {
 			p.Env.DBCall(p.Side)
 		}
@@ -248,13 +315,13 @@ func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
 		for i, slot := range in.Args {
 			args[i] = s[slot]
 		}
-		rs, err := p.DB.Query(in.SQL, args...)
+		rs, err := sn.DB.Query(in.SQL, args...)
 		if err != nil {
 			return fmt.Errorf("db.query: %w", err)
 		}
-		s[in.A] = val.TableV(p.Heap.NewTable(rs.Cols, rs.Rows))
+		s[in.A] = val.TableV(sn.Heap.NewTable(rs.Cols, rs.Rows))
 	case compile.OpDBExec:
-		p.Metrics.DBCalls++
+		p.Metrics.DBCalls.Add(1)
 		if p.Env != nil {
 			p.Env.DBCall(p.Side)
 		}
@@ -262,24 +329,24 @@ func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
 		for i, slot := range in.Args {
 			args[i] = s[slot]
 		}
-		n, err := p.DB.Exec(in.SQL, args...)
+		n, err := sn.DB.Exec(in.SQL, args...)
 		if err != nil {
 			return fmt.Errorf("db.update: %w", err)
 		}
 		s[in.A] = val.IntV(int64(n))
 	case compile.OpDBBegin, compile.OpDBCommit, compile.OpDBRollback:
-		p.Metrics.DBCalls++
+		p.Metrics.DBCalls.Add(1)
 		if p.Env != nil {
 			p.Env.DBCall(p.Side)
 		}
 		var err error
 		switch in.Op {
 		case compile.OpDBBegin:
-			err = p.DB.Begin()
+			err = sn.DB.Begin()
 		case compile.OpDBCommit:
-			err = p.DB.Commit()
+			err = sn.DB.Commit()
 		default:
-			err = p.DB.Rollback()
+			err = sn.DB.Rollback()
 		}
 		if err != nil {
 			return fmt.Errorf("db txn: %w", err)
@@ -289,7 +356,9 @@ func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
 		for i, slot := range in.Args {
 			parts[i] = s[slot].String()
 		}
+		p.outMu.Lock()
 		fmt.Fprintln(p.Out, strings.Join(parts, " "))
+		p.outMu.Unlock()
 	case compile.OpSha1:
 		if p.Env != nil {
 			p.Env.Sha1(p.Side)
@@ -298,13 +367,13 @@ func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
 	case compile.OpStr:
 		s[in.A] = val.StrV(s[in.B].String())
 	case compile.OpTblRows:
-		t, err := p.Heap.Table(s[in.B].OID())
+		t, err := sn.Heap.Table(s[in.B].OID())
 		if err != nil {
 			return err
 		}
 		s[in.A] = val.IntV(int64(len(t.Rows)))
 	case compile.OpTblGet:
-		t, err := p.Heap.Table(s[in.B].OID())
+		t, err := sn.Heap.Table(s[in.B].OID())
 		if err != nil {
 			return err
 		}
@@ -319,15 +388,15 @@ func (p *Peer) exec(in *compile.Instr, fr *Frame) error {
 	case compile.OpSendPart:
 		oid := s[in.A].OID()
 		if oid != 0 {
-			p.addPending(pendingSync{kind: syncObjPart, oid: oid, part: pdg.Loc(in.Sub)})
+			sn.addPending(pendingSync{kind: syncObjPart, oid: oid, part: pdg.Loc(in.Sub)})
 		}
 	case compile.OpSendNative:
 		v := s[in.A]
 		switch v.K {
 		case val.Arr:
-			p.addPending(pendingSync{kind: syncArray, oid: v.OID()})
+			sn.addPending(pendingSync{kind: syncArray, oid: v.OID()})
 		case val.Table:
-			p.addPending(pendingSync{kind: syncTable, oid: v.OID()})
+			sn.addPending(pendingSync{kind: syncTable, oid: v.OID()})
 		}
 	default:
 		return runErr("bad opcode %d", in.Op)

@@ -4,6 +4,14 @@
 // between the application-server and database-server peers with
 // piggy-backed heap/stack synchronization, and dynamically switches
 // between pre-generated partitionings based on database CPU load.
+//
+// The runtime is multi-session: a Peer is the shared per-side engine
+// (compiled program, environment, aggregate metrics) while each
+// logical client owns a Session (heap, frame stack, database
+// connection, pending sync). One Session preserves the paper's single
+// logical thread of control; a SessionManager hosts many Sessions on
+// the DB side concurrently, typically demultiplexed from one
+// rpc.MuxClient connection.
 package runtime
 
 import (

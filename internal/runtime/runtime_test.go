@@ -184,8 +184,9 @@ func TestDistributedOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dbSrv.Close()
+	dbPeer := NewPeer(compiled, pdg.DB, nil)
 	ctlSrv, err := rpc.NewServer("127.0.0.1:0", func() rpc.Handler {
-		return Handler(NewPeer(compiled, pdg.DB, dbapi.NewLocal(db), nil))
+		return Handler(dbPeer.NewSession(dbapi.NewLocal(db)))
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -203,8 +204,8 @@ func TestDistributedOverTCP(t *testing.T) {
 	}
 	defer ctlWire.Close()
 
-	appPeer := NewPeer(compiled, pdg.App, dbapi.NewClient(dbWire), nil)
-	client := &Client{Peer: appPeer, Remote: ctlWire}
+	appPeer := NewPeer(compiled, pdg.App, nil)
+	client := NewClient(appPeer.NewSession(dbapi.NewClient(dbWire)), ctlWire)
 	oid, err := client.NewObject("Calc")
 	if err != nil {
 		t.Fatal(err)

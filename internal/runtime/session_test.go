@@ -1,0 +1,234 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"pyxis/internal/dbapi"
+	"pyxis/internal/pdg"
+	"pyxis/internal/rpc"
+	"pyxis/internal/source"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// TestConcurrentSessionsOverMux drives many concurrent sessions over
+// ONE multiplexed connection against ONE shared DB-side runtime peer.
+// Each session is an independent logical thread of control with its
+// own object and heap; the test checks full isolation (each session's
+// accumulator evolves as if it were alone) while the shared peer's
+// metrics aggregate across all of them.
+func TestConcurrentSessionsOverMux(t *testing.T) {
+	const (
+		sessions = 12
+		calls    = 25
+	)
+	compiled := compileWith(t, calcSrc, func(g *pdg.Graph, place pdg.Placement) {
+		prog := g.Prog
+		for id, f := range prog.Fields {
+			if f.Name == "acc" {
+				place[id] = pdg.DB
+			}
+		}
+		m := prog.Method("Calc", "apply")
+		source.WalkMethodStmts(m, func(s source.Stmt) bool {
+			place[s.ID()] = pdg.DB
+			return true
+		})
+		place[m.EntryID] = pdg.DB
+	})
+
+	db := sqldb.Open()
+	dbPeer := NewPeer(compiled, pdg.DB, nil)
+	mgr := NewSessionManager(dbPeer, func() dbapi.Conn { return dbapi.NewLocal(db) })
+
+	srvConn, cliConn := net.Pipe()
+	serveDone := make(chan struct{})
+	go func() {
+		rpc.ServeMuxConn(srvConn, mgr)
+		close(serveDone)
+	}()
+	mux := rpc.NewMuxClient(cliConn)
+	defer mux.Close()
+
+	appPeer := NewPeer(compiled, pdg.App, nil)
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctl := mux.Session()
+			client := NewClient(appPeer.NewSession(dbapi.NewLocal(db)), ctl)
+			oid, err := client.NewObject("Calc")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			want := int64(0)
+			for k := int64(1); k <= calls; k++ {
+				x := k + int64(i)
+				dbl := (k+int64(i))%3 == 0
+				add := x
+				if dbl {
+					add = x * 2
+				}
+				want += add
+				got, err := client.CallEntry("Calc.apply", oid, val.IntV(x), val.BoolV(dbl))
+				if err != nil {
+					errs[i] = fmt.Errorf("session %d call %d: %w", i, k, err)
+					return
+				}
+				if got.I != want {
+					errs[i] = fmt.Errorf("session %d call %d: acc = %d, want %d (session isolation broken)", i, k, got.I, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := dbPeer.Metrics.Snapshot()
+	if m.Transfers < sessions*calls {
+		t.Errorf("DB peer served %d transfers, want >= %d", m.Transfers, sessions*calls)
+	}
+	if got := mgr.Len(); got != sessions {
+		t.Errorf("session manager holds %d sessions, want %d", got, sessions)
+	}
+
+	// Closing the connection retires every session.
+	mux.Close()
+	<-serveDone
+	if got := mgr.Len(); got != 0 {
+		t.Errorf("after teardown session manager holds %d sessions, want 0", got)
+	}
+}
+
+// TestDeploymentNewSession checks the in-process multi-session path:
+// extra sessions opened on one Deployment run concurrently and stay
+// isolated.
+func TestDeploymentNewSession(t *testing.T) {
+	compiled := compileWith(t, calcSrc, func(g *pdg.Graph, place pdg.Placement) {
+		prog := g.Prog
+		m := prog.Method("Calc", "apply")
+		source.WalkMethodStmts(m, func(s source.Stmt) bool {
+			place[s.ID()] = pdg.DB
+			return true
+		})
+		place[m.EntryID] = pdg.DB
+		for id, f := range prog.Fields {
+			if f.Name == "acc" {
+				place[id] = pdg.DB
+			}
+		}
+	})
+	dep := NewDeployment(compiled, sqldb.Open(), Options{})
+
+	const sessions = 8
+	clients := make([]*Client, sessions)
+	clients[0] = dep.Client
+	for i := 1; i < sessions; i++ {
+		clients[i] = dep.NewSession()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			oid, err := c.NewObject("Calc")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			want := int64(0)
+			for k := int64(1); k <= 10; k++ {
+				want += k
+				got, err := c.CallEntry("Calc.apply", oid, val.IntV(k), val.BoolV(false))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if got.I != want {
+					errs[i] = fmt.Errorf("session %d: acc = %d, want %d", i, got.I, want)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dep.Sessions.Len(); got != sessions {
+		t.Errorf("deployment has %d DB-side sessions, want %d", got, sessions)
+	}
+
+	// Closing a client releases its DB-side session (idempotently).
+	if err := clients[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clients[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dep.Sessions.Len(); got != sessions-1 {
+		t.Errorf("after close deployment has %d DB-side sessions, want %d", got, sessions-1)
+	}
+}
+
+// TestSessionManagerClose checks that retiring a session rolls back
+// its open transaction, releasing row locks for other sessions.
+func TestSessionManagerClose(t *testing.T) {
+	db := sqldb.Open()
+	sess := db.NewSession()
+	mustExec := func(sql string, args ...val.Value) {
+		t.Helper()
+		if _, err := sess.Exec(sql, args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+	mustExec("INSERT INTO kv VALUES (1, 10)")
+
+	compiled := compileWith(t, calcSrc, nil)
+	peer := NewPeer(compiled, pdg.DB, nil)
+	mgr := NewSessionManager(peer, func() dbapi.Conn { return dbapi.NewLocal(db) })
+
+	// Session 7 opens a transaction and locks row 1.
+	sn := mgr.Session(7)
+	if err := sn.DB.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sn.DB.Exec("UPDATE kv SET v = 99 WHERE k = 1", nil...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closing the session must roll the transaction back.
+	mgr.Close(7)
+	if got := mgr.Len(); got != 0 {
+		t.Fatalf("manager holds %d sessions after close", got)
+	}
+	rs, err := sess.Query("SELECT v FROM kv WHERE k = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].I != 10 {
+		t.Fatalf("row not rolled back: %v", rs.Rows)
+	}
+
+	// A fresh session with the same id starts clean.
+	if mgr.Session(7) == sn {
+		t.Fatal("closed session was resurrected")
+	}
+}

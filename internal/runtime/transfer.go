@@ -18,8 +18,9 @@ import (
 // when execution reaches a block placed on the other server, the local
 // runtime sends a transfer message naming the next block, carrying the
 // program stack, and piggy-backing batched heap synchronization; it
-// then blocks until the remote runtime returns control the same way. A
-// single logical thread of control is preserved.
+// then blocks until the remote runtime returns control the same way.
+// Each session preserves a single logical thread of control; many
+// sessions run the protocol concurrently over a multiplexed transport.
 
 func encodeStack(w *rpc.Writer, stack []*Frame) {
 	w.U32(uint32(len(stack)))
@@ -57,21 +58,54 @@ func decodeStack(r *rpc.Reader, prog *compile.Program) ([]*Frame, error) {
 }
 
 // Client drives a partitioned program from the application server: it
-// executes APP blocks locally and transfers control to the DB peer
-// over Remote when execution reaches a DB block.
+// executes APP blocks on its session and transfers control to the DB
+// peer over Remote when execution reaches a DB block. Like the session
+// it wraps, a Client is a single logical thread of control; run
+// multiple Clients (each with its own Session and Remote transport)
+// for concurrent load.
 type Client struct {
-	Peer   *Peer
+	Sess   *Session
 	Remote rpc.Transport
+	// OnClose, if set, runs once when Close is called — wiring (e.g. a
+	// Deployment) uses it to retire the matching DB-side session.
+	OnClose func()
+
+	closed bool
+}
+
+// NewClient wraps an APP-side session and its control-transfer
+// transport.
+func NewClient(sess *Session, remote rpc.Transport) *Client {
+	return &Client{Sess: sess, Remote: remote}
+}
+
+// Close releases the client's resources: its control-transfer
+// transport, its session's database connection, and (via OnClose) any
+// server-side session state. A Client is a single logical thread of
+// control, so Close must not race a Call on the same client.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	err := c.Remote.Close()
+	if serr := c.Sess.Close(); err == nil {
+		err = serr
+	}
+	if c.OnClose != nil {
+		c.OnClose()
+	}
+	return err
 }
 
 // NewObject allocates an instance of class on the APP heap and runs
 // its (possibly partitioned) constructor.
 func (c *Client) NewObject(class string, args ...val.Value) (val.OID, error) {
-	ci := c.Peer.Prog.Classes[class]
+	ci := c.Sess.Peer.Prog.Classes[class]
 	if ci == nil {
 		return 0, fmt.Errorf("runtime: unknown class %s", class)
 	}
-	oid := c.Peer.Heap.NewObject(ci)
+	oid := c.Sess.Heap.NewObject(ci)
 	if ci.Ctor == nil {
 		if len(args) != 0 {
 			return 0, fmt.Errorf("runtime: class %s has no constructor", class)
@@ -86,7 +120,7 @@ func (c *Client) NewObject(class string, args ...val.Value) (val.OID, error) {
 
 // CallEntry invokes an entry method (paper §5.2 wrapper).
 func (c *Client) CallEntry(qname string, this val.OID, args ...val.Value) (val.Value, error) {
-	m := c.Peer.Prog.Method(qname)
+	m := c.Sess.Peer.Prog.Method(qname)
 	if m == nil {
 		return val.Value{}, fmt.Errorf("runtime: unknown method %s", qname)
 	}
@@ -99,7 +133,7 @@ func (c *Client) CallEntry(qname string, this val.OID, args ...val.Value) (val.V
 // Call invokes any method (used by tests to compare against the
 // interpreter on non-entry methods).
 func (c *Client) Call(qname string, this val.OID, args ...val.Value) (val.Value, error) {
-	m := c.Peer.Prog.Method(qname)
+	m := c.Sess.Peer.Prog.Method(qname)
 	if m == nil {
 		return val.Value{}, fmt.Errorf("runtime: unknown method %s", qname)
 	}
@@ -110,6 +144,8 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 	if len(args) != len(m.Params) {
 		return val.Value{}, fmt.Errorf("runtime: %s: want %d args, got %d", m.QName, len(m.Params), len(args))
 	}
+	sn := c.Sess
+	peer := sn.Peer
 	fr := &Frame{Method: m, Slots: make([]val.Value, m.NSlots), RetSlot: 0, Cont: compile.NoBlock}
 	fr.Slots[0] = val.ObjV(this)
 	for i, a := range args {
@@ -121,7 +157,7 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 	stack := []*Frame{fr}
 	b := m.Entry
 	for {
-		next, done, ret, outStack, err := c.Peer.Run(b, stack)
+		next, done, ret, outStack, err := sn.Run(b, stack)
 		if err != nil {
 			return val.Value{}, err
 		}
@@ -132,23 +168,23 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 		var w rpc.Writer
 		w.I64(int64(next))
 		encodeStack(&w, outStack)
-		encodeSync(&w, c.Peer.Heap, c.Peer.takePending())
+		encodeSync(&w, sn.Heap, sn.takePending())
 		req := w.Buf
-		c.Peer.Metrics.Transfers++
-		c.Peer.Metrics.BytesSent += int64(len(req))
-		if c.Peer.Env != nil {
-			c.Peer.Env.TransferSend(pdg.App, len(req))
+		peer.Metrics.Transfers.Add(1)
+		peer.Metrics.BytesSent.Add(int64(len(req)))
+		if peer.Env != nil {
+			peer.Env.TransferSend(pdg.App, len(req))
 		}
 		resp, err := c.Remote.Call(req)
 		if err != nil {
 			return val.Value{}, fmt.Errorf("runtime: control transfer failed: %w", err)
 		}
-		c.Peer.Metrics.BytesRecv += int64(len(resp))
+		peer.Metrics.BytesRecv.Add(int64(len(resp)))
 		r := &rpc.Reader{Buf: resp}
 		respDone := r.Bool()
 		if respDone {
 			retv := r.Val()
-			if err := applySync(r, c.Peer.Heap, c.Peer.Prog.Classes); err != nil {
+			if err := applySync(r, sn.Heap, peer.Prog.Classes); err != nil {
 				return val.Value{}, err
 			}
 			if err := r.Err(); err != nil {
@@ -157,11 +193,11 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 			return retv, nil
 		}
 		b = compile.BlockID(int32(r.U32()))
-		stack, err = decodeStack(r, c.Peer.Prog)
+		stack, err = decodeStack(r, peer.Prog)
 		if err != nil {
 			return val.Value{}, err
 		}
-		if err := applySync(r, c.Peer.Heap, c.Peer.Prog.Classes); err != nil {
+		if err := applySync(r, sn.Heap, peer.Prog.Classes); err != nil {
 			return val.Value{}, err
 		}
 		if err := r.Err(); err != nil {
@@ -171,24 +207,26 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 }
 
 // Handler serves the DB side of the control-transfer protocol for one
-// client session.
-func Handler(p *Peer) rpc.Handler {
+// client session. Each session gets its own handler; the sessions of
+// one peer may be served concurrently.
+func Handler(sn *Session) rpc.Handler {
+	peer := sn.Peer
 	return func(req []byte) ([]byte, error) {
 		r := &rpc.Reader{Buf: req}
 		b := compile.BlockID(r.I64())
-		stack, err := decodeStack(r, p.Prog)
+		stack, err := decodeStack(r, peer.Prog)
 		if err != nil {
 			return nil, err
 		}
-		if err := applySync(r, p.Heap, p.Prog.Classes); err != nil {
+		if err := applySync(r, sn.Heap, peer.Prog.Classes); err != nil {
 			return nil, err
 		}
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		p.Metrics.BytesRecv += int64(len(req))
+		peer.Metrics.BytesRecv.Add(int64(len(req)))
 
-		next, done, ret, outStack, err := p.Run(b, stack)
+		next, done, ret, outStack, err := sn.Run(b, stack)
 		if err != nil {
 			return nil, err
 		}
@@ -200,11 +238,11 @@ func Handler(p *Peer) rpc.Handler {
 			w.U32(uint32(int32(next)))
 			encodeStack(&w, outStack)
 		}
-		encodeSync(&w, p.Heap, p.takePending())
-		p.Metrics.Transfers++
-		p.Metrics.BytesSent += int64(len(w.Buf))
-		if p.Env != nil {
-			p.Env.TransferSend(pdg.DB, len(w.Buf))
+		encodeSync(&w, sn.Heap, sn.takePending())
+		peer.Metrics.Transfers.Add(1)
+		peer.Metrics.BytesSent.Add(int64(len(w.Buf)))
+		if peer.Env != nil {
+			peer.Env.TransferSend(pdg.DB, len(w.Buf))
 		}
 		return w.Buf, nil
 	}
@@ -212,17 +250,21 @@ func Handler(p *Peer) rpc.Handler {
 
 // Deployment bundles a complete single-process deployment of one
 // partitioned program: an APP peer, a DB peer colocated with the
-// database, and the transports between them. It is the harness for
-// tests, benchmarks, and the in-process examples; cmd/pyxis-dbserver
-// and cmd/pyxis-app wire the same pieces over real TCP.
+// database, one primary client session, and the transports between
+// them. Additional concurrent sessions are opened with NewSession. It
+// is the harness for tests, benchmarks, and the in-process examples;
+// cmd/pyxis-dbserver and cmd/pyxis-app wire the same pieces over real
+// multiplexed TCP.
 type Deployment struct {
-	Prog    *compile.Program
-	App     *Peer
-	DBPeer  *Peer
-	Client  *Client
-	DB      *sqldb.DB
-	ctlWire *rpc.InProc
-	dbWire  *rpc.InProc
+	Prog     *compile.Program
+	App      *Peer
+	DBPeer   *Peer
+	Sessions *SessionManager // DB-side session registry
+	Client   *Client         // primary session's client
+	DB       *sqldb.DB
+	opts     Options
+	ctlWire  *rpc.InProc
+	dbWire   *rpc.InProc
 }
 
 // Options configures NewDeployment.
@@ -232,40 +274,72 @@ type Options struct {
 	RTT time.Duration
 	// Out receives sys.print output (APP side).
 	Out io.Writer
-	// Env is the cost-accounting environment (simulation).
+	// Env is the cost-accounting environment (simulation). It is
+	// shared by every session of the deployment; see the Env interface
+	// for the concurrency contract when sessions run on goroutines.
 	Env Env
 }
 
 // NewDeployment wires a compiled program to a database entirely
 // in-process.
 func NewDeployment(prog *compile.Program, db *sqldb.DB, opts Options) *Deployment {
-	dbPeer := NewPeer(prog, pdg.DB, dbapi.NewLocal(db), opts.Out)
+	dbPeer := NewPeer(prog, pdg.DB, opts.Out)
 	dbPeer.Env = opts.Env
-
-	dbWire := rpc.NewInProc(dbapi.NewHandler(db), opts.RTT)
-	appPeer := NewPeer(prog, pdg.App, dbapi.NewClient(dbWire), opts.Out)
+	appPeer := NewPeer(prog, pdg.App, opts.Out)
 	appPeer.Env = opts.Env
 
-	ctlWire := rpc.NewInProc(Handler(dbPeer), opts.RTT)
-	return &Deployment{
-		Prog:    prog,
-		App:     appPeer,
-		DBPeer:  dbPeer,
-		Client:  &Client{Peer: appPeer, Remote: ctlWire},
-		DB:      db,
-		ctlWire: ctlWire,
-		dbWire:  dbWire,
+	d := &Deployment{
+		Prog:     prog,
+		App:      appPeer,
+		DBPeer:   dbPeer,
+		Sessions: NewSessionManager(dbPeer, func() dbapi.Conn { return dbapi.NewLocal(db) }),
+		DB:       db,
+		opts:     opts,
 	}
+	d.Client, d.ctlWire, d.dbWire = d.newSessionWires()
+	return d
+}
+
+// newSessionWires opens one more client session: an APP-side session
+// with its own database wire, and a DB-side session behind its own
+// control-transfer wire.
+func (d *Deployment) newSessionWires() (*Client, *rpc.InProc, *rpc.InProc) {
+	dbHandlerSess := d.DB.NewSession()
+	dbWire := rpc.NewInProc(dbapi.SessionHandler(dbHandlerSess), d.opts.RTT)
+	appSess := d.App.NewSession(dbapi.NewClient(dbWire))
+	sid := d.Sessions.NextID()
+	dbSess := d.Sessions.Session(sid)
+	ctlWire := rpc.NewInProc(Handler(dbSess), d.opts.RTT)
+	c := NewClient(appSess, ctlWire)
+	c.OnClose = func() {
+		d.Sessions.Close(sid)
+		// Mirror the mux path's teardown: a transaction abandoned on
+		// the APP-side database wire must not hold row locks forever.
+		if dbHandlerSess.InTxn() {
+			_ = dbHandlerSess.Rollback()
+		}
+	}
+	return c, ctlWire, dbWire
+}
+
+// NewSession opens an additional concurrent client session on the
+// deployment. Each returned Client is an independent logical thread of
+// control; all of them share the DB-side peer and database. Close the
+// client to release its DB-side session (heap, connection, any open
+// transaction).
+func (d *Deployment) NewSession() *Client {
+	c, _, _ := d.newSessionWires()
+	return c
 }
 
 // WireStats returns (control transfers, app-side DB calls) transport
-// statistics.
+// statistics for the primary session.
 func (d *Deployment) WireStats() (ctl rpc.Stats, db rpc.Stats) {
 	return d.ctlWire.Stats(), d.dbWire.Stats()
 }
 
-// TotalBytes returns all bytes moved between the two servers: control
-// transfers plus APP-side database traffic.
+// TotalBytes returns all bytes moved between the two servers by the
+// primary session: control transfers plus APP-side database traffic.
 func (d *Deployment) TotalBytes() int64 {
 	c, db := d.WireStats()
 	return c.BytesSent + c.BytesRecv + db.BytesSent + db.BytesRecv

@@ -82,6 +82,7 @@ func (db *DB) LockWaits() (int64, int64) {
 // Table is one relation: rows are stored in slots; a nil row is a
 // tombstone. The primary key and all secondary indexes are B+trees.
 type Table struct {
+	db     *DB
 	name   string
 	cols   []ColumnDef
 	colIdx map[string]int
@@ -99,10 +100,18 @@ type index struct {
 	tree   *btree
 }
 
-// NumRows returns the live row count (PK entries).
-func (t *Table) NumRows() int { return t.pk.Len() }
+// NumRows returns the live row count (PK entries), synchronized
+// against concurrent writers through the engine mutex.
+func (t *Table) NumRows() int {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	return t.pk.Len()
+}
 
-// Table returns a table by name, or nil.
+// Table returns a table by name, or nil. The handle is only a name
+// binding: reads that must be consistent under concurrent writers go
+// through methods that take the engine mutex (NumRows) or through a
+// Session.
 func (db *DB) Table(name string) *Table {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -417,6 +426,7 @@ func (db *DB) createTable(st *CreateTableStmt) error {
 		return fmt.Errorf("sqldb: table %s requires a PRIMARY KEY", st.Table)
 	}
 	t := &Table{
+		db:     db,
 		name:   st.Table,
 		cols:   st.Cols,
 		colIdx: map[string]int{},

@@ -82,11 +82,13 @@ func (lm *lockManager) acquire(txn *Txn, key lockKey, mode LockMode, wake func()
 		if held >= mode {
 			return true, nil
 		}
-		// Upgrade S→X: allowed immediately iff txn is the only holder
-		// and nobody is queued ahead.
+		// Upgrade S→X: granted immediately iff txn is the only holder.
+		// Queued waiters cannot have been grantable anyway (the head
+		// would conflict with txn's S), and letting the upgrade jump
+		// the queue avoids needless upgrade deadlocks. txn.locks
+		// already records key from the S acquisition.
 		if len(ls.holders) == 1 {
 			ls.holders[txn] = LockX
-			txn.locks = append(txn.locks, key)
 			return true, nil
 		}
 	}
@@ -103,12 +105,11 @@ func (lm *lockManager) acquire(txn *Txn, key lockKey, mode LockMode, wake func()
 		}
 	}
 	if canGrant {
-		if _, already := ls.holders[txn]; !already {
-			ls.holders[txn] = mode
-			txn.locks = append(txn.locks, key)
-		} else {
-			ls.holders[txn] = mode
-		}
+		// txn cannot already be a holder here: held >= mode returned
+		// above, and an S→X upgrade either returned (sole holder) or
+		// left canGrant false (another holder conflicts with X).
+		ls.holders[txn] = mode
+		txn.locks = append(txn.locks, key)
 		return true, nil
 	}
 

@@ -104,7 +104,13 @@ func (s *System) ProfileWorkload(db *sqldb.DB, fn func(ip *interp.Interp) error)
 func (s *System) ProfileSynthetic(db *sqldb.DB) error {
 	return s.ProfileWorkload(db, func(ip *interp.Interp) error {
 		for _, m := range s.Prog.EntryMethods() {
-			obj, err := ip.NewObject(m.Class.Name)
+			var ctorArgs []interp.Value
+			if ctor := m.Class.MethodByName(m.Class.Name); ctor != nil {
+				for _, p := range ctor.Params {
+					ctorArgs = append(ctorArgs, interp.Scalar(p.Type.Zero()))
+				}
+			}
+			obj, err := ip.NewObject(m.Class.Name, ctorArgs...)
 			if err != nil {
 				continue
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"pyxis/internal/dbapi"
 	"pyxis/internal/interp"
@@ -389,5 +390,74 @@ func TestMonotoneRoundTrips(t *testing.T) {
 	}
 	if trips[len(trips)-1] >= trips[0] {
 		t.Errorf("full budget (%d trips) should beat zero budget (%d trips)", trips[len(trips)-1], trips[0])
+	}
+}
+
+// TestClientCloseReleasesAbandonedTxn: an APP-side session that errors
+// mid-transaction (after taking an X row lock over the database wire)
+// must release that lock when its client is closed, or every other
+// session touching the row blocks forever.
+func TestClientCloseReleasesAbandonedTxn(t *testing.T) {
+	const src = `
+class T {
+    T() { }
+    entry int poison(int d) {
+        db.begin();
+        db.update("UPDATE kv SET v = 99 WHERE k = 1");
+        int x = 10 / d;
+        db.commit();
+        return x;
+    }
+    entry int write(int v) {
+        return db.update("UPDATE kv SET v = ? WHERE k = 1", v);
+    }
+}
+`
+	sys := MustLoad(src)
+	db := sqldb.Open()
+	if err := ExecScript(db, "CREATE TABLE kv (k INT PRIMARY KEY, v INT); INSERT INTO kv VALUES (1, 7)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ProfileSynthetic(sqldb.Open()); err != nil {
+		t.Fatal(err)
+	}
+	part, err := sys.PartitionAt(0) // all-APP: the txn runs over the db wire
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := part.Deploy(db, runtime.Options{})
+
+	c1 := dep.NewSession()
+	oid, err := c1.NewObject("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.CallEntry("T.poison", oid, val.IntV(0)); err == nil {
+		t.Fatal("poison should fail mid-transaction")
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := dep.NewSession()
+	oid2, err := c2.NewObject("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.CallEntry("T.write", oid2, val.IntV(42))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second session blocked on a lock the closed session abandoned")
+	}
+	if rows := db.Snapshot()["KV"]; len(rows) != 1 || rows[0][1].I != 42 {
+		t.Fatalf("final row = %v, want [1 42]", rows)
 	}
 }
