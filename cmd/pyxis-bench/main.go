@@ -21,9 +21,9 @@ import (
 func main() {
 	var (
 		full    = flag.Bool("full", false, "run paper-scale sweeps (slower)")
-		exps    = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1,parallel", "comma-separated experiments")
-		clients = flag.Int("clients", 16, "max concurrent sessions for the parallel experiment")
-		txns    = flag.Int("txns", 200, "transactions per client for the parallel experiment")
+		exps    = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1,parallel,tpcc-wall", "comma-separated experiments")
+		clients = flag.Int("clients", 16, "max concurrent sessions for the parallel experiments")
+		txns    = flag.Int("txns", 200, "transactions per client for the parallel experiments")
 	)
 	flag.Parse()
 
@@ -51,6 +51,10 @@ func main() {
 			runParallel(*clients, *txns)
 			continue
 		}
+		if name == "tpcc-wall" {
+			runTPCCWall(*clients, *txns)
+			continue
+		}
 		run, ok := runners[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "pyxis-bench: unknown experiment %q\n", name)
@@ -67,22 +71,28 @@ func main() {
 	}
 }
 
+// doublingSizes returns the 1,2,4,... sweep ending exactly at max.
+func doublingSizes(max int) []int {
+	var sizes []int
+	for n := 1; n < max; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	return append(sizes, max)
+}
+
 // runParallel measures real (wall-clock) multi-session scaling: N
 // goroutine clients multiplexed over one connection per wire against
 // one shared DB-side runtime, for both the stored-procedure-like
-// (budget 1.0) and client-side-query (budget 0) partitions.
+// (budget 1.0) and client-side-query (budget 0) partitions. The
+// speedup column is relative to the 1-client point — flat under a
+// global engine mutex, rising with the sharded engine on parallel
+// hardware.
 func runParallel(maxClients, txns int) {
 	if maxClients < 1 || txns < 1 {
 		fmt.Fprintln(os.Stderr, "pyxis-bench: -clients and -txns must be >= 1")
 		os.Exit(2)
 	}
-	// Doubling sweep, always ending at the exact requested size.
-	var sizes []int
-	for n := 1; n < maxClients; n *= 2 {
-		sizes = append(sizes, n)
-	}
-	sizes = append(sizes, maxClients)
-	fmt.Println("== Concurrent sessions: aggregate throughput over one multiplexed connection ==")
+	fmt.Println("== Ledger: throughput vs clients over one multiplexed connection ==")
 	for _, budget := range []float64{1.0, 0} {
 		part, err := bench.ParallelPartition(budget)
 		if err != nil {
@@ -90,15 +100,47 @@ func runParallel(maxClients, txns int) {
 			os.Exit(1)
 		}
 		fmt.Printf("budget %.1f: {%s}\n", budget, part.Describe())
-		for _, n := range sizes {
-			res, err := bench.RunParallel(part, bench.ParallelCfg{
-				Clients: n, Txns: txns, ShareEvery: 8, TCP: true,
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "pyxis-bench: parallel:", err)
-				os.Exit(1)
+		results, err := bench.RunScaling(part,
+			bench.ParallelCfg{Txns: txns, ShareEvery: 8, TCP: true}, doublingSizes(maxClients))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pyxis-bench: parallel:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.ScalingReport(results))
+	}
+	fmt.Println()
+}
+
+// runTPCCWall runs the wall-clock TPC-C NewOrder/Payment mix (the live
+// counterpart of Figs. 9-11) and audits the consistency invariants
+// after each point.
+func runTPCCWall(maxClients, txns int) {
+	if maxClients < 1 || txns < 1 {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: -clients and -txns must be >= 1")
+		os.Exit(2)
+	}
+	cfg := bench.DefaultTPCC()
+	part, err := bench.TPCCParallelPartition(cfg, 1.0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: tpcc-wall:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== TPC-C wall clock: NewOrder/Payment mix, shared sharded engine ==")
+	fmt.Printf("budget 1.0: {%s}\n", part.Describe())
+	for _, n := range doublingSizes(maxClients) {
+		res, db, err := bench.RunParallelTPCC(part, cfg, bench.TPCCParallelCfg{
+			Clients: n, Txns: txns, PaymentEvery: 3, TCP: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pyxis-bench: tpcc-wall:", err)
+			os.Exit(1)
+		}
+		fmt.Println("  " + res.String())
+		if violations := bench.CheckTPCCInvariants(db, cfg); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "pyxis-bench: tpcc-wall: INVARIANT VIOLATED:", v)
 			}
-			fmt.Println("  " + res.String())
+			os.Exit(1)
 		}
 	}
 	fmt.Println()

@@ -237,6 +237,14 @@ func profiledTPCCSystem(c TPCCConfig) (*pyxis.System, error) {
 				return err
 			}
 		}
+		pm := sys.Prog.Method("TPCC", "payment")
+		for k := int64(0); k < 8; k++ {
+			wid, did, cid, _, _, _ := pcfg.txnParams(k)
+			if _, err := ip.CallEntry(pm, obj, val.IntV(wid), val.IntV(did), val.IntV(cid),
+				val.DoubleV(float64(k+1))); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -302,4 +303,43 @@ func Summarize(lats []float64) SessionStat {
 func (r *ParallelResult) String() string {
 	return fmt.Sprintf("clients=%d txns=%d elapsed=%v tput=%.0f txn/s lat(mean=%.3fms p95=%.3fms) transfers=%d",
 		r.Clients, r.TotalTxns, r.Elapsed.Round(time.Millisecond), r.Tput, r.MeanMs, r.P95Ms, r.Transfers)
+}
+
+// RunScaling measures throughput vs. client count: one RunParallel per
+// entry of sizes (each with base's Txns per client, ShareEvery and TCP
+// settings), against a fresh database per point. It is the wall-clock
+// scaling curve the sharded engine is judged by — under the old single
+// engine mutex the curve was flat.
+func RunScaling(part *pyxis.Partition, base ParallelCfg, sizes []int) ([]*ParallelResult, error) {
+	results := make([]*ParallelResult, 0, len(sizes))
+	for _, n := range sizes {
+		cfg := base
+		cfg.Clients = n
+		res, err := RunParallel(part, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling point clients=%d: %w", n, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// ScalingReport renders a RunScaling sweep as a table with speedup
+// relative to the first (usually 1-client) point.
+func ScalingReport(results []*ParallelResult) string {
+	if len(results) == 0 {
+		return "(no scaling points)"
+	}
+	base := results[0].Tput
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s %12s %10s %10s %9s\n", "clients", "txns", "tput(txn/s)", "mean(ms)", "p95(ms)", "speedup")
+	for _, r := range results {
+		speedup := 0.0
+		if base > 0 {
+			speedup = r.Tput / base
+		}
+		fmt.Fprintf(&b, "%8d %10d %12.0f %10.3f %10.3f %8.2fx\n",
+			r.Clients, r.TotalTxns, r.Tput, r.MeanMs, r.P95Ms, speedup)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }

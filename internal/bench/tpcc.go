@@ -41,7 +41,7 @@ func DefaultTPCC() TPCCConfig {
 
 var tpccDDL = []string{
 	"CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name VARCHAR(10), w_tax DOUBLE, w_ytd DOUBLE)",
-	"CREATE TABLE district (d_w_id INT, d_id INT, d_tax DOUBLE, d_next_o_id INT, PRIMARY KEY (d_w_id, d_id))",
+	"CREATE TABLE district (d_w_id INT, d_id INT, d_tax DOUBLE, d_ytd DOUBLE, d_next_o_id INT, PRIMARY KEY (d_w_id, d_id))",
 	"CREATE TABLE customer (c_w_id INT, c_d_id INT, c_id INT, c_last VARCHAR(16), c_discount DOUBLE, c_balance DOUBLE, PRIMARY KEY (c_w_id, c_d_id, c_id))",
 	"CREATE TABLE orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, o_ol_cnt INT, PRIMARY KEY (o_w_id, o_d_id, o_id))",
 	"CREATE TABLE new_order (no_w_id INT, no_d_id INT, no_o_id INT, PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
@@ -66,7 +66,7 @@ func (c TPCCConfig) Load() *sqldb.DB {
 		must("INSERT INTO warehouse VALUES (?, ?, ?, 0.0)",
 			val.IntV(int64(w)), val.StrV(fmt.Sprintf("wh%d", w)), val.DoubleV(float64(w%5)*0.02))
 		for d := 1; d <= c.DistrictsPerW; d++ {
-			must("INSERT INTO district VALUES (?, ?, ?, 1)",
+			must("INSERT INTO district VALUES (?, ?, ?, 0.0, 1)",
 				val.IntV(int64(w)), val.IntV(int64(d)), val.DoubleV(float64(d%5)*0.015))
 			for cu := 1; cu <= c.CustomersPerD; cu++ {
 				must("INSERT INTO customer VALUES (?, ?, ?, ?, ?, 0.0)",
@@ -145,8 +145,58 @@ class TPCC {
     entry int lastOrder() {
         return lastOrderId;
     }
+
+    entry double payment(int wid, int did, int cid, double amount) {
+        db.begin();
+        db.update("UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?", amount, wid);
+        db.update("UPDATE district SET d_ytd = d_ytd + ? WHERE d_w_id = ? AND d_id = ?", amount, wid, did);
+        db.update("UPDATE customer SET c_balance = c_balance - ? WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?", amount, wid, did, cid);
+        table t = db.query("SELECT w_ytd FROM warehouse WHERE w_id = ?", wid);
+        db.commit();
+        return t.getDouble(0, 0);
+    }
 }
 `
+
+// paymentNative is the hand-written Payment transaction (TPC-C §2.5,
+// reduced): it books amount into the warehouse and district YTD totals
+// and debits the customer. The warehouse row is the workload's
+// contention point — every Payment on a warehouse serializes on its
+// row lock, exactly the hot spot the wall-clock concurrency tests
+// probe.
+func (c TPCCConfig) paymentNative(conn dbapi.Conn, wid, did, cid int64, amount float64) (float64, error) {
+	if err := conn.Begin(); err != nil {
+		return 0, err
+	}
+	abort := func(err error) (float64, error) {
+		_ = conn.Rollback()
+		return 0, err
+	}
+	if _, err := conn.Exec("UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?",
+		val.DoubleV(amount), val.IntV(wid)); err != nil {
+		return abort(err)
+	}
+	if _, err := conn.Exec("UPDATE district SET d_ytd = d_ytd + ? WHERE d_w_id = ? AND d_id = ?",
+		val.DoubleV(amount), val.IntV(wid), val.IntV(did)); err != nil {
+		return abort(err)
+	}
+	if _, err := conn.Exec("UPDATE customer SET c_balance = c_balance - ? WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+		val.DoubleV(amount), val.IntV(wid), val.IntV(did), val.IntV(cid)); err != nil {
+		return abort(err)
+	}
+	rs, err := conn.Query("SELECT w_ytd FROM warehouse WHERE w_id = ?", val.IntV(wid))
+	if err != nil {
+		return abort(err)
+	}
+	if len(rs.Rows) == 0 {
+		return abort(fmt.Errorf("tpcc: payment: warehouse %d does not exist", wid))
+	}
+	total := rs.Rows[0][0].F
+	if err := conn.Commit(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
 
 // lcg matches the PyxJ transaction's item-selection generator.
 func lcg(rnd int64) int64 {

@@ -5,6 +5,12 @@
 // rpc.Transport (what the application-side partition uses — every
 // operation is one round trip, exactly the cost the paper's JDBC
 // implementation pays).
+//
+// Statement routing makes no serialization assumptions about the
+// engine: distinct connections (and the sqldb sessions behind them)
+// execute genuinely in parallel against the sharded engine, which
+// serializes only where data actually conflicts (per-table latches,
+// row-lock waits). One Conn is still one logical thread of control.
 package dbapi
 
 import (
@@ -19,6 +25,8 @@ import (
 
 // Conn is a database connection. Implementations are not safe for
 // concurrent use; each logical thread of control owns one Conn.
+// Distinct Conns run concurrently: statements on different connections
+// are not serialized by the engine unless they touch conflicting data.
 type Conn interface {
 	// Exec runs DDL/DML and returns the affected row count.
 	Exec(sql string, args ...val.Value) (int, error)

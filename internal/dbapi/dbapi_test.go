@@ -2,7 +2,11 @@ package dbapi
 
 import (
 	"errors"
+	"fmt"
+	"net"
+	"sync"
 	"testing"
+	"time"
 
 	"pyxis/internal/rpc"
 	"pyxis/internal/sqldb"
@@ -87,6 +91,146 @@ func TestRemoteConnTCP(t *testing.T) {
 	}
 	defer cli.Close()
 	connContract(t, NewClient(cli))
+}
+
+// TestMuxSessionsConcurrentTxns drives many concurrent transactions
+// over one multiplexed connection against the sharded engine: every
+// session increments a shared hot row and its own private row inside
+// an explicit transaction. No increment may be lost, and private rows
+// must equal each session's committed count.
+func TestMuxSessionsConcurrentTxns(t *testing.T) {
+	db := sqldb.Open()
+	s := db.NewSession()
+	mustExec := func(sql string, args ...val.Value) {
+		t.Helper()
+		if _, err := s.Exec(sql, args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec("CREATE TABLE hot (k INT PRIMARY KEY, v INT)")
+	mustExec("CREATE TABLE own (sid INT PRIMARY KEY, v INT)")
+	mustExec("INSERT INTO hot VALUES (1, 0)")
+
+	srvConn, cliConn := net.Pipe()
+	go rpc.ServeMuxConn(srvConn, MuxHandlers(db))
+	mux := rpc.NewMuxClient(cliConn)
+	defer mux.Close()
+
+	const sessions, txns = 8, 15
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn := NewClient(mux.Session())
+			if _, err := conn.Exec("INSERT INTO own VALUES (?, 0)", val.IntV(int64(i))); err != nil {
+				errs[i] = err
+				return
+			}
+			for k := 0; k < txns; k++ {
+				if err := conn.Begin(); err != nil {
+					errs[i] = err
+					return
+				}
+				_, err := conn.Exec("UPDATE hot SET v = v + 1 WHERE k = 1")
+				if err == nil {
+					_, err = conn.Exec("UPDATE own SET v = v + 1 WHERE sid = ?", val.IntV(int64(i)))
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("session %d txn %d: %w", i, k, err)
+					_ = conn.Rollback()
+					return
+				}
+				if err := conn.Commit(); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := s.Query("SELECT v FROM hot WHERE k = 1")
+	if err != nil || rs.Rows[0][0].I != sessions*txns {
+		t.Errorf("hot row = %v (err %v), want %d (lost update over the wire)", rs.Rows, err, sessions*txns)
+	}
+	for i := 0; i < sessions; i++ {
+		rs, err := s.Query("SELECT v FROM own WHERE sid = ?", val.IntV(int64(i)))
+		if err != nil || rs.Rows[0][0].I != txns {
+			t.Errorf("session %d private row = %v (err %v), want %d", i, rs.Rows, err, txns)
+		}
+	}
+}
+
+// TestDeadlockSentinelOverMux forces a deadlock between two mux
+// sessions and checks the victim receives the sqldb.ErrDeadlock
+// sentinel (by identity, through the wire encoding) with its
+// transaction fully rolled back server-side.
+func TestDeadlockSentinelOverMux(t *testing.T) {
+	db := setup(t)
+	srvConn, cliConn := net.Pipe()
+	go rpc.ServeMuxConn(srvConn, MuxHandlers(db))
+	mux := rpc.NewMuxClient(cliConn)
+	defer mux.Close()
+
+	c1, c2 := NewClient(mux.Session()), NewClient(mux.Session())
+	if err := c1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec("UPDATE t SET v = 'x' WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Exec("UPDATE t SET v = 'y' WHERE k = 2"); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := c1.Exec("UPDATE t SET v = 'x' WHERE k = 2")
+		blocked <- err
+	}()
+	// Wait until c1 is parked on c2's lock, then close the cycle.
+	waitForLockWaits(t, db, 1)
+	_, err := c2.Exec("UPDATE t SET v = 'y' WHERE k = 1")
+	if !errors.Is(err, sqldb.ErrDeadlock) {
+		t.Fatalf("victim error = %v, want ErrDeadlock sentinel", err)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatalf("survivor should proceed after victim aborts: %v", err)
+	}
+	if err := c1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The victim's transaction was rolled back engine-side: k=2 kept the
+	// survivor's value and the victim's session is txn-free.
+	if err := c2.Commit(); !errors.Is(err, sqldb.ErrNoTransaction) {
+		t.Fatalf("victim session should have no open txn, got %v", err)
+	}
+	rs, err := db.NewSession().Query("SELECT v FROM t WHERE k = 2")
+	if err != nil || rs.Rows[0][0].S != "x" {
+		t.Fatalf("k=2 = %v (err %v), want survivor's value 'x'", rs.Rows, err)
+	}
+}
+
+func waitForLockWaits(t *testing.T, db *sqldb.DB, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if w, _ := db.LockWaits(); w >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lock waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
 }
 
 // TestSessionIsolationPerConnection: two clients get independent

@@ -6,6 +6,14 @@ import "pyxis/internal/val"
 // int payloads (row slots). Leaves are linked for range scans. It
 // backs both primary-key and secondary indexes; non-unique indexes
 // append the row slot to the key to disambiguate duplicates.
+//
+// Concurrency contract: the tree has no internal synchronization — it
+// is guarded by the owning table's latch in the engine's latch
+// hierarchy (db.go): Insert and Delete run only under the table latch
+// held exclusively; Get, Scan and Len are safe under the shared latch
+// (nothing mutates node structure while any shared holder exists).
+// The latch audit test enforces that every access site lives in a
+// function with a documented latch story.
 type btree struct {
 	root   *bnode
 	order  int // max keys per node

@@ -3,7 +3,9 @@ package sqldb
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pyxis/internal/val"
 )
@@ -17,6 +19,12 @@ var (
 	ErrInTransaction = errors.New("sqldb: transaction already in progress")
 )
 
+// errLatchUpgrade is an engine-internal signal: a statement running
+// under a shared table latch discovered (after a lock wait suspended
+// the latch) that it now needs the exclusive latch; execStmt reruns it
+// exclusively. Never escapes the package.
+var errLatchUpgrade = errors.New("sqldb: internal: statement needs exclusive latch")
+
 // Stats counts engine operations; the benchmark harness reads them to
 // charge simulated CPU cost per database operation.
 type Stats struct {
@@ -24,17 +32,43 @@ type Stats struct {
 	RowsScanned                        int64
 }
 
-// DB is an in-memory relational database. A single mutex serializes
-// structural access; transaction isolation comes from the 2PL lock
-// manager, whose waits happen outside the mutex so both goroutines and
-// the discrete-event simulator can block on row locks.
+// statsCounters is the engine-internal, concurrently-updated form of
+// Stats.
+type statsCounters struct {
+	selects, inserts, updates, deletes atomic.Int64
+	rowsScanned                        atomic.Int64
+}
+
+// DB is an in-memory relational database with sharded concurrency
+// control (the latch hierarchy, top to bottom):
+//
+//  1. catMu guards the table catalog (DDL vs. name lookup);
+//  2. each Table has its own structural latch (an RWMutex): statements
+//     touching disjoint tables never contend;
+//  3. row-pointer slots are striped under per-table row latches, so
+//     non-key updates and readers of the same table share the table
+//     latch in read mode and only serialize per stripe;
+//  4. the 2PL lock manager (itself stripe-locked) provides transaction
+//     isolation; lock waits park with NO latches held — a session
+//     suspends its statement latches before waiting and reacquires
+//     them (revalidating) afterwards — so a blocked transaction never
+//     stalls statements on unrelated data.
+//
+// Latch order is always catalog → table latches (in ascending table
+// name order) → row stripe → lock-manager stripe → lock-manager graph;
+// acquisitions never go up the hierarchy, which makes latch deadlocks
+// impossible.
 type DB struct {
-	mu        sync.Mutex
-	tables    map[string]*Table
-	lm        *lockManager
+	catMu  sync.RWMutex
+	tables map[string]*Table
+
+	lm *lockManager
+
+	planMu    sync.RWMutex
 	planCache map[string]SQLStmt
-	nextTxn   int64
-	stats     Stats
+
+	nextTxn atomic.Int64
+	stats   statsCounters
 }
 
 // Open creates an empty database.
@@ -48,49 +82,86 @@ func Open() *DB {
 
 // Stats returns a snapshot of operation counters.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.stats
+	return Stats{
+		Selects:     db.stats.selects.Load(),
+		Inserts:     db.stats.inserts.Load(),
+		Updates:     db.stats.updates.Load(),
+		Deletes:     db.stats.deletes.Load(),
+		RowsScanned: db.stats.rowsScanned.Load(),
+	}
 }
 
 // Snapshot returns every live row of every table, sorted by primary
 // key, keyed by table name. Tests use it to compare database states.
+// All table latches are held in read mode for the duration, so the
+// snapshot is consistent across tables with respect to structural
+// changes (committed transactions' rows; uncommitted rows may appear,
+// exactly as a scan would see them).
 func (db *DB) Snapshot() map[string][][]val.Value {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.catMu.RLock()
+	all := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		all = append(all, t)
+	}
+	db.catMu.RUnlock()
+	sortTables(all)
+	for _, t := range all {
+		t.latch.RLock()
+	}
+	defer func() {
+		for i := len(all) - 1; i >= 0; i-- {
+			all[i].latch.RUnlock()
+		}
+	}()
 	out := map[string][][]val.Value{}
-	for name, t := range db.tables {
+	for _, t := range all {
 		var rows [][]val.Value
 		t.pk.Scan(nil, nil, func(_ []val.Value, slot int) bool {
-			if t.rows[slot] != nil {
-				rows = append(rows, append([]val.Value{}, t.rows[slot]...))
+			if row := t.rowAt(slot); row != nil {
+				rows = append(rows, append([]val.Value{}, row...))
 			}
 			return true
 		})
-		out[name] = rows
+		out[t.name] = rows
 	}
 	return out
 }
 
 // LockWaits returns (waits, deadlocks) counters from the lock manager.
 func (db *DB) LockWaits() (int64, int64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.lm.Waits, db.lm.Deadlocks
+	return db.lm.Waits(), db.lm.Deadlocks()
 }
+
+// rowStripeCount stripes each table's row-pointer slots; power of two
+// for cheap masking.
+const rowStripeCount = 64
 
 // Table is one relation: rows are stored in slots; a nil row is a
 // tombstone. The primary key and all secondary indexes are B+trees.
+//
+// Concurrency: latch guards the table's structure — the rows slice
+// header and free list, and every B+tree. Statements that may grow the
+// slice or touch an index (INSERT, DELETE, key-changing UPDATE, index
+// DDL, commit slot recycling, rollback) hold latch exclusively;
+// everything else (scans, non-key UPDATEs) holds it shared and
+// arbitrates individual row-pointer slots through rowLatch stripes.
+// Row value slices are immutable once published: writers install a
+// fresh slice via setRow, so a reader holding a row pointer always
+// sees a consistent version.
 type Table struct {
-	db     *DB
-	name   string
-	cols   []ColumnDef
-	colIdx map[string]int
-	pkCols []int
-	rows   [][]val.Value
-	free   []int
-	pk     *btree
-	idxs   []*index
+	name     string
+	nameHash uint32 // FNV-1a of name, for lock-stripe selection
+	cols     []ColumnDef
+	colIdx   map[string]int
+	pkCols   []int
+
+	latch    sync.RWMutex
+	rowLatch [rowStripeCount]sync.RWMutex
+
+	rows [][]val.Value
+	free []int
+	pk   *btree
+	idxs []*index
 }
 
 type index struct {
@@ -100,31 +171,80 @@ type index struct {
 	tree   *btree
 }
 
+// lockKey builds the lock-manager key for a row slot, carrying the
+// table's precomputed hash so the per-lock hot path never re-hashes
+// the name.
+func (t *Table) lockKey(slot int) lockKey {
+	return lockKey{table: t.name, slot: slot, h: t.nameHash}
+}
+
+// rowAt reads the row pointer at slot. The caller holds the table
+// latch in at least read mode; the stripe synchronizes the element
+// against concurrent setRow from other read-latched sessions.
+func (t *Table) rowAt(slot int) []val.Value {
+	l := &t.rowLatch[slot&(rowStripeCount-1)]
+	l.RLock()
+	row := t.rows[slot]
+	l.RUnlock()
+	return row
+}
+
+// setRow installs a new row version at slot under its stripe latch.
+// The caller holds the table latch (either mode) and, for slots
+// already published, the row's X lock.
+func (t *Table) setRow(slot int, row []val.Value) {
+	l := &t.rowLatch[slot&(rowStripeCount-1)]
+	l.Lock()
+	t.rows[slot] = row
+	l.Unlock()
+}
+
 // NumRows returns the live row count (PK entries), synchronized
-// against concurrent writers through the engine mutex.
+// against concurrent writers through the table latch.
 func (t *Table) NumRows() int {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+	t.latch.RLock()
+	defer t.latch.RUnlock()
 	return t.pk.Len()
 }
 
 // Table returns a table by name, or nil. The handle is only a name
 // binding: reads that must be consistent under concurrent writers go
-// through methods that take the engine mutex (NumRows) or through a
+// through methods that take the table latch (NumRows) or through a
 // Session.
 func (db *DB) Table(name string) *Table {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tables[normName(name)]
+	return db.lookupTable(normName(name))
 }
 
-// Txn is an in-flight transaction: held locks plus an undo log.
+// lookupTable resolves an already-normalized name under the catalog
+// latch.
+func (db *DB) lookupTable(name string) *Table {
+	db.catMu.RLock()
+	defer db.catMu.RUnlock()
+	return db.tables[name]
+}
+
+// sortTables orders a latch set by name — the global latch acquisition
+// order that keeps multi-table latching deadlock-free.
+func sortTables(ts []*Table) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+}
+
+// Txn is an in-flight transaction: held locks plus an undo log. freed
+// holds slots tombstoned by deletes (recycled at commit, restored by
+// rollback); reserved holds slots an insert reserved but never
+// published (it lost a duplicate-key race after a lock wait) — they
+// stay X-locked until transaction end and are recycled on both paths.
 type Txn struct {
-	id      int64
-	locks   []lockKey
-	undo    []undoRec
-	freed   []freedSlot
-	aborted bool
+	id       int64
+	locks    []lockKey
+	undo     []undoRec
+	freed    []freedSlot
+	reserved []freedSlot
+	aborted  bool
+	// everWaited: txn enqueued on a lock at least once (written by the
+	// owning goroutine under the stripe+graph mutexes; read only by the
+	// owning goroutine). Lets abort skip the cancelWaits stripe sweep.
+	everWaited bool
 }
 
 type freedSlot struct {
@@ -160,10 +280,18 @@ func chanWaitPoint() (func(), func()) {
 
 // Session is a client connection handle: it owns at most one open
 // transaction. Statements executed outside a transaction autocommit.
+// A Session is a single logical thread of control — not safe for
+// concurrent use; distinct sessions of one DB run fully in parallel.
 type Session struct {
 	db        *DB
 	txn       *Txn
 	WaitPoint WaitPointFunc
+
+	// held is the set of table latches the in-flight statement holds
+	// (sorted by name) and their mode; a row-lock wait suspends these
+	// so a parked transaction never blocks unrelated statements.
+	held  []*Table
+	heldX bool
 }
 
 // NewSession creates a session on db.
@@ -176,8 +304,6 @@ func (s *Session) InTxn() bool { return s.txn != nil }
 
 // Begin starts an explicit transaction.
 func (s *Session) Begin() error {
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
 	if s.txn != nil {
 		return ErrInTransaction
 	}
@@ -186,14 +312,11 @@ func (s *Session) Begin() error {
 }
 
 func (db *DB) newTxn() *Txn {
-	db.nextTxn++
-	return &Txn{id: db.nextTxn}
+	return &Txn{id: db.nextTxn.Add(1)}
 }
 
 // Commit commits the open transaction, releasing its locks.
 func (s *Session) Commit() error {
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
 	if s.txn == nil {
 		return ErrNoTransaction
 	}
@@ -204,8 +327,6 @@ func (s *Session) Commit() error {
 
 // Rollback aborts the open transaction, undoing its effects.
 func (s *Session) Rollback() error {
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
 	if s.txn == nil {
 		return ErrNoTransaction
 	}
@@ -214,39 +335,106 @@ func (s *Session) Rollback() error {
 	return nil
 }
 
-// commit finalizes txn under db.mu.
-func (db *DB) commit(txn *Txn) {
+// latchSetOf collects the distinct tables referenced by txn's physical
+// records (undo log and freed slots), in latch order.
+func latchSetOf(txn *Txn) []*Table {
+	seen := map[*Table]bool{}
+	var ts []*Table
+	for _, u := range txn.undo {
+		if !seen[u.t] {
+			seen[u.t] = true
+			ts = append(ts, u.t)
+		}
+	}
 	for _, f := range txn.freed {
-		f.t.rows[f.slot] = nil
-		f.t.free = append(f.t.free, f.slot)
+		if !seen[f.t] {
+			seen[f.t] = true
+			ts = append(ts, f.t)
+		}
+	}
+	for _, f := range txn.reserved {
+		if !seen[f.t] {
+			seen[f.t] = true
+			ts = append(ts, f.t)
+		}
+	}
+	sortTables(ts)
+	return ts
+}
+
+func latchAllW(ts []*Table) {
+	for _, t := range ts {
+		t.latch.Lock()
+	}
+}
+
+func unlatchAllW(ts []*Table) {
+	for i := len(ts) - 1; i >= 0; i-- {
+		ts[i].latch.Unlock()
+	}
+}
+
+// commit finalizes txn: recycle slots freed by its deletes and slots
+// reserved by duplicate-losing inserts (under the owning tables'
+// latches), then release its locks.
+func (db *DB) commit(txn *Txn) {
+	if len(txn.freed) > 0 || len(txn.reserved) > 0 {
+		// Only the freed/reserved tables need latching here, but the
+		// full latch set is tiny and already deduplicated/sorted.
+		ts := latchSetOf(txn)
+		latchAllW(ts)
+		for _, f := range txn.freed {
+			f.t.rows[f.slot] = nil
+			f.t.free = append(f.t.free, f.slot)
+		}
+		for _, f := range txn.reserved {
+			f.t.free = append(f.t.free, f.slot)
+		}
+		unlatchAllW(ts)
 	}
 	db.lm.releaseAll(txn)
 	txn.undo = nil
 	txn.freed = nil
+	txn.reserved = nil
 }
 
-// rollback undoes txn's changes in reverse order under db.mu.
+// rollback undoes txn's changes in reverse order, holding the
+// exclusive latch of every table its undo log touches (physical undo
+// restores rows AND index entries), then releases its locks.
 func (db *DB) rollback(txn *Txn) {
-	for i := len(txn.undo) - 1; i >= 0; i-- {
-		u := txn.undo[i]
-		switch u.kind {
-		case uInsert:
-			u.t.dropFromIndexes(u.t.rows[u.slot], u.slot)
-			u.t.rows[u.slot] = nil
-			u.t.free = append(u.t.free, u.slot)
-		case uUpdate:
-			u.t.dropFromIndexes(u.t.rows[u.slot], u.slot)
-			u.t.rows[u.slot] = u.before
-			u.t.addToIndexes(u.before, u.slot)
-		case uDelete:
-			u.t.rows[u.slot] = u.before
-			u.t.addToIndexes(u.before, u.slot)
+	if len(txn.undo) > 0 || len(txn.reserved) > 0 {
+		ts := latchSetOf(txn)
+		latchAllW(ts)
+		for i := len(txn.undo) - 1; i >= 0; i-- {
+			u := txn.undo[i]
+			switch u.kind {
+			case uInsert:
+				u.t.dropFromIndexes(u.t.rows[u.slot], u.slot)
+				u.t.rows[u.slot] = nil
+				u.t.free = append(u.t.free, u.slot)
+			case uUpdate:
+				u.t.dropFromIndexes(u.t.rows[u.slot], u.slot)
+				u.t.rows[u.slot] = u.before
+				u.t.addToIndexes(u.before, u.slot)
+			case uDelete:
+				u.t.rows[u.slot] = u.before
+				u.t.addToIndexes(u.before, u.slot)
+			}
 		}
+		// Slots tombstoned by deletes were restored by the undo pass
+		// (txn.freed needs no action), but never-published insert
+		// reservations must be recycled or they leak as permanent
+		// tombstones.
+		for _, f := range txn.reserved {
+			f.t.free = append(f.t.free, f.slot)
+		}
+		unlatchAllW(ts)
 	}
 	db.lm.cancelWaits(txn)
 	db.lm.releaseAll(txn)
 	txn.undo = nil
 	txn.freed = nil
+	txn.reserved = nil
 	txn.aborted = true
 }
 
@@ -275,8 +463,62 @@ func (t *Table) dropFromIndexes(row []val.Value, slot int) {
 	}
 }
 
+// latch acquires the statement's table latches (deduplicated, in name
+// order) and records them so acquireLock can suspend them across a
+// lock wait.
+func (s *Session) latch(write bool, tables ...*Table) {
+	ts := tables[:0:0]
+	for _, t := range tables {
+		dup := false
+		for _, have := range ts {
+			if have == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ts = append(ts, t)
+		}
+	}
+	sortTables(ts)
+	s.held = ts
+	s.heldX = write
+	s.lockHeld()
+}
+
+func (s *Session) lockHeld() {
+	for _, t := range s.held {
+		if s.heldX {
+			t.latch.Lock()
+		} else {
+			t.latch.RLock()
+		}
+	}
+}
+
+func (s *Session) unlockHeld() {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.heldX {
+			s.held[i].latch.Unlock()
+		} else {
+			s.held[i].latch.RUnlock()
+		}
+	}
+}
+
+// unlatch releases the statement's latches at statement end.
+func (s *Session) unlatch() {
+	s.unlockHeld()
+	s.held = nil
+	s.heldX = false
+}
+
 // acquireLock blocks (via the session's wait point) until txn holds
-// key at mode, or returns ErrDeadlock.
+// key at mode, or returns ErrDeadlock. If the lock is contended, the
+// statement's table latches are suspended for the duration of the wait
+// (a parked transaction must not stall statements on other data) and
+// reacquired afterwards — callers revalidate whatever the latch
+// protected after any acquireLock call that might have waited.
 func (s *Session) acquireLock(txn *Txn, key lockKey, mode LockMode) error {
 	wait, wake := s.WaitPoint()
 	ok, err := s.db.lm.acquire(txn, key, mode, wake)
@@ -286,22 +528,28 @@ func (s *Session) acquireLock(txn *Txn, key lockKey, mode LockMode) error {
 	if ok {
 		return nil
 	}
-	s.db.mu.Unlock()
+	s.unlockHeld()
 	wait()
-	s.db.mu.Lock()
+	s.lockHeld()
 	return nil
 }
 
-// parse returns a cached parse of sql.
+// parse returns a cached parse of sql. Parsed statements are immutable
+// and shared across sessions.
 func (db *DB) parse(sql string) (SQLStmt, error) {
-	if st, ok := db.planCache[sql]; ok {
+	db.planMu.RLock()
+	st, ok := db.planCache[sql]
+	db.planMu.RUnlock()
+	if ok {
 		return st, nil
 	}
 	st, err := ParseSQL(sql)
 	if err != nil {
 		return nil, err
 	}
+	db.planMu.Lock()
 	db.planCache[sql] = st
+	db.planMu.Unlock()
 	return st, nil
 }
 
@@ -326,8 +574,6 @@ func (r *ResultSet) Size() int {
 // Exec runs a DDL or DML statement. It returns the number of rows
 // affected. Outside an explicit transaction the statement autocommits.
 func (s *Session) Exec(sql string, args ...val.Value) (int, error) {
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
 	st, err := s.db.parse(sql)
 	if err != nil {
 		return 0, err
@@ -337,8 +583,6 @@ func (s *Session) Exec(sql string, args ...val.Value) (int, error) {
 
 // Query runs a SELECT and returns its result set.
 func (s *Session) Query(sql string, args ...val.Value) (*ResultSet, error) {
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
 	st, err := s.db.parse(sql)
 	if err != nil {
 		return nil, err
@@ -347,10 +591,32 @@ func (s *Session) Query(sql string, args ...val.Value) (*ResultSet, error) {
 	if !ok {
 		return nil, fmt.Errorf("sqldb: Query requires SELECT, got %T", st)
 	}
+	tables, aliases, err := s.db.resolveSelect(sel)
+	if err != nil {
+		return nil, err
+	}
 	txn, auto := s.currentTxn()
-	rs, err := s.execSelect(txn, sel, args)
+	s.latch(false, tables...)
+	rs, err := s.execSelect(txn, sel, tables, aliases, args)
+	s.unlatch()
 	s.finishAuto(txn, auto, err)
 	return rs, err
+}
+
+// resolveSelect binds the FROM clause to tables under the catalog
+// latch.
+func (db *DB) resolveSelect(st *SelectStmt) ([]*Table, []string, error) {
+	tables := make([]*Table, len(st.Tables))
+	aliases := make([]string, len(st.Tables))
+	for i, tr := range st.Tables {
+		t := db.lookupTable(tr.Table)
+		if t == nil {
+			return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchTable, tr.Table)
+		}
+		tables[i] = t
+		aliases[i] = tr.Alias
+	}
+	return tables, aliases, nil
 }
 
 // currentTxn returns the session transaction or a fresh autocommit one.
@@ -361,7 +627,8 @@ func (s *Session) currentTxn() (*Txn, bool) {
 	return s.db.newTxn(), true
 }
 
-// finishAuto commits or rolls back an autocommit transaction.
+// finishAuto commits or rolls back an autocommit transaction. Called
+// with no statement latches held (commit/rollback take their own).
 func (s *Session) finishAuto(txn *Txn, auto bool, err error) {
 	if !auto {
 		if err != nil && errors.Is(err, ErrDeadlock) {
@@ -385,24 +652,69 @@ func (s *Session) execStmt(st SQLStmt, args []val.Value) (int, error) {
 	case *CreateIndexStmt:
 		return 0, s.db.createIndex(t)
 	case *InsertStmt:
+		tb := s.db.lookupTable(t.Table)
+		if tb == nil {
+			return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, t.Table)
+		}
 		txn, auto := s.currentTxn()
-		n, err := s.execInsert(txn, t, args)
+		s.latch(true, tb)
+		n, err := s.execInsert(txn, tb, t, args)
+		s.unlatch()
 		s.finishAuto(txn, auto, err)
 		return n, err
 	case *UpdateStmt:
+		tb := s.db.lookupTable(t.Table)
+		if tb == nil {
+			return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, t.Table)
+		}
 		txn, auto := s.currentTxn()
-		n, err := s.execUpdate(txn, t, args)
+		// A non-key update only swaps row pointers, so it can share the
+		// table latch with readers; touching any indexed column needs
+		// the structural latch exclusively. Decided under the read
+		// latch (the index set cannot change while it is held
+		// continuously); if a lock wait suspends the latch and a
+		// concurrent CREATE INDEX invalidates the decision, execUpdate
+		// reports errLatchUpgrade and the statement reruns exclusively.
+		s.latch(false, tb)
+		if updateNeedsX(tb, t) {
+			s.unlatch()
+			s.latch(true, tb)
+		}
+		n, err := s.execUpdate(txn, tb, t, args)
+		if errors.Is(err, errLatchUpgrade) {
+			s.unlatch()
+			s.latch(true, tb)
+			n, err = s.execUpdate(txn, tb, t, args)
+		}
+		s.unlatch()
 		s.finishAuto(txn, auto, err)
 		return n, err
 	case *DeleteStmt:
+		tb := s.db.lookupTable(t.Table)
+		if tb == nil {
+			return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, t.Table)
+		}
 		txn, auto := s.currentTxn()
-		n, err := s.execDelete(txn, t, args)
+		s.latch(true, tb)
+		n, err := s.execDelete(txn, tb, t, args)
+		s.unlatch()
 		s.finishAuto(txn, auto, err)
 		return n, err
 	case *SelectStmt:
 		return 0, fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
 	}
 	return 0, fmt.Errorf("sqldb: unsupported statement %T", st)
+}
+
+// updateNeedsX reports whether st writes any indexed column of t.
+// Caller holds t.latch in at least read mode.
+func updateNeedsX(t *Table, st *UpdateStmt) bool {
+	for _, set := range st.Sets {
+		if ci, ok := t.colIdx[set.Col]; ok && isIndexedCol(t, ci) {
+			return true
+		}
+	}
+	return false
 }
 
 func normName(s string) string {
@@ -419,6 +731,8 @@ func normName(s string) string {
 }
 
 func (db *DB) createTable(st *CreateTableStmt) error {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	if _, exists := db.tables[st.Table]; exists {
 		return fmt.Errorf("sqldb: table %s already exists", st.Table)
 	}
@@ -426,11 +740,11 @@ func (db *DB) createTable(st *CreateTableStmt) error {
 		return fmt.Errorf("sqldb: table %s requires a PRIMARY KEY", st.Table)
 	}
 	t := &Table{
-		db:     db,
-		name:   st.Table,
-		cols:   st.Cols,
-		colIdx: map[string]int{},
-		pk:     newBTree(),
+		name:     st.Table,
+		nameHash: fnv32(st.Table),
+		cols:     st.Cols,
+		colIdx:   map[string]int{},
+		pk:       newBTree(),
 	}
 	for i, c := range st.Cols {
 		if _, dup := t.colIdx[c.Name]; dup {
@@ -450,8 +764,8 @@ func (db *DB) createTable(st *CreateTableStmt) error {
 }
 
 func (db *DB) createIndex(st *CreateIndexStmt) error {
-	t, ok := db.tables[st.Table]
-	if !ok {
+	t := db.lookupTable(st.Table)
+	if t == nil {
 		return fmt.Errorf("%w: %s", ErrNoSuchTable, st.Table)
 	}
 	ix := &index{name: st.Name, unique: st.Unique, tree: newBTree()}
@@ -462,6 +776,8 @@ func (db *DB) createIndex(st *CreateIndexStmt) error {
 		}
 		ix.cols = append(ix.cols, ci)
 	}
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	for slot, row := range t.rows {
 		if row != nil {
 			ix.tree.Insert(t.keyFor(ix.cols, row, slot, ix.unique), slot)

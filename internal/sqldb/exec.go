@@ -138,13 +138,10 @@ func likeMatch(s, pat string) bool {
 // INSERT / UPDATE / DELETE
 // ---------------------------------------------------------------------------
 
-func (s *Session) execInsert(txn *Txn, st *InsertStmt, args []val.Value) (int, error) {
-	db := s.db
-	t, ok := db.tables[st.Table]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, st.Table)
-	}
-	db.stats.Inserts++
+// execInsert runs under t's exclusive latch (slot allocation and index
+// insertion are structural).
+func (s *Session) execInsert(txn *Txn, t *Table, st *InsertStmt, args []val.Value) (int, error) {
+	s.db.stats.inserts.Add(1)
 	row := make([]val.Value, len(t.cols))
 	if len(st.Cols) == 0 {
 		if len(st.Vals) != len(t.cols) {
@@ -185,22 +182,34 @@ func (s *Session) execInsert(txn *Txn, st *InsertStmt, args []val.Value) (int, e
 		return 0, fmt.Errorf("%w: %s %v", ErrDupKey, t.name, pkKey)
 	}
 
+	// Reserve a slot but do NOT publish the row until its X lock is
+	// held: a recycled slot can carry lock waiters from its previous
+	// row, and acquireLock suspends the table latch while parked, so an
+	// early-published row would be visible (and lockable) by others
+	// before this transaction owns it.
 	var slot int
 	if n := len(t.free); n > 0 {
 		slot = t.free[n-1]
 		t.free = t.free[:n-1]
-		t.rows[slot] = row
 	} else {
 		slot = len(t.rows)
-		t.rows = append(t.rows, row)
+		t.rows = append(t.rows, nil)
 	}
-	// The fresh slot is uncontended; the X lock makes the row invisible
-	// to concurrent readers until commit.
-	if err := s.acquireLock(txn, lockKey{t.name, slot}, LockX); err != nil {
-		t.rows[slot] = nil
+	if err := s.acquireLock(txn, t.lockKey(slot), LockX); err != nil {
+		// No wait happened (errors are only returned pre-enqueue), so
+		// the latch was held throughout and the slot can be recycled.
 		t.free = append(t.free, slot)
 		return 0, err
 	}
+	// The lock wait (if any) suspended the latch: another transaction
+	// may have inserted the same key meanwhile.
+	if _, exists := t.pk.Get(pkKey); exists {
+		// The reserved slot stays X-locked until transaction end;
+		// commit and rollback both recycle it.
+		txn.reserved = append(txn.reserved, freedSlot{t: t, slot: slot})
+		return 0, fmt.Errorf("%w: %s %v", ErrDupKey, t.name, pkKey)
+	}
+	t.rows[slot] = row
 	t.addToIndexes(row, slot)
 	txn.undo = append(txn.undo, undoRec{t: t, kind: uInsert, slot: slot})
 	return 1, nil
@@ -208,13 +217,16 @@ func (s *Session) execInsert(txn *Txn, st *InsertStmt, args []val.Value) (int, e
 
 // matchSlots finds the slots of t whose rows satisfy conds, locking
 // each matching row at mode. Predicates are re-checked after each lock
-// wait (the row may have changed while blocked).
+// wait (the row may have changed while blocked). Caller holds t's
+// latch in at least read mode; row pointers are read through the slot
+// stripes so concurrent non-key updaters under the shared latch are
+// safe.
 func (s *Session) matchSlots(txn *Txn, t *Table, alias string, conds []Cond, args []val.Value, mode LockMode) ([]int, error) {
 	db := s.db
 	rc := &rowCtx{aliases: []string{alias}, tables: []*Table{t}, rows: [][]val.Value{nil}}
 
 	check := func(slot int) (bool, error) {
-		row := t.rows[slot]
+		row := t.rowAt(slot)
 		if row == nil {
 			return false, nil
 		}
@@ -246,14 +258,14 @@ func (s *Session) matchSlots(txn *Txn, t *Table, alias string, conds []Cond, arg
 			candidates = append(candidates, slot)
 			return true
 		})
-		db.stats.RowsScanned += int64(len(candidates))
+		db.stats.rowsScanned.Add(int64(len(candidates)))
 	} else {
-		for slot, row := range t.rows {
-			if row != nil {
+		for slot := 0; slot < len(t.rows); slot++ {
+			if t.rowAt(slot) != nil {
 				candidates = append(candidates, slot)
 			}
 		}
-		db.stats.RowsScanned += int64(len(candidates))
+		db.stats.rowsScanned.Add(int64(len(candidates)))
 	}
 
 	var out []int
@@ -265,7 +277,7 @@ func (s *Session) matchSlots(txn *Txn, t *Table, alias string, conds []Cond, arg
 		if !ok {
 			continue
 		}
-		if err := s.acquireLock(txn, lockKey{t.name, slot}, mode); err != nil {
+		if err := s.acquireLock(txn, t.lockKey(slot), mode); err != nil {
 			return nil, err
 		}
 		// Re-check after a potential wait.
@@ -341,20 +353,26 @@ func exprIsBound(e SQLExpr) bool {
 	return false
 }
 
-func (s *Session) execUpdate(txn *Txn, st *UpdateStmt, args []val.Value) (int, error) {
-	db := s.db
-	t, ok := db.tables[st.Table]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, st.Table)
-	}
-	db.stats.Updates++
+// execUpdate runs under t's latch: exclusive when any set column is
+// indexed (index maintenance is structural), shared otherwise (a
+// non-key update only installs a fresh row pointer via its stripe).
+func (s *Session) execUpdate(txn *Txn, t *Table, st *UpdateStmt, args []val.Value) (int, error) {
+	s.db.stats.updates.Add(1)
 	slots, err := s.matchSlots(txn, t, st.Table, st.Where, args, LockX)
 	if err != nil {
 		return 0, err
 	}
+	// matchSlots may have suspended the latch across a lock wait, and a
+	// CREATE INDEX can have slipped in — the shared-latch decision must
+	// be revalidated before mutating anything (no side effects exist
+	// yet; the X row locks persist across the restart). errLatchUpgrade
+	// makes execStmt rerun this statement under the exclusive latch.
+	if !s.heldX && updateNeedsX(t, st) {
+		return 0, errLatchUpgrade
+	}
 	rc := &rowCtx{aliases: []string{st.Table}, tables: []*Table{t}, rows: [][]val.Value{nil}}
 	for _, slot := range slots {
-		old := t.rows[slot]
+		old := t.rowAt(slot)
 		rc.rows[0] = old
 		newRow := append([]val.Value{}, old...)
 		keyChanged := false
@@ -378,11 +396,12 @@ func (s *Session) execUpdate(txn *Txn, st *UpdateStmt, args []val.Value) (int, e
 		}
 		txn.undo = append(txn.undo, undoRec{t: t, kind: uUpdate, slot: slot, before: old})
 		if keyChanged {
+			// updateNeedsX guaranteed the exclusive latch for this case.
 			t.dropFromIndexes(old, slot)
 			t.rows[slot] = newRow
 			t.addToIndexes(newRow, slot)
 		} else {
-			t.rows[slot] = newRow
+			t.setRow(slot, newRow)
 		}
 	}
 	return len(slots), nil
@@ -404,13 +423,10 @@ func isIndexedCol(t *Table, ci int) bool {
 	return false
 }
 
-func (s *Session) execDelete(txn *Txn, st *DeleteStmt, args []val.Value) (int, error) {
-	db := s.db
-	t, ok := db.tables[st.Table]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, st.Table)
-	}
-	db.stats.Deletes++
+// execDelete runs under t's exclusive latch (tombstoning drops index
+// entries).
+func (s *Session) execDelete(txn *Txn, t *Table, st *DeleteStmt, args []val.Value) (int, error) {
+	s.db.stats.deletes.Add(1)
 	slots, err := s.matchSlots(txn, t, st.Table, st.Where, args, LockX)
 	if err != nil {
 		return 0, err
@@ -421,7 +437,6 @@ func (s *Session) execDelete(txn *Txn, st *DeleteStmt, args []val.Value) (int, e
 		txn.undo = append(txn.undo, undoRec{t: t, kind: uDelete, slot: slot, before: old})
 		// Tombstone now; the slot is recycled only at commit so rollback
 		// can restore in place.
-		t.rows[slot] = append([]val.Value{}, old...)
 		t.rows[slot] = nil
 		txn.freed = append(txn.freed, freedSlot{t: t, slot: slot})
 	}
@@ -432,20 +447,10 @@ func (s *Session) execDelete(txn *Txn, st *DeleteStmt, args []val.Value) (int, e
 // SELECT
 // ---------------------------------------------------------------------------
 
-func (s *Session) execSelect(txn *Txn, st *SelectStmt, args []val.Value) (*ResultSet, error) {
-	db := s.db
-	db.stats.Selects++
-	tables := make([]*Table, len(st.Tables))
-	aliases := make([]string, len(st.Tables))
-	for i, tr := range st.Tables {
-		t, ok := db.tables[tr.Table]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, tr.Table)
-		}
-		tables[i] = t
-		aliases[i] = tr.Alias
-	}
-
+// execSelect runs the (pre-resolved) SELECT under shared latches on
+// every FROM table, held by the caller.
+func (s *Session) execSelect(txn *Txn, st *SelectStmt, tables []*Table, aliases []string, args []val.Value) (*ResultSet, error) {
+	s.db.stats.selects.Add(1)
 	rs := &ResultSet{}
 	agg := false
 	resolves := func(cr ColRef) bool {
@@ -535,7 +540,7 @@ func (s *Session) execSelect(txn *Txn, st *SelectStmt, args []val.Value) (*Resul
 			return err
 		}
 		for _, slot := range slots {
-			rc.rows[level] = t.rows[slot]
+			rc.rows[level] = t.rowAt(slot)
 			if rc.rows[level] == nil {
 				continue
 			}
@@ -628,7 +633,7 @@ func hasCol(t *Table, col string) bool {
 func (s *Session) matchJoin(txn *Txn, rc *rowCtx, t *Table, alias string, level int, conds []Cond, args []val.Value) ([]int, error) {
 	db := s.db
 	check := func(slot int) (bool, error) {
-		row := t.rows[slot]
+		row := t.rowAt(slot)
 		if row == nil {
 			return false, nil
 		}
@@ -701,13 +706,13 @@ func (s *Session) matchJoin(txn *Txn, rc *rowCtx, t *Table, alias string, level 
 		}
 	}
 	if !found {
-		for slot, row := range t.rows {
-			if row != nil {
+		for slot := 0; slot < len(t.rows); slot++ {
+			if t.rowAt(slot) != nil {
 				candidates = append(candidates, slot)
 			}
 		}
 	}
-	db.stats.RowsScanned += int64(len(candidates))
+	db.stats.rowsScanned.Add(int64(len(candidates)))
 
 	var out []int
 	for _, slot := range candidates {
@@ -718,7 +723,7 @@ func (s *Session) matchJoin(txn *Txn, rc *rowCtx, t *Table, alias string, level 
 		if !ok {
 			continue
 		}
-		if err := s.acquireLock(txn, lockKey{t.name, slot}, LockS); err != nil {
+		if err := s.acquireLock(txn, t.lockKey(slot), LockS); err != nil {
 			return nil, err
 		}
 		ok, err = check(slot)

@@ -3,6 +3,8 @@ package sqldb
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // ErrDeadlock is returned when granting a lock would create a cycle in
@@ -25,10 +27,25 @@ func (m LockMode) String() string {
 }
 
 // lockKey identifies a lockable resource: a row slot within a table,
-// or the whole table (slot == -1, used by scans for stability).
+// or the whole table (slot == -1, used by scans for stability). h is
+// the FNV-1a hash of table, precomputed once per table so the stripe
+// choice on the per-row-lock hot path never re-hashes the name; it is
+// deterministic from table, so including it in map equality is
+// harmless.
 type lockKey struct {
 	table string
 	slot  int
+	h     uint32
+}
+
+// fnv32 is FNV-1a over s.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
 func (k lockKey) String() string { return fmt.Sprintf("%s[%d]", k.table, k.slot) }
@@ -36,7 +53,7 @@ func (k lockKey) String() string { return fmt.Sprintf("%s[%d]", k.table, k.slot)
 type lockWaiter struct {
 	txn  *Txn
 	mode LockMode
-	wake func() // invoked (under the engine mutex) when the lock is granted
+	wake func() // invoked (under the key's stripe mutex) when the lock is granted
 }
 
 type lockState struct {
@@ -44,25 +61,65 @@ type lockState struct {
 	queue   []*lockWaiter
 }
 
-// lockManager implements strict two-phase locking. It is not
-// internally synchronized: the engine's single big mutex serializes
-// all calls. Waiting is externalized through wake callbacks so both
-// real goroutines (channel close) and the discrete-event simulator
-// (virtual-time wakeup) can block on locks.
-type lockManager struct {
+// lockStripeCount stripes the lock table so uncontended acquisitions on
+// different rows don't serialize on one mutex. Power of two for cheap
+// masking.
+const lockStripeCount = 64
+
+type lockStripe struct {
+	mu    sync.Mutex
 	locks map[lockKey]*lockState
+}
+
+// lockManager implements strict two-phase locking with striped internal
+// synchronization: the lock table is sharded over lockStripeCount
+// mutexes (the uncontended fast path touches exactly one), while the
+// waits-for graph used for deadlock detection lives behind a single
+// graph mutex taken only on the slow (conflict) path. Lock ordering is
+// always stripe.mu before graphMu, never the reverse.
+//
+// Waiting is externalized through wake callbacks so both real
+// goroutines (channel close) and the discrete-event simulator
+// (virtual-time wakeup) can block on locks; acquire never parks the
+// caller itself and never blocks while holding caller-visible state.
+//
+// Consistency note for deadlock detection: a waiter's edges are
+// inserted and removed under graphMu while its key's stripe mutex is
+// held, and a grant updates holders and removes the waiter's edges in
+// one such critical section. Because locks are strict (released only at
+// transaction end, by releaseAll) a stale edge can only point at a
+// finished transaction, which never re-enters the graph — so cycle
+// checks cannot report false deadlocks.
+type lockManager struct {
+	stripes [lockStripeCount]lockStripe
+
+	graphMu sync.Mutex
 	// waitsFor edges: waiting txn -> set of txns it waits on.
 	waitsFor map[*Txn]map[*Txn]bool
+
 	// stats
-	Waits     int64
-	Deadlocks int64
+	waits     atomic.Int64
+	deadlocks atomic.Int64
 }
 
 func newLockManager() *lockManager {
-	return &lockManager{
-		locks:    map[lockKey]*lockState{},
-		waitsFor: map[*Txn]map[*Txn]bool{},
+	lm := &lockManager{waitsFor: map[*Txn]map[*Txn]bool{}}
+	for i := range lm.stripes {
+		lm.stripes[i].locks = map[lockKey]*lockState{}
 	}
+	return lm
+}
+
+// Waits and Deadlocks snapshot the contention counters.
+func (lm *lockManager) Waits() int64     { return lm.waits.Load() }
+func (lm *lockManager) Deadlocks() int64 { return lm.deadlocks.Load() }
+
+// stripeFor maps a key to its stripe: the precomputed table hash mixed
+// with the slot.
+func (lm *lockManager) stripeFor(key lockKey) *lockStripe {
+	h := key.h ^ uint32(key.slot)
+	h *= 16777619
+	return &lm.stripes[h&(lockStripeCount-1)]
 }
 
 func compatible(held, want LockMode) bool { return held == LockS && want == LockS }
@@ -73,10 +130,13 @@ func compatible(held, want LockMode) bool { return held == LockS && want == Lock
 //     after wake fires the lock IS held (no retry needed);
 //   - (false, ErrDeadlock): waiting would deadlock; caller must abort.
 func (lm *lockManager) acquire(txn *Txn, key lockKey, mode LockMode, wake func()) (bool, error) {
-	ls := lm.locks[key]
+	st := lm.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ls := st.locks[key]
 	if ls == nil {
 		ls = &lockState{holders: map[*Txn]LockMode{}}
-		lm.locks[key] = ls
+		st.locks[key] = ls
 	}
 	if held, ok := ls.holders[txn]; ok {
 		if held >= mode {
@@ -113,7 +173,10 @@ func (lm *lockManager) acquire(txn *Txn, key lockKey, mode LockMode, wake func()
 		return true, nil
 	}
 
-	// Must wait: record wait-for edges and check for a cycle.
+	// Must wait: record wait-for edges and check for a cycle. Edge
+	// mutation and the enqueue happen together under graphMu (with the
+	// stripe mutex still held) so concurrent cycle checks always see a
+	// picture consistent with the queue they would observe.
 	blockers := map[*Txn]bool{}
 	for h := range ls.holders {
 		if h != txn {
@@ -125,18 +188,23 @@ func (lm *lockManager) acquire(txn *Txn, key lockKey, mode LockMode, wake func()
 			blockers[w.txn] = true
 		}
 	}
+	lm.graphMu.Lock()
 	lm.waitsFor[txn] = blockers
 	if lm.cycleFrom(txn) {
 		delete(lm.waitsFor, txn)
-		lm.Deadlocks++
+		lm.graphMu.Unlock()
+		lm.deadlocks.Add(1)
 		return false, ErrDeadlock
 	}
-	lm.Waits++
 	ls.queue = append(ls.queue, &lockWaiter{txn: txn, mode: mode, wake: wake})
+	txn.everWaited = true
+	lm.graphMu.Unlock()
+	lm.waits.Add(1)
 	return false, nil
 }
 
-// cycleFrom reports whether start can reach itself in the wait-for graph.
+// cycleFrom reports whether start can reach itself in the wait-for
+// graph. Caller holds graphMu.
 func (lm *lockManager) cycleFrom(start *Txn) bool {
 	seen := map[*Txn]bool{}
 	var dfs func(t *Txn) bool
@@ -160,42 +228,68 @@ func (lm *lockManager) cycleFrom(start *Txn) bool {
 // releaseAll drops every lock held by txn and grants queued waiters
 // whose requests have become compatible, invoking their wake callbacks.
 func (lm *lockManager) releaseAll(txn *Txn) {
+	lm.graphMu.Lock()
 	delete(lm.waitsFor, txn)
+	lm.graphMu.Unlock()
 	for _, key := range txn.locks {
-		ls := lm.locks[key]
-		if ls == nil {
-			continue
+		st := lm.stripeFor(key)
+		st.mu.Lock()
+		ls := st.locks[key]
+		if ls != nil {
+			delete(ls.holders, txn)
+			lm.grantWaiters(key, ls)
+			if len(ls.holders) == 0 && len(ls.queue) == 0 {
+				delete(st.locks, key)
+			}
 		}
-		delete(ls.holders, txn)
-		lm.grantWaiters(key, ls)
-		if len(ls.holders) == 0 && len(ls.queue) == 0 {
-			delete(lm.locks, key)
-		}
+		st.mu.Unlock()
 	}
 	txn.locks = txn.locks[:0]
 }
 
-// cancelWaits removes txn from every wait queue (used when a waiting
-// transaction aborts).
+// cancelWaits removes txn from every wait queue (used when a
+// transaction aborts; normally a no-op since an aborting transaction
+// cannot be parked on a lock at the same time). Transactions that
+// never enqueued anywhere skip the stripe sweep entirely — rollback is
+// a hot path under deadlock retry and must not serialize on all 64
+// stripe mutexes for nothing.
 func (lm *lockManager) cancelWaits(txn *Txn) {
+	if !txn.everWaited {
+		return
+	}
+	lm.graphMu.Lock()
 	delete(lm.waitsFor, txn)
-	for key, ls := range lm.locks {
-		changed := false
-		out := ls.queue[:0]
-		for _, w := range ls.queue {
-			if w.txn == txn {
-				changed = true
-				continue
+	lm.graphMu.Unlock()
+	for i := range lm.stripes {
+		st := &lm.stripes[i]
+		st.mu.Lock()
+		for key, ls := range st.locks {
+			changed := false
+			out := ls.queue[:0]
+			for _, w := range ls.queue {
+				if w.txn == txn {
+					changed = true
+					continue
+				}
+				out = append(out, w)
 			}
-			out = append(out, w)
+			ls.queue = out
+			if changed {
+				lm.grantWaiters(key, ls)
+				if len(ls.holders) == 0 && len(ls.queue) == 0 {
+					delete(st.locks, key)
+				}
+			}
 		}
-		ls.queue = out
-		if changed {
-			lm.grantWaiters(key, ls)
-		}
+		st.mu.Unlock()
 	}
 }
 
+// grantWaiters grants queue-head waiters whose requests are compatible
+// with the remaining holders. Caller holds the stripe mutex for ls's
+// key; the waiter's graph edges are removed and the holder set updated
+// in one graphMu section so cycle checks never see a granted waiter as
+// still waiting.
 func (lm *lockManager) grantWaiters(key lockKey, ls *lockState) {
 	for len(ls.queue) > 0 {
 		w := ls.queue[0]
@@ -213,15 +307,20 @@ func (lm *lockManager) grantWaiters(key lockKey, ls *lockState) {
 			break
 		}
 		ls.queue = ls.queue[1:]
+		lm.graphMu.Lock()
+		delete(lm.waitsFor, w.txn)
 		if _, already := ls.holders[w.txn]; already {
 			if w.mode > ls.holders[w.txn] {
 				ls.holders[w.txn] = w.mode
 			}
 		} else {
 			ls.holders[w.txn] = w.mode
+			// The waiter's goroutine is parked (or about to park) on the
+			// wait point, so appending to its lock list here is safe; the
+			// wake callback publishes the append to it.
 			w.txn.locks = append(w.txn.locks, key)
 		}
-		delete(lm.waitsFor, w.txn)
+		lm.graphMu.Unlock()
 		w.wake()
 	}
 }
