@@ -8,12 +8,18 @@
 // TCP connection per port, and reports aggregate throughput plus
 // per-session latency.
 //
+// With -dynamic (against a pyxis-dbserver also running -dynamic) each
+// session holds a (high-budget, low-budget) deployment pair and routes
+// every call off the shared switcher EWMA, which is fed by the DB load
+// reports piggy-backed on every reply; server sheds surface as
+// rpc.ErrOverloaded and are retried with backoff.
+//
 // Usage (after starting pyxis-dbserver with the same -src/-schema/-budget):
 //
 //	pyxis-app -src order.pyxj -budget 1.0 -schema schema.sql \
 //	    -db localhost:7001 -ctl localhost:7002 \
 //	    -new Order -args 7 -call Order.placeOrder -callargs 3,0.9 \
-//	    -clients 8 -n 100
+//	    -clients 8 -n 100 [-dynamic -low-budget 0]
 package main
 
 import (
@@ -48,6 +54,11 @@ func main() {
 		callArgs = flag.String("callargs", "", "comma-separated entry arguments")
 		clients  = flag.Int("clients", 1, "number of concurrent client sessions")
 		repeat   = flag.Int("n", 1, "entry invocations per client")
+		dynamic  = flag.Bool("dynamic", false,
+			"route each session between the -budget and -low-budget partitions off the DB's piggy-backed load reports (pyxis-dbserver must run -dynamic)")
+		lowBudget  = flag.Float64("low-budget", 0, "low partition budget fraction (must match pyxis-dbserver -low-budget)")
+		threshold  = flag.Float64("threshold", 40, "switcher load threshold percent")
+		hysteresis = flag.Float64("hysteresis", 0, "switcher dead-band half-width percent")
 	)
 	flag.Parse()
 	if *srcPath == "" || *newClass == "" || *call == "" {
@@ -84,6 +95,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("pyxis-app: partition {%s}\n", part.Describe())
+	var lowPart *pyxis.Partition
+	if *dynamic {
+		if lowPart, err = sys.PartitionAt(*lowBudget); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pyxis-app: low partition {%s}\n", lowPart.Describe())
+	}
 
 	// One multiplexed connection per port; every client session is a
 	// (db session, ctl session) pair on them.
@@ -102,6 +120,22 @@ func main() {
 	ctorVals := parseArgs(*ctorArgs)
 	callVals := parseArgs(*callArgs)
 
+	// With -dynamic, every reply from the DB server carries its load
+	// sample; the shared switcher folds them into the EWMA each
+	// session consults before its next call.
+	var sw *runtime.Switcher
+	var appPeerLow *runtime.Peer
+	var dyns []*runtime.DynamicClient
+	if *dynamic {
+		sw = runtime.NewSwitcher()
+		sw.Threshold = *threshold
+		sw.Hysteresis = *hysteresis
+		ctlMux.SetOnLoad(sw.ObserveReport)
+		dbMux.SetOnLoad(sw.ObserveReport)
+		appPeerLow = runtime.NewPeer(lowPart.Compiled, pdg.App, os.Stdout)
+		dyns = make([]*runtime.DynamicClient, *clients)
+	}
+
 	type result struct {
 		ret  val.Value
 		lats []float64 // milliseconds
@@ -118,15 +152,43 @@ func main() {
 			ctlT := ctlMux.Session()
 			sess := appPeer.NewSession(dbapi.NewClient(dbT))
 			client := runtime.NewClient(sess, ctlT)
-			defer client.Close()
-			oid, err := client.NewObject(*newClass, ctorVals...)
-			if err != nil {
-				results[i].err = err
-				return
+
+			// callOnce invokes the entry on the static client, or routes
+			// through this session's DynamicClient (which re-picks per
+			// attempt and backs off on overload sheds).
+			var callOnce func() (val.Value, error)
+			if *dynamic {
+				lowSess := appPeerLow.NewSession(dbapi.NewClient(dbMux.Session()))
+				lowClient := runtime.NewClient(lowSess, ctlMux.TaggedSession(runtime.TagLowBudget))
+				dyn := &runtime.DynamicClient{High: client, Low: lowClient, Switcher: sw}
+				dyns[i] = dyn
+				defer dyn.Close()
+				oidHigh, err := client.NewObject(*newClass, ctorVals...)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				oidLow, err := lowClient.NewObject(*newClass, ctorVals...)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				callOnce = func() (val.Value, error) {
+					r, err := dyn.CallEntry(*call, oidHigh, oidLow, callVals...)
+					return r.Val, err
+				}
+			} else {
+				defer client.Close()
+				oid, err := client.NewObject(*newClass, ctorVals...)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				callOnce = func() (val.Value, error) { return client.CallEntry(*call, oid, callVals...) }
 			}
 			for k := 0; k < *repeat; k++ {
 				t0 := time.Now()
-				ret, err := client.CallEntry(*call, oid, callVals...)
+				ret, err := callOnce()
 				if err != nil {
 					results[i].err = err
 					return
@@ -164,6 +226,23 @@ func main() {
 	db := dbMux.Stats()
 	fmt.Printf("pyxis-app: control transfers=%d (%d B), app-side db round trips=%d (%d B)\n",
 		ctl.Calls, ctl.BytesSent+ctl.BytesRecv, db.Calls, db.BytesSent+db.BytesRecv)
+	if *dynamic {
+		var low, high, sheds int64
+		for _, d := range dyns {
+			if d == nil {
+				continue
+			}
+			l, h := d.Picks()
+			low, high, sheds = low+l, high+h, sheds+d.Sheds()
+		}
+		share := 0.0
+		if low+high > 0 {
+			share = 100 * float64(low) / float64(low+high)
+		}
+		fmt.Printf("pyxis-app: dynamic mix low=%d high=%d (%.0f%% low) sheds=%d ewma=%.1f%% load-reports=%d\n",
+			low, high, share, sheds, sw.Load(),
+			ctlMux.LoadReports()+dbMux.LoadReports())
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -21,7 +21,7 @@ import (
 func main() {
 	var (
 		full    = flag.Bool("full", false, "run paper-scale sweeps (slower)")
-		exps    = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1,parallel,tpcc-wall", "comma-separated experiments")
+		exps    = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1,parallel,tpcc-wall,dynamic-wall", "comma-separated experiments")
 		clients = flag.Int("clients", 16, "max concurrent sessions for the parallel experiments")
 		txns    = flag.Int("txns", 200, "transactions per client for the parallel experiments")
 	)
@@ -53,6 +53,10 @@ func main() {
 		}
 		if name == "tpcc-wall" {
 			runTPCCWall(*clients, *txns)
+			continue
+		}
+		if name == "dynamic-wall" {
+			runDynamicWall(*clients, *txns)
 			continue
 		}
 		run, ok := runners[name]
@@ -142,6 +146,60 @@ func runTPCCWall(maxClients, txns int) {
 			}
 			os.Exit(1)
 		}
+	}
+	fmt.Println()
+}
+
+// runDynamicWall runs live dynamic switching (the wall-clock Fig. 11):
+// both TPC-C partitionings deployed at once behind one dual session
+// manager, DB load reports piggy-backed on every mux reply, and every
+// session routing independently off the shared EWMA while the forced
+// load ramps idle -> spike -> recover. -txns is split evenly across
+// the three phases.
+func runDynamicWall(clients, txns int) {
+	if clients < 1 || txns < 1 {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: -clients and -txns must be >= 1")
+		os.Exit(2)
+	}
+	perPhase := txns / 3
+	if perPhase < 1 {
+		perPhase = 1
+	}
+	cfg := bench.DefaultTPCC()
+	high, err := bench.TPCCParallelPartition(cfg, 1.0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: dynamic-wall:", err)
+		os.Exit(1)
+	}
+	low, err := bench.TPCCParallelPartition(cfg, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: dynamic-wall:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== TPC-C wall clock: dynamic switching under a forced load ramp ==")
+	fmt.Printf("high budget: {%s}\nlow budget:  {%s}\n", high.Describe(), low.Describe())
+	res, db, err := bench.RunParallelDynamic(high, low, cfg, bench.DynamicCfg{
+		Clients: clients, PaymentEvery: 3, TCP: true,
+		Phases: bench.DefaultDynamicRamp(perPhase),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: dynamic-wall:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	// The smoke contract: the ramp must actually route. A switcher that
+	// never picks low under the spike (e.g. lost load reports) is a
+	// silent regression even when every transaction commits.
+	if spike := res.Phases[1]; spike.LowPicks == 0 {
+		fmt.Fprintf(os.Stderr, "pyxis-bench: dynamic-wall: spike phase never routed low-budget (EWMA %.1f, %d reports)\n",
+			spike.EWMA, res.Reports)
+		os.Exit(1)
+	}
+	if violations := bench.CheckTPCCInvariants(db, cfg); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "pyxis-bench: dynamic-wall: INVARIANT VIOLATED:", v)
+		}
+		os.Exit(1)
 	}
 	fmt.Println()
 }

@@ -13,10 +13,17 @@
 // must match the ones pyxis-app uses so both sides compile the
 // identical partition.
 //
+// With -dynamic it serves BOTH the -budget and -low-budget partitions
+// at once behind a dual session manager (the session ID's tag byte
+// selects the deployment) and piggy-backs a load report — CPU proxy,
+// per-session queue depth, lock-wait rate — on every mux reply, so a
+// pyxis-app running -dynamic can switch partitionings per session as
+// load moves (paper §6.3).
+//
 // Usage:
 //
 //	pyxis-dbserver -src order.pyxj -budget 1.0 -schema schema.sql \
-//	    -db :7001 -ctl :7002
+//	    -db :7001 -ctl :7002 [-dynamic -low-budget 0]
 package main
 
 import (
@@ -40,6 +47,9 @@ func main() {
 		schema  = flag.String("schema", "", "file with ';'-separated SQL statements to initialize the database")
 		dbAddr  = flag.String("db", ":7001", "database wire protocol listen address")
 		ctlAddr = flag.String("ctl", ":7002", "Pyxis control-transfer listen address")
+		dynamic = flag.Bool("dynamic", false,
+			"serve BOTH the -budget and -low-budget partitions for dynamic switching and piggy-back load reports on every reply")
+		lowBudget = flag.Float64("low-budget", 0, "budget fraction of the low-CPU partition served alongside -budget with -dynamic")
 	)
 	flag.Parse()
 	if *srcPath == "" {
@@ -80,32 +90,51 @@ func main() {
 		fatal(err)
 	}
 
+	// One shared DB-side runtime peer hosts every control-transfer
+	// session; the SessionManager gives each session its own heap,
+	// stack and database connection. With -dynamic a second peer
+	// serves the low-budget partition behind the same manager —
+	// sessions tagged rpc.SessionTag = runtime.TagLowBudget route to
+	// it — and a load monitor piggy-backs the server's saturation
+	// signal (CPU proxy, per-session queue depth, lock-wait rate) on
+	// every reply of both ports for the app side's switcher EWMA.
+	// Everything is assembled before either listener starts, so the
+	// very first connection accepted already carries reports.
+	dbPeer := runtime.NewPeer(part.Compiled, pdg.DB, os.Stdout)
+	newConn := func() dbapi.Conn { return dbapi.NewLocal(db) }
+	newMgr := func() rpc.SessionHandlers { return runtime.NewSessionManager(dbPeer, newConn) }
+	var muxCfg rpc.MuxServeConfig
+	dynDesc := ""
+	if *dynamic {
+		lowPart, err := sys.PartitionAt(*lowBudget)
+		if err != nil {
+			fatal(err)
+		}
+		lowPeer := runtime.NewPeer(lowPart.Compiled, pdg.DB, os.Stdout)
+		newMgr = func() rpc.SessionHandlers { return runtime.NewDualSessionManager(dbPeer, lowPeer, newConn) }
+		muxCfg.Load = runtime.NewLoadMonitor(db).Source()
+		dynDesc = fmt.Sprintf(" low-partition={%s}", lowPart.Describe())
+	}
+
 	// Both ports speak the multiplexed protocol: one TCP connection
 	// from an app server carries any number of concurrent sessions.
 	// Session IDs are connection-scoped, so each accepted connection
 	// gets its own handler registry.
-	dbSrv, err := rpc.NewMuxServer(*dbAddr, func() rpc.SessionHandlers {
+	dbSrv, err := rpc.NewMuxServerConfig(*dbAddr, func() rpc.SessionHandlers {
 		return dbapi.MuxHandlers(db)
-	})
+	}, muxCfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer dbSrv.Close()
-
-	// One shared DB-side runtime peer hosts every control-transfer
-	// session; the SessionManager gives each session its own heap,
-	// stack and database connection.
-	dbPeer := runtime.NewPeer(part.Compiled, pdg.DB, os.Stdout)
-	ctlSrv, err := rpc.NewMuxServer(*ctlAddr, func() rpc.SessionHandlers {
-		return runtime.NewSessionManager(dbPeer, func() dbapi.Conn { return dbapi.NewLocal(db) })
-	})
+	ctlSrv, err := rpc.NewMuxServerConfig(*ctlAddr, newMgr, muxCfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer ctlSrv.Close()
 
-	fmt.Printf("pyxis-dbserver: db=%s ctl=%s partition={%s}\n",
-		dbSrv.Addr(), ctlSrv.Addr(), part.Describe())
+	fmt.Printf("pyxis-dbserver: db=%s ctl=%s dynamic=%v partition={%s}%s\n",
+		dbSrv.Addr(), ctlSrv.Addr(), *dynamic, part.Describe(), dynDesc)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

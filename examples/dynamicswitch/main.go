@@ -45,19 +45,22 @@ func main() {
 	dyn := &runtime.DynamicClient{High: depHigh.Client, Low: depLow.Client, Switcher: sw}
 
 	// Simulated load reports arriving every "10 seconds": idle, spike, recovery.
+	// (The real stack piggy-backs these on mux replies; see
+	// internal/bench.RunParallelDynamic and pyxis-bench -exp dynamic-wall.)
 	loadTrace := []float64{5, 8, 10, 95, 96, 97, 95, 12, 8, 5, 5, 5}
 	run := func(k int64) {
-		cl := dyn.Pick()
-		oid := oidHigh
-		which := "high"
-		if cl == depLow.Client {
-			oid = oidLow
-			which = "low"
-		}
-		if _, err := cl.CallEntry("TPCC.newOrder", oid,
+		// CallEntry picks per call, maps the pick to the matching heap's
+		// OID, and counts the pick on completion — sheds and failures
+		// never inflate the mix.
+		r, err := dyn.CallEntry("TPCC.newOrder", oidHigh, oidLow,
 			val.IntV(1), val.IntV(k%10+1), val.IntV(k%30+1),
-			val.IntV(4), val.IntV(k*13+7), val.IntV(1000), val.BoolV(false)); err != nil {
+			val.IntV(4), val.IntV(k*13+7), val.IntV(1000), val.BoolV(false))
+		if err != nil {
 			log.Fatal(err)
+		}
+		which := "high"
+		if r.Low {
+			which = "low"
 		}
 		fmt.Printf("  txn %2d served by %s-budget partition\n", k, which)
 	}

@@ -270,8 +270,14 @@ func RunParallel(part *pyxis.Partition, cfg ParallelCfg) (*ParallelResult, error
 // inProcMux wires a MuxClient directly to a demux loop over an
 // in-process pipe (no TCP, but the same framed mux protocol).
 func inProcMux(h rpc.SessionHandlers) *rpc.MuxClient {
+	return inProcMuxConfig(h, rpc.MuxServeConfig{})
+}
+
+// inProcMuxConfig is inProcMux with an explicit demux configuration
+// (the dynamic driver attaches a load source).
+func inProcMuxConfig(h rpc.SessionHandlers, cfg rpc.MuxServeConfig) *rpc.MuxClient {
 	srv, cli := net.Pipe()
-	go rpc.ServeMuxConn(srv, h)
+	go rpc.ServeMuxConnConfig(srv, h, cfg)
 	return rpc.NewMuxClient(cli)
 }
 

@@ -20,9 +20,19 @@ package rpc
 //	muxReplyOK   server -> client   body = response payload
 //	muxReplyErr  server -> client   body = error text
 //	muxCloseSess client -> server   session teardown (no reply)
+//	muxReplyShed server -> client   body = shed reason (queue overflow)
+//
+// Reply kinds may additionally carry the muxFlagLoad bit: the body is
+// then prefixed with a length-delimited LoadReport (the DB server's
+// saturation sample, paper §6.3) ahead of the normal payload. Peers
+// that never set the flag ("report-less peers") interoperate
+// unchanged: the flag only appears when a server explicitly has a
+// LoadSource configured, and a flag-free frame decodes exactly as
+// before.
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -35,7 +45,21 @@ const (
 	muxReplyOK
 	muxReplyErr
 	muxCloseSess
+	// muxReplyShed rejects a call the server refused to queue (session
+	// queue overflow). It is distinct from muxReplyErr so clients can
+	// surface the typed ErrOverloaded sentinel: overload is retryable
+	// back-off territory, not an application failure.
+	muxReplyShed
 )
+
+// muxFlagLoad marks a reply frame whose body starts with an encoded
+// LoadReport (see wire.go) before the regular payload.
+const muxFlagLoad byte = 0x80
+
+// ErrOverloaded reports that the server shed a call because the
+// session's queue was full. Callers should back off and retry instead
+// of failing the transaction; errors.Is matches it through wrapping.
+var ErrOverloaded = errors.New("rpc: server overloaded")
 
 const muxHeaderLen = 9
 
@@ -106,6 +130,10 @@ type MuxClient struct {
 	// Self-aligning atomics (plain int64 + atomic.AddInt64 would fault
 	// on 32-bit platforms at this struct offset).
 	calls, bytesSent, bytesRecv atomic.Int64
+
+	// onLoad receives every LoadReport piggy-backed on reply frames.
+	onLoad      atomic.Pointer[func(LoadReport)]
+	loadReports atomic.Int64
 }
 
 // NewMuxClient starts a multiplexed client over an existing
@@ -135,6 +163,19 @@ func (c *MuxClient) readLoop() {
 			return
 		}
 		c.bytesRecv.Add(int64(len(f.body)) + muxHeaderLen + 4)
+		if f.kind&muxFlagLoad != 0 {
+			rep, rest, err := splitLoadReport(f.body)
+			if err != nil {
+				c.fail(fmt.Errorf("rpc: mux load report corrupt: %w", err))
+				return
+			}
+			f.kind &^= muxFlagLoad
+			f.body = rest
+			c.loadReports.Add(1)
+			if fn := c.onLoad.Load(); fn != nil {
+				(*fn)(rep)
+			}
+		}
 		c.mu.Lock()
 		ch, ok := c.pending[muxKey(f.sid, f.rid)]
 		if ok {
@@ -200,16 +241,50 @@ func (c *MuxClient) call(sid, rid uint32, req []byte) ([]byte, error) {
 		return f.body, nil
 	case muxReplyErr:
 		return nil, fmt.Errorf("rpc: remote error: %s", string(f.body))
+	case muxReplyShed:
+		return nil, fmt.Errorf("rpc: %s: %w", string(f.body), ErrOverloaded)
 	}
 	return nil, fmt.Errorf("rpc: malformed mux reply kind %d", f.kind)
 }
 
+// sessionTagShift puts the session tag in the ID's top byte, leaving a
+// 24-bit per-connection counter underneath.
+const sessionTagShift = 24
+
+// SessionTag extracts the variant tag a client encoded into a session
+// ID with TaggedSession (0 for plain sessions).
+func SessionTag(sid uint32) uint8 { return uint8(sid >> sessionTagShift) }
+
 // Session opens a new logical session. The returned transport is safe
 // for concurrent use and independent of every other session on the
 // connection.
-func (c *MuxClient) Session() *MuxSession {
-	return &MuxSession{c: c, sid: c.nextSID.Add(1)}
+func (c *MuxClient) Session() *MuxSession { return c.TaggedSession(0) }
+
+// TaggedSession opens a session whose ID carries tag in its top byte.
+// Tags let one connection multiplex sessions of several server-side
+// variants — e.g. the high- and low-budget deployments of dynamic
+// switching — with the server routing Open by SessionTag. Session IDs
+// stay client-allocated and connection-scoped; the untagged counter
+// wraps after 2^24 sessions per connection.
+func (c *MuxClient) TaggedSession(tag uint8) *MuxSession {
+	sid := c.nextSID.Add(1)&(1<<sessionTagShift-1) | uint32(tag)<<sessionTagShift
+	return &MuxSession{c: c, sid: sid}
 }
+
+// SetOnLoad registers fn to receive every load report piggy-backed on
+// this connection's replies (any session). Safe to call concurrently
+// with traffic; nil unregisters.
+func (c *MuxClient) SetOnLoad(fn func(LoadReport)) {
+	if fn == nil {
+		c.onLoad.Store(nil)
+		return
+	}
+	c.onLoad.Store(&fn)
+}
+
+// LoadReports returns how many piggy-backed load reports this
+// connection has received.
+func (c *MuxClient) LoadReports() int64 { return c.loadReports.Load() }
 
 // Stats returns aggregate traffic counters across all sessions.
 func (c *MuxClient) Stats() Stats {
@@ -292,19 +367,41 @@ type sessionWorker struct {
 	ch chan muxFrame
 }
 
-// sessionQueueDepth bounds how many requests one session may have
-// outstanding; excess calls are rejected with an error reply rather
-// than blocking the connection's read loop (which would wedge every
-// session behind one flooded queue). The Pyxis runtime keeps a single
-// logical thread per session (at most one outstanding call), so the
-// limit is never hit in normal operation.
-const sessionQueueDepth = 32
+// SessionQueueDepth bounds how many requests one session may have
+// outstanding; excess calls are shed with an ErrOverloaded reply
+// rather than blocking the connection's read loop (which would wedge
+// every session behind one flooded queue). The Pyxis runtime keeps a
+// single logical thread per session (at most one outstanding call), so
+// the limit is never hit in normal operation. Exported so load
+// monitors can normalize queue-depth samples against the capacity.
+const SessionQueueDepth = 32
+
+// LoadSource supplies the server's current load sample for
+// piggy-backing on reply frames; nil disables reports. queueLen is the
+// replying session's queue depth at reply time. Returning ok=false
+// omits the report from that frame. Implementations are called from
+// every session worker concurrently and must be safe for concurrent
+// use.
+type LoadSource func(queueLen int) (rep LoadReport, ok bool)
+
+// MuxServeConfig tunes one demux loop beyond the defaults.
+type MuxServeConfig struct {
+	// Load, when non-nil, attaches a load report to every reply frame
+	// (including sheds — overload is exactly when the peer most wants
+	// the signal).
+	Load LoadSource
+}
 
 // ServeMuxConn demuxes one multiplexed connection, dispatching each
 // session's requests to its own handler on its own goroutine. It
 // returns when the connection fails or closes, after all session
 // workers have drained and Closed has fired for each open session.
 func ServeMuxConn(conn io.ReadWriteCloser, handlers SessionHandlers) {
+	ServeMuxConnConfig(conn, handlers, MuxServeConfig{})
+}
+
+// ServeMuxConnConfig is ServeMuxConn with an explicit configuration.
+func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg MuxServeConfig) {
 	var (
 		wmu      sync.Mutex
 		wg       sync.WaitGroup
@@ -345,7 +442,7 @@ func ServeMuxConn(conn io.ReadWriteCloser, handlers SessionHandlers) {
 			}
 			sw := sessions[f.sid]
 			if sw == nil {
-				sw = &sessionWorker{ch: make(chan muxFrame, sessionQueueDepth)}
+				sw = &sessionWorker{ch: make(chan muxFrame, SessionQueueDepth)}
 				sessions[f.sid] = sw
 				h := handlers.Open(f.sid)
 				sid := f.sid
@@ -360,6 +457,7 @@ func ServeMuxConn(conn io.ReadWriteCloser, handlers SessionHandlers) {
 							out.kind = muxReplyErr
 							out.body = []byte(herr.Error())
 						}
+						attachLoad(&out, cfg.Load, len(sw.ch))
 						wmu.Lock()
 						werr := writeMuxFrame(conn, out)
 						wmu.Unlock()
@@ -379,10 +477,14 @@ func ServeMuxConn(conn io.ReadWriteCloser, handlers SessionHandlers) {
 			default:
 				// Queue full: shed this call so one flooded session
 				// can never stall the read loop (and with it every
-				// other session on the connection).
+				// other session on the connection). The typed shed
+				// reply lets the client back off and retry instead of
+				// failing its transaction.
+				out := muxFrame{sid: f.sid, rid: f.rid, kind: muxReplyShed,
+					body: []byte(fmt.Sprintf("session %d queue overflow (max %d outstanding calls)", f.sid, SessionQueueDepth))}
+				attachLoad(&out, cfg.Load, len(sw.ch))
 				wmu.Lock()
-				werr := writeMuxFrame(conn, muxFrame{sid: f.sid, rid: f.rid, kind: muxReplyErr,
-					body: []byte(fmt.Sprintf("session %d queue overflow (max %d outstanding calls)", f.sid, sessionQueueDepth))})
+				werr := writeMuxFrame(conn, out)
 				wmu.Unlock()
 				if werr != nil {
 					return
@@ -408,6 +510,23 @@ func ServeMuxConn(conn io.ReadWriteCloser, handlers SessionHandlers) {
 	}
 }
 
+// attachLoad prefixes a load report onto a reply frame when a source
+// is configured and currently has a sample.
+func attachLoad(out *muxFrame, ls LoadSource, queueLen int) {
+	if ls == nil {
+		return
+	}
+	rep, ok := ls(queueLen)
+	if !ok {
+		return
+	}
+	out.kind |= muxFlagLoad
+	// Single allocation: report prefix + payload (this runs on every
+	// reply of every session worker).
+	body := appendLoadReport(make([]byte, 0, 1+loadReportLen+len(out.body)), rep)
+	out.body = append(body, out.body...)
+}
+
 // MuxServer accepts connections and serves each as a multiplexed
 // session stream. The factory runs once per connection, producing that
 // connection's SessionHandlers (so session IDs from different
@@ -418,16 +537,24 @@ type MuxServer struct {
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
+	cfg     MuxServeConfig
 }
 
 // NewMuxServer listens on addr, creating per-connection session
 // handlers via factory.
 func NewMuxServer(addr string, factory func() SessionHandlers) (*MuxServer, error) {
+	return NewMuxServerConfig(addr, factory, MuxServeConfig{})
+}
+
+// NewMuxServerConfig is NewMuxServer with an explicit demux
+// configuration in place before the first connection can be accepted
+// (SetLoadSource only affects connections accepted after the call).
+func NewMuxServerConfig(addr string, factory func() SessionHandlers, cfg MuxServeConfig) (*MuxServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &MuxServer{lis: lis, factory: factory}
+	s := &MuxServer{lis: lis, factory: factory, cfg: cfg}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -436,6 +563,15 @@ func NewMuxServer(addr string, factory func() SessionHandlers) (*MuxServer, erro
 // Addr returns the bound listen address.
 func (s *MuxServer) Addr() string { return s.lis.Addr().String() }
 
+// SetLoadSource configures a load source whose samples are
+// piggy-backed on every reply of connections accepted afterwards
+// (in-flight connections keep their configuration).
+func (s *MuxServer) SetLoadSource(ls LoadSource) {
+	s.mu.Lock()
+	s.cfg.Load = ls
+	s.mu.Unlock()
+}
+
 func (s *MuxServer) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -443,12 +579,15 @@ func (s *MuxServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		cfg := s.cfg
+		s.mu.Unlock()
 		h := s.factory()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			ServeMuxConn(conn, h)
+			ServeMuxConnConfig(conn, h, cfg)
 		}()
 	}
 }

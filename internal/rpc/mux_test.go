@@ -186,7 +186,7 @@ func TestMuxSessionQueueOverflowSheds(t *testing.T) {
 	defer func() { gateOnce.Do(func() { close(gate) }); c.Close(); <-done }()
 
 	flooded := c.Session()
-	const inflight = sessionQueueDepth + 8
+	const inflight = SessionQueueDepth + 8
 	errs := make(chan error, inflight)
 	var wg sync.WaitGroup
 	for i := 0; i < inflight; i++ {
@@ -232,10 +232,16 @@ func TestMuxSessionQueueOverflowSheds(t *testing.T) {
 	for err := range errs {
 		if err == nil {
 			served++
-		} else if strings.Contains(err.Error(), "queue overflow") {
+		} else if errors.Is(err, ErrOverloaded) {
+			// Regression: sheds must carry the typed sentinel, not an
+			// anonymous muxReplyErr text, so clients can back off and
+			// retry instead of failing the transaction.
+			if !strings.Contains(err.Error(), "queue overflow") {
+				t.Errorf("shed error lost its reason: %v", err)
+			}
 			shed++
 		} else {
-			t.Fatalf("unexpected error: %v", err)
+			t.Fatalf("flooded session saw a non-ErrOverloaded error: %v", err)
 		}
 	}
 	if shed == 0 {

@@ -166,3 +166,69 @@ func (r *Reader) Vals() []val.Value {
 	}
 	return out
 }
+
+// ---------------------------------------------------------------------------
+// Load reports (paper §6.3, made per-reply)
+// ---------------------------------------------------------------------------
+
+// LoadReport is the compact database-server load sample piggy-backed
+// on multiplexed reply frames. The paper's §6.3 switcher receives a
+// load message every 10 seconds over a side channel; here every reply
+// already travelling to the application server carries the sample, so
+// the app-side EWMA tracks the DB server with zero extra round trips.
+// Load is the blended saturation signal; the components it blends are
+// carried alongside so clients can apply their own policy.
+type LoadReport struct {
+	// Load is the blended saturation signal, percent (0-100).
+	Load float64
+	// CPU is the run-queue/CPU proxy component, percent: runnable
+	// goroutines relative to the server's saturation point.
+	CPU float64
+	// LockWaitRate is the engine-wide lock-wait rate, waits/second
+	// (the hot-row saturation signal CPU load misses).
+	LockWaitRate float64
+	// QueueDepth is the replying session's mux queue depth at reply
+	// time (the per-session backpressure signal).
+	QueueDepth uint32
+}
+
+// loadReportLen is the wire size of the fields this version encodes.
+// Reports are length-prefixed, so longer (future) reports still decode
+// here and report-less peers are unaffected entirely.
+const loadReportLen = 8 + 8 + 8 + 4
+
+// appendLoadReport appends the length-prefixed report to dst.
+func appendLoadReport(dst []byte, rep LoadReport) []byte {
+	w := Writer{Buf: dst}
+	w.Byte(loadReportLen)
+	w.F64(rep.Load)
+	w.F64(rep.CPU)
+	w.F64(rep.LockWaitRate)
+	w.U32(rep.QueueDepth)
+	return w.Buf
+}
+
+// splitLoadReport decodes a length-prefixed report from the front of
+// body and returns it with the remaining payload. Reports longer than
+// this version's fields (a newer peer) parse fine: the extra bytes are
+// skipped under the length prefix.
+func splitLoadReport(body []byte) (LoadReport, []byte, error) {
+	if len(body) < 1 {
+		return LoadReport{}, nil, fmt.Errorf("rpc: load report missing length: %w", ErrShortBuffer)
+	}
+	n := int(body[0])
+	if n < loadReportLen || len(body)-1 < n {
+		return LoadReport{}, nil, fmt.Errorf("rpc: load report truncated (%d of %d bytes)", len(body)-1, n)
+	}
+	r := Reader{Buf: body[1 : 1+n]}
+	rep := LoadReport{
+		Load:         r.F64(),
+		CPU:          r.F64(),
+		LockWaitRate: r.F64(),
+		QueueDepth:   r.U32(),
+	}
+	if err := r.Err(); err != nil {
+		return LoadReport{}, nil, err
+	}
+	return rep, body[1+n:], nil
+}

@@ -1,0 +1,128 @@
+package runtime
+
+import (
+	"math"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pyxis/internal/rpc"
+	"pyxis/internal/sqldb"
+)
+
+// LoadMonitor samples the DB server's saturation signal for
+// piggy-backing on mux replies (paper §6.3's load messages). Post
+// sharding, the engine no longer serializes, so a single CPU figure
+// misses how the server actually saturates; the monitor blends the
+// three signals ROADMAP names:
+//
+//   - a run-queue/CPU proxy: runnable goroutines per core relative to
+//     a saturation point (interp + statement execution pin the CPU
+//     first at high client counts);
+//   - the replying session's mux queue depth (per-session
+//     backpressure, supplied by the mux layer at reply time);
+//   - the sqldb lock-wait rate (hot-row workloads accumulate lock
+//     waits while CPU stays flat).
+//
+// Each component normalizes to percent, the blend takes their max (a
+// server is as saturated as its most saturated resource), and any
+// external load — background processes in the paper's Fig. 11 spike,
+// or a bench-forced ramp — adds on top, clamped to 100. A Source()
+// plugs directly into rpc.MuxServer.SetLoadSource; Sample is called
+// from every session worker concurrently and is safe for concurrent
+// use.
+type LoadMonitor struct {
+	DB *sqldb.DB
+	// GoroutineSat is the goroutines-per-core count treated as 100%
+	// CPU-proxy load (default 64). The proxy counts all goroutines,
+	// not just runnable ones — a mux server keeps ~2-3 parked
+	// goroutines per idle session — so the saturation point sits well
+	// above the handful a quiet server runs, while hundreds of active
+	// sessions still read as saturation.
+	GoroutineSat float64
+	// LockWaitSat is the lock-wait rate (waits/second) treated as 100%
+	// contention load (default 500).
+	LockWaitSat float64
+
+	// external is the forced/background load in percent (float64 bits).
+	external atomic.Uint64
+
+	// Lock-wait rate is a windowed derivative of the engine counter.
+	// Sample runs on every reply of every session worker, so the
+	// steady-state read is two atomic loads; mu serializes only the
+	// refresh once per rateWindow (double-checked against
+	// nextRefresh).
+	rateBits    atomic.Uint64
+	nextRefresh atomic.Int64 // unix nanos of the next refresh
+	mu          sync.Mutex
+	lastWaits   int64
+	lastAt      time.Time
+}
+
+const rateWindow = 50 * time.Millisecond
+
+// NewLoadMonitor returns a monitor over db with default saturation
+// points.
+func NewLoadMonitor(db *sqldb.DB) *LoadMonitor {
+	now := time.Now()
+	m := &LoadMonitor{DB: db, GoroutineSat: 64, LockWaitSat: 500, lastAt: now}
+	m.nextRefresh.Store(now.Add(rateWindow).UnixNano())
+	return m
+}
+
+// SetExternal sets the external load component in percent — the
+// paper's "other processes occupy the database server" signal, and the
+// lever benchmarks use to force a load ramp through the real stack.
+func (m *LoadMonitor) SetExternal(pct float64) {
+	m.external.Store(math.Float64bits(pct))
+}
+
+// External returns the current external load component.
+func (m *LoadMonitor) External() float64 {
+	return math.Float64frombits(m.external.Load())
+}
+
+// Sample implements rpc.LoadSource: it returns the current blended
+// report, tagging it with the replying session's queue depth.
+func (m *LoadMonitor) Sample(queueLen int) (rpc.LoadReport, bool) {
+	cores := float64(goruntime.GOMAXPROCS(0))
+	cpu := 100 * float64(goruntime.NumGoroutine()) / (m.GoroutineSat * cores)
+	queue := 100 * float64(queueLen) / float64(rpc.SessionQueueDepth)
+	rate := m.lockWaitRate()
+	lock := 100 * rate / m.LockWaitSat
+
+	load := math.Max(cpu, math.Max(queue, lock)) + m.External()
+	if load > 100 {
+		load = 100
+	}
+	return rpc.LoadReport{
+		Load:         load,
+		CPU:          cpu,
+		LockWaitRate: rate,
+		QueueDepth:   uint32(queueLen),
+	}, true
+}
+
+// Source returns the monitor as an rpc.LoadSource.
+func (m *LoadMonitor) Source() rpc.LoadSource { return m.Sample }
+
+func (m *LoadMonitor) lockWaitRate() float64 {
+	if m.DB == nil {
+		return 0
+	}
+	now := time.Now()
+	if now.UnixNano() >= m.nextRefresh.Load() {
+		m.mu.Lock()
+		if now.UnixNano() >= m.nextRefresh.Load() {
+			waits, _ := m.DB.LockWaits()
+			if dt := now.Sub(m.lastAt); dt > 0 {
+				m.rateBits.Store(math.Float64bits(float64(waits-m.lastWaits) / dt.Seconds()))
+			}
+			m.lastWaits, m.lastAt = waits, now
+			m.nextRefresh.Store(now.Add(rateWindow).UnixNano())
+		}
+		m.mu.Unlock()
+	}
+	return math.Float64frombits(m.rateBits.Load())
+}

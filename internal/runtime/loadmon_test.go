@@ -1,0 +1,89 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"pyxis/internal/rpc"
+	"pyxis/internal/sqldb"
+)
+
+// TestLoadMonitorDynamicSignal exercises the blended saturation
+// sample: component normalization, the external-load lever benchmarks
+// use to force a ramp, the 100% clamp, and the windowed lock-wait
+// rate derivative.
+func TestLoadMonitorDynamicSignal(t *testing.T) {
+	db := sqldb.Open()
+	m := NewLoadMonitor(db)
+
+	rep, ok := m.Sample(0)
+	if !ok {
+		t.Fatal("monitor withheld its sample")
+	}
+	if rep.Load < 0 || rep.Load > 100 {
+		t.Errorf("idle load out of range: %+v", rep)
+	}
+	if rep.QueueDepth != 0 || rep.LockWaitRate != 0 {
+		t.Errorf("idle sample carries phantom contention: %+v", rep)
+	}
+
+	// A deep session queue must saturate the blend on its own.
+	rep, _ = m.Sample(rpc.SessionQueueDepth)
+	if rep.QueueDepth != rpc.SessionQueueDepth || rep.Load < 100 {
+		t.Errorf("full queue should read saturated: %+v", rep)
+	}
+
+	// External (forced) load adds on top and clamps at 100.
+	m.SetExternal(95)
+	if m.External() != 95 {
+		t.Fatalf("external = %v, want 95", m.External())
+	}
+	rep, _ = m.Sample(0)
+	if rep.Load < 95 || rep.Load > 100 {
+		t.Errorf("forced load not reflected: %+v", rep)
+	}
+	m.SetExternal(0)
+
+	// Lock waits raise the contention component via the windowed rate.
+	s := db.NewSession()
+	if _, err := s.Exec("CREATE TABLE hot (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO hot VALUES (1, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	blocker := db.NewSession()
+	if err := blocker.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blocker.Exec("UPDATE hot SET v = 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	waiterDone := make(chan error, 1)
+	go func() {
+		w := db.NewSession()
+		_, err := w.Exec("UPDATE hot SET v = 2 WHERE id = 1")
+		waiterDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if w, _ := db.LockWaits(); w > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lock wait never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(rateWindow + 10*time.Millisecond)
+	rep, _ = m.Sample(0)
+	if err := blocker.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+	if rep.LockWaitRate <= 0 {
+		t.Errorf("lock-wait rate stayed zero across a blocked writer: %+v", rep)
+	}
+}
