@@ -4,22 +4,27 @@
 // invokes an entry method with the given scalar arguments.
 //
 // With -clients N it drives N concurrent sessions, each its own
-// logical thread of control with its own object, multiplexed over one
-// TCP connection per port, and reports aggregate throughput plus
-// per-session latency.
+// logical thread of control with its own object, multiplexed over a
+// pool of -pool TCP connections per port (default 1 — the classic
+// single-connection wire). With -pool > 1 each new session lands on
+// the least-loaded connection and stays pinned there, removing the
+// single connection's head-of-line at high client counts.
 //
 // With -dynamic (against a pyxis-dbserver also running -dynamic) each
 // session holds a (high-budget, low-budget) deployment pair and routes
 // every call off the shared switcher EWMA, which is fed by the DB load
-// reports piggy-backed on every reply; server sheds surface as
-// rpc.ErrOverloaded and are retried with backoff.
+// reports piggy-backed on every reply (reports from EVERY pooled
+// connection feed the same EWMA); server sheds surface as
+// rpc.ErrOverloaded and are retried with jittered backoff — including
+// admission refusals from a pyxis-dbserver running -max-sessions or
+// -admit-high.
 //
 // Usage (after starting pyxis-dbserver with the same -src/-schema/-budget):
 //
 //	pyxis-app -src order.pyxj -budget 1.0 -schema schema.sql \
 //	    -db localhost:7001 -ctl localhost:7002 \
 //	    -new Order -args 7 -call Order.placeOrder -callargs 3,0.9 \
-//	    -clients 8 -n 100 [-dynamic -low-budget 0]
+//	    -clients 8 -n 100 [-pool 4] [-dynamic -low-budget 0]
 package main
 
 import (
@@ -54,6 +59,7 @@ func main() {
 		callArgs = flag.String("callargs", "", "comma-separated entry arguments")
 		clients  = flag.Int("clients", 1, "number of concurrent client sessions")
 		repeat   = flag.Int("n", 1, "entry invocations per client")
+		poolN    = flag.Int("pool", 1, "mux connections per port; sessions stripe onto the least-loaded one")
 		dynamic  = flag.Bool("dynamic", false,
 			"route each session between the -budget and -low-budget partitions off the DB's piggy-backed load reports (pyxis-dbserver must run -dynamic)")
 		lowBudget  = flag.Float64("low-budget", 0, "low partition budget fraction (must match pyxis-dbserver -low-budget)")
@@ -103,14 +109,16 @@ func main() {
 		fmt.Printf("pyxis-app: low partition {%s}\n", lowPart.Describe())
 	}
 
-	// One multiplexed connection per port; every client session is a
-	// (db session, ctl session) pair on them.
-	dbMux, err := rpc.DialMux(*dbAddr)
+	// A pool of multiplexed connections per port (-pool 1 is the
+	// classic single connection); every client session is a
+	// (db session, ctl session) pair, each pinned to whichever pooled
+	// connection was least loaded when it was opened.
+	dbMux, err := rpc.DialMuxPool(*dbAddr, *poolN)
 	if err != nil {
 		fatal(fmt.Errorf("dial db: %w", err))
 	}
 	defer dbMux.Close()
-	ctlMux, err := rpc.DialMux(*ctlAddr)
+	ctlMux, err := rpc.DialMuxPool(*ctlAddr, *poolN)
 	if err != nil {
 		fatal(fmt.Errorf("dial ctl: %w", err))
 	}
@@ -137,9 +145,10 @@ func main() {
 	}
 
 	type result struct {
-		ret  val.Value
-		lats []float64 // milliseconds
-		err  error
+		ret   val.Value
+		lats  []float64 // milliseconds
+		sheds int64     // ErrOverloaded replies absorbed with backoff
+		err   error
 	}
 	results := make([]result, *clients)
 	var wg sync.WaitGroup
@@ -153,9 +162,25 @@ func main() {
 			sess := appPeer.NewSession(dbapi.NewClient(dbT))
 			client := runtime.NewClient(sess, ctlT)
 
-			// callOnce invokes the entry on the static client, or routes
-			// through this session's DynamicClient (which re-picks per
-			// attempt and backs off on overload sheds).
+			// newObject opens a session's receiver, absorbing admission
+			// sheds from a gated server with jittered backoff (an
+			// ErrOverloaded open left no server state behind; the retry
+			// simply re-attempts admission).
+			newObject := func(cl *runtime.Client) (val.OID, error) {
+				var oid val.OID
+				sheds, err := runtime.RetryOverloaded(0, func() error {
+					var oerr error
+					oid, oerr = cl.NewObject(*newClass, ctorVals...)
+					return oerr
+				})
+				results[i].sheds += sheds
+				return oid, err
+			}
+
+			// callOnce invokes the entry on the static client (with its
+			// own jittered shed backoff), or routes through this
+			// session's DynamicClient (which re-picks per attempt and
+			// backs off on overload sheds internally).
 			var callOnce func() (val.Value, error)
 			if *dynamic {
 				lowSess := appPeerLow.NewSession(dbapi.NewClient(dbMux.Session()))
@@ -163,28 +188,40 @@ func main() {
 				dyn := &runtime.DynamicClient{High: client, Low: lowClient, Switcher: sw}
 				dyns[i] = dyn
 				defer dyn.Close()
-				oidHigh, err := client.NewObject(*newClass, ctorVals...)
+				oidHigh, err := newObject(client)
 				if err != nil {
 					results[i].err = err
 					return
 				}
-				oidLow, err := lowClient.NewObject(*newClass, ctorVals...)
+				oidLow, err := newObject(lowClient)
 				if err != nil {
 					results[i].err = err
 					return
 				}
 				callOnce = func() (val.Value, error) {
+					// Entry-call sheds are tallied by the DynamicClient
+					// itself; results[i].sheds keeps only the open-time
+					// admission sheds.
 					r, err := dyn.CallEntry(*call, oidHigh, oidLow, callVals...)
 					return r.Val, err
 				}
 			} else {
 				defer client.Close()
-				oid, err := client.NewObject(*newClass, ctorVals...)
+				oid, err := newObject(client)
 				if err != nil {
 					results[i].err = err
 					return
 				}
-				callOnce = func() (val.Value, error) { return client.CallEntry(*call, oid, callVals...) }
+				callOnce = func() (val.Value, error) {
+					var ret val.Value
+					sheds, err := runtime.RetryOverloaded(0, func() error {
+						var cerr error
+						ret, cerr = client.CallEntry(*call, oid, callVals...)
+						return cerr
+					})
+					results[i].sheds += sheds
+					return ret, err
+				}
 			}
 			for k := 0; k < *repeat; k++ {
 				t0 := time.Now()
@@ -224,8 +261,12 @@ func main() {
 	}
 	ctl := ctlMux.Stats()
 	db := dbMux.Stats()
-	fmt.Printf("pyxis-app: control transfers=%d (%d B), app-side db round trips=%d (%d B)\n",
-		ctl.Calls, ctl.BytesSent+ctl.BytesRecv, db.Calls, db.BytesSent+db.BytesRecv)
+	fmt.Printf("pyxis-app: control transfers=%d (%d B), app-side db round trips=%d (%d B) pool=%d conns/port\n",
+		ctl.Calls, ctl.BytesSent+ctl.BytesRecv, db.Calls, db.BytesSent+db.BytesRecv, *poolN)
+	var openSheds int64
+	for i := range results {
+		openSheds += results[i].sheds
+	}
 	if *dynamic {
 		var low, high, sheds int64
 		for _, d := range dyns {
@@ -239,9 +280,11 @@ func main() {
 		if low+high > 0 {
 			share = 100 * float64(low) / float64(low+high)
 		}
-		fmt.Printf("pyxis-app: dynamic mix low=%d high=%d (%.0f%% low) sheds=%d ewma=%.1f%% load-reports=%d\n",
-			low, high, share, sheds, sw.Load(),
+		fmt.Printf("pyxis-app: dynamic mix low=%d high=%d (%.0f%% low) sheds=%d (+%d at open) ewma=%.1f%% load-reports=%d\n",
+			low, high, share, sheds, openSheds, sw.Load(),
 			ctlMux.LoadReports()+dbMux.LoadReports())
+	} else if openSheds > 0 {
+		fmt.Printf("pyxis-app: %d overload sheds absorbed with jittered backoff\n", openSheds)
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -12,20 +12,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"strings"
 	"time"
 
 	"pyxis/internal/bench"
 )
 
+// jsonOut mirrors the -json flag: when set, the wall-clock experiments
+// additionally write machine-readable BENCH_<experiment>.json files so
+// the bench trajectory can be tracked across PRs.
+var jsonOut bool
+
+// saveJSON writes one experiment's data when -json is set.
+func saveJSON(experiment string, data any) {
+	if !jsonOut {
+		return
+	}
+	path, err := bench.SaveReport("", experiment, data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pyxis-bench: %s: %v\n", experiment, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}
+
 func main() {
 	var (
 		full    = flag.Bool("full", false, "run paper-scale sweeps (slower)")
-		exps    = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1,parallel,tpcc-wall,dynamic-wall", "comma-separated experiments")
+		exps    = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1,parallel,tpcc-wall,dynamic-wall,pool-wall", "comma-separated experiments")
 		clients = flag.Int("clients", 16, "max concurrent sessions for the parallel experiments")
 		txns    = flag.Int("txns", 200, "transactions per client for the parallel experiments")
+		pool    = flag.Int("pool", 4, "mux connections per wire for the pool experiments")
+		jsonFlg = flag.Bool("json", false, "also write machine-readable BENCH_<experiment>.json result files")
 	)
 	flag.Parse()
+	jsonOut = *jsonFlg
 
 	scale := bench.QuickScale()
 	if *full {
@@ -57,6 +79,10 @@ func main() {
 		}
 		if name == "dynamic-wall" {
 			runDynamicWall(*clients, *txns)
+			continue
+		}
+		if name == "pool-wall" {
+			runPoolWall(*clients, *txns, *pool)
 			continue
 		}
 		run, ok := runners[name]
@@ -97,6 +123,7 @@ func runParallel(maxClients, txns int) {
 		os.Exit(2)
 	}
 	fmt.Println("== Ledger: throughput vs clients over one multiplexed connection ==")
+	byBudget := map[string][]*bench.ParallelResult{}
 	for _, budget := range []float64{1.0, 0} {
 		part, err := bench.ParallelPartition(budget)
 		if err != nil {
@@ -111,7 +138,9 @@ func runParallel(maxClients, txns int) {
 			os.Exit(1)
 		}
 		fmt.Println(bench.ScalingReport(results))
+		byBudget[fmt.Sprintf("budget_%.1f", budget)] = results
 	}
+	saveJSON("parallel", byBudget)
 	fmt.Println()
 }
 
@@ -131,6 +160,7 @@ func runTPCCWall(maxClients, txns int) {
 	}
 	fmt.Println("== TPC-C wall clock: NewOrder/Payment mix, shared sharded engine ==")
 	fmt.Printf("budget 1.0: {%s}\n", part.Describe())
+	var results []*bench.TPCCParallelResult
 	for _, n := range doublingSizes(maxClients) {
 		res, db, err := bench.RunParallelTPCC(part, cfg, bench.TPCCParallelCfg{
 			Clients: n, Txns: txns, PaymentEvery: 3, TCP: true,
@@ -146,7 +176,9 @@ func runTPCCWall(maxClients, txns int) {
 			}
 			os.Exit(1)
 		}
+		results = append(results, res)
 	}
+	saveJSON("tpcc-wall", results)
 	fmt.Println()
 }
 
@@ -201,6 +233,125 @@ func runDynamicWall(clients, txns int) {
 		}
 		os.Exit(1)
 	}
+	saveJSON("dynamic-wall", res)
+	fmt.Println()
+}
+
+// runPoolWall prices the single-connection head-of-line and proves
+// graceful shedding — the two halves of the pool + admission PR:
+//
+//  1. the ledger workload at a fixed client count over 1 mux
+//     connection vs a pool of -pool, with the N-conn speedup enforced
+//     (>= 1.3x) on parallel hardware (>= 4 CPUs, >= 8 sessions, no
+//     race detector — serialized hosts physically cannot show it);
+//  2. the TPC-C mix flooding an admission-gated server with more
+//     clients than admitted-session slots: the server must shed with
+//     ErrOverloaded, every transaction must still commit, p95 must
+//     stay bounded (queues cannot grow past the admitted population),
+//     and the TPC-C invariants must hold.
+func runPoolWall(clients, txns, pool int) {
+	if clients < 1 || txns < 1 || pool < 2 {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: -clients/-txns must be >= 1 and -pool >= 2")
+		os.Exit(2)
+	}
+
+	// Half 1: the head-of-line price. Mostly-read ledger calls keep the
+	// per-call engine work small, so the wire — one read loop + one
+	// write mutex per end — is what saturates first on the 1-conn
+	// point.
+	part, err := bench.ParallelPartition(1.0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: pool-wall:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== Ledger: one mux connection vs a striped pool (fixed clients) ==")
+	fmt.Printf("budget 1.0: {%s}\n", part.Describe())
+	scaling, err := bench.RunPoolScaling(part,
+		bench.PoolCfg{Clients: clients, Txns: txns, DepositEvery: 8, TCP: true}, []int{1, pool})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: pool-wall:", err)
+		os.Exit(1)
+	}
+	fmt.Println(bench.PoolScalingReport(scaling))
+	for _, r := range scaling {
+		if r.FinalTotal != r.ExpectTotal {
+			fmt.Fprintf(os.Stderr, "pyxis-bench: pool-wall: LOST UPDATES at conns=%d: %v != %v\n",
+				r.Conns, r.FinalTotal, r.ExpectTotal)
+			os.Exit(1)
+		}
+	}
+	speedup := 0.0
+	if scaling[0].Tput > 0 {
+		speedup = scaling[len(scaling)-1].Tput / scaling[0].Tput
+	}
+	enforce := goruntime.GOMAXPROCS(0) >= 4 && clients >= 8 && !bench.RaceEnabled()
+	if enforce && speedup < 1.3 {
+		fmt.Fprintf(os.Stderr, "pyxis-bench: pool-wall: %d-conn pool only %.2fx of single-conn throughput (want >= 1.3x at %d sessions on %d CPUs)\n",
+			pool, speedup, clients, goruntime.GOMAXPROCS(0))
+		os.Exit(1)
+	}
+	if !enforce {
+		fmt.Printf("(speedup %.2fx not enforced: needs >= 4 CPUs, >= 8 sessions, no race detector; have %d CPUs, %d sessions, race=%v)\n",
+			speedup, goruntime.GOMAXPROCS(0), clients, bench.RaceEnabled())
+	}
+
+	// Half 2: graceful shed. A quarter of the clients get slots; the
+	// rest are refused with the typed shed and must still finish.
+	cfg := bench.DefaultTPCC()
+	tpccPart, err := bench.TPCCParallelPartition(cfg, 1.0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: pool-wall:", err)
+		os.Exit(1)
+	}
+	maxSessions := clients / 4
+	if maxSessions < 2 {
+		maxSessions = 2
+	}
+	// Saturation is oversubscription by construction: run at least 3x
+	// more clients than slots even when -clients is tiny, so the shed
+	// assertion below is always satisfiable.
+	satClients := clients
+	if satClients < 3*maxSessions {
+		satClients = 3 * maxSessions
+	}
+	satTxns := txns / 4
+	if satTxns < 2 {
+		satTxns = 2
+	}
+	satCfg := bench.PoolSatCfg{Clients: satClients, Txns: satTxns, Conns: pool,
+		MaxSessions: maxSessions, PaymentEvery: 3, TCP: true}
+	fmt.Println("\n== TPC-C: forced saturation against the admission-gated server ==")
+	sat, db, err := bench.RunPoolSaturation(tpccPart, cfg, satCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: pool-wall:", err)
+		os.Exit(1)
+	}
+	fmt.Println("  " + sat.String())
+	if sat.TotalTxns != satCfg.Clients*satCfg.Txns {
+		fmt.Fprintf(os.Stderr, "pyxis-bench: pool-wall: %d of %d transactions completed — shed work was DROPPED\n",
+			sat.TotalTxns, satCfg.Clients*satCfg.Txns)
+		os.Exit(1)
+	}
+	if sat.ClientSheds == 0 || sat.Admission.ShedSessions == 0 {
+		fmt.Fprintf(os.Stderr, "pyxis-bench: pool-wall: server never shed despite %d clients over %d slots\n",
+			satCfg.Clients, satCfg.MaxSessions)
+		os.Exit(1)
+	}
+	// Bounded p95: with the population capped, per-transaction latency
+	// must stay orders of magnitude under the run length — an
+	// unbounded queue drives p95 toward the full elapsed time.
+	if bound := 2000.0; sat.P95Ms > bound {
+		fmt.Fprintf(os.Stderr, "pyxis-bench: pool-wall: p95 %.1fms exceeds the %.0fms saturation bound\n",
+			sat.P95Ms, bound)
+		os.Exit(1)
+	}
+	if violations := bench.CheckTPCCInvariants(db, cfg); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "pyxis-bench: pool-wall: INVARIANT VIOLATED:", v)
+		}
+		os.Exit(1)
+	}
+	saveJSON("pool-wall", map[string]any{"scaling": scaling, "saturation": sat})
 	fmt.Println()
 }
 

@@ -20,10 +20,24 @@
 // pyxis-app running -dynamic can switch partitionings per session as
 // load moves (paper §6.3).
 //
+// With -max-sessions and/or -admit-high the server stops merely
+// REPORTING saturation and starts refusing it: an admission controller
+// gates session creation (and per-call queueing) on the concurrent
+// session cap and on the same blended load signal the reports carry,
+// with hysteresis (-admit-high enter / -admit-low leave) so admission
+// doesn't flap. Refused work is shed with the typed overload reply,
+// which every pyxis-app backoff path already retries. Note that a
+// -dynamic pyxis-app client holds a PAIR of control sessions (high- +
+// low-budget); the controller has no notion of pairing, so a cap
+// between N+1 and 2N-1 for N dynamic clients can leave every client
+// holding its first session while shed on its second — size
+// -max-sessions at 2x the intended dynamic client count.
+//
 // Usage:
 //
 //	pyxis-dbserver -src order.pyxj -budget 1.0 -schema schema.sql \
-//	    -db :7001 -ctl :7002 [-dynamic -low-budget 0]
+//	    -db :7001 -ctl :7002 [-dynamic -low-budget 0] \
+//	    [-max-sessions 256] [-admit-high 85 -admit-low 60]
 package main
 
 import (
@@ -49,7 +63,11 @@ func main() {
 		ctlAddr = flag.String("ctl", ":7002", "Pyxis control-transfer listen address")
 		dynamic = flag.Bool("dynamic", false,
 			"serve BOTH the -budget and -low-budget partitions for dynamic switching and piggy-back load reports on every reply")
-		lowBudget = flag.Float64("low-budget", 0, "budget fraction of the low-CPU partition served alongside -budget with -dynamic")
+		lowBudget   = flag.Float64("low-budget", 0, "budget fraction of the low-CPU partition served alongside -budget with -dynamic")
+		maxSessions = flag.Int("max-sessions", 0,
+			"cap on concurrently admitted control sessions (0 = unlimited; a -dynamic client holds TWO control sessions, so size the cap at 2x the intended client count)")
+		admitHigh   = flag.Float64("admit-high", 0, "blended load percent above which new sessions are refused (0 disables the load gate)")
+		admitLow    = flag.Float64("admit-low", 0, "blended load percent below which admission resumes (default admit-high - 25)")
 	)
 	flag.Parse()
 	if *srcPath == "" {
@@ -103,6 +121,7 @@ func main() {
 	dbPeer := runtime.NewPeer(part.Compiled, pdg.DB, os.Stdout)
 	newConn := func() dbapi.Conn { return dbapi.NewLocal(db) }
 	newMgr := func() rpc.SessionHandlers { return runtime.NewSessionManager(dbPeer, newConn) }
+	mon := runtime.NewLoadMonitor(db)
 	var muxCfg rpc.MuxServeConfig
 	dynDesc := ""
 	if *dynamic {
@@ -112,17 +131,55 @@ func main() {
 		}
 		lowPeer := runtime.NewPeer(lowPart.Compiled, pdg.DB, os.Stdout)
 		newMgr = func() rpc.SessionHandlers { return runtime.NewDualSessionManager(dbPeer, lowPeer, newConn) }
-		muxCfg.Load = runtime.NewLoadMonitor(db).Source()
+		muxCfg.Load = mon.Source()
 		dynDesc = fmt.Sprintf(" low-partition={%s}", lowPart.Describe())
+	}
+
+	// Admission control: one controller for the control port (see the
+	// listener wiring below for why only that port), with the session
+	// cap and the hysteretic load gate server-wide across its
+	// connections. The load gate reads the same monitor the -dynamic
+	// reports ride.
+	admDesc := ""
+	if *maxSessions > 0 || *admitHigh > 0 {
+		admCfg := runtime.AdmissionConfig{MaxSessions: *maxSessions}
+		gateMon := (*runtime.LoadMonitor)(nil) // cap-only unless -admit-high
+		if *admitHigh > 0 {
+			admCfg.HighLoad = *admitHigh
+			admCfg.LowLoad = *admitLow
+			if admCfg.LowLoad <= 0 {
+				admCfg.LowLoad = *admitHigh - 25
+				if admCfg.LowLoad < *admitHigh/2 {
+					admCfg.LowLoad = *admitHigh / 2
+				}
+			}
+			gateMon = mon
+		}
+		adm := runtime.NewAdmissionController(gateMon, admCfg)
+		muxCfg.Admission = adm
+		admDesc = fmt.Sprintf(" admission={max-sessions=%d admit-high=%.0f admit-low=%.0f}",
+			*maxSessions, admCfg.HighLoad, admCfg.LowLoad)
+		if *admitHigh <= 0 {
+			admDesc = fmt.Sprintf(" admission={max-sessions=%d}", *maxSessions)
+		}
 	}
 
 	// Both ports speak the multiplexed protocol: one TCP connection
 	// from an app server carries any number of concurrent sessions.
 	// Session IDs are connection-scoped, so each accepted connection
 	// gets its own handler registry.
+	//
+	// Admission gates ONLY the control port: a logical client is
+	// admitted (or refused) at its session boundary, before any work
+	// starts. The database port serves statements of already-admitted
+	// transactions — shedding there would abort work the server chose
+	// to accept, and a client needing one slot on each port could
+	// otherwise starve against a shared cap.
+	dbMuxCfg := muxCfg
+	dbMuxCfg.Admission = nil
 	dbSrv, err := rpc.NewMuxServerConfig(*dbAddr, func() rpc.SessionHandlers {
 		return dbapi.MuxHandlers(db)
-	}, muxCfg)
+	}, dbMuxCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -133,8 +190,8 @@ func main() {
 	}
 	defer ctlSrv.Close()
 
-	fmt.Printf("pyxis-dbserver: db=%s ctl=%s dynamic=%v partition={%s}%s\n",
-		dbSrv.Addr(), ctlSrv.Addr(), *dynamic, part.Describe(), dynDesc)
+	fmt.Printf("pyxis-dbserver: db=%s ctl=%s dynamic=%v partition={%s}%s%s\n",
+		dbSrv.Addr(), ctlSrv.Addr(), *dynamic, part.Describe(), dynDesc, admDesc)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -284,6 +285,14 @@ func RunParallelDynamic(high, low *pyxis.Partition, c TPCCConfig, cfg DynamicCfg
 						if isDeadlockErr(err) && attempt < cfg.MaxRetries {
 							// Victim was rolled back engine-side; retry.
 							out.deadlocks++
+							continue
+						}
+						if errors.Is(err, rpc.ErrOverloaded) && attempt < cfg.MaxRetries {
+							// CallEntry exhausted its inner shed budget:
+							// keep backing off out here — jittered, so the
+							// flooded sessions don't all retry in lockstep
+							// and re-flood the server at the same instant.
+							time.Sleep(runtime.ShedBackoff(attempt))
 							continue
 						}
 						out.err = fmt.Errorf("session %d phase %s txn %d: %w", i, ph.Name, k, err)

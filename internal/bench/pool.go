@@ -1,0 +1,555 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pyxis"
+	"pyxis/internal/dbapi"
+	"pyxis/internal/pdg"
+	"pyxis/internal/rpc"
+	"pyxis/internal/runtime"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// This file measures the two halves of the saturation story:
+//
+//   - RunPoolLedger / RunPoolScaling: the same wall-clock ledger
+//     workload as RunParallel, but with sessions striped across an
+//     rpc.MuxPool of N connections instead of funneling through one.
+//     The 1-conn point IS the old deployment shape, so the sweep
+//     directly prices the single connection's head-of-line: every
+//     frame of every session through one read loop and one write
+//     mutex per end.
+//
+//   - RunPoolSaturation: the TPC-C mix pushed at an admission-gated
+//     server with more clients than admitted-session slots. The server
+//     sheds the excess with the typed rpc.ErrOverloaded; clients back
+//     off (jittered) and retry, so every transaction eventually
+//     commits, queues never grow past the admitted population, and the
+//     TPC-C invariants must hold bit-for-bit afterwards — graceful
+//     shed, not dropped work.
+
+// PoolCfg configures one pooled ledger measurement.
+type PoolCfg struct {
+	Clients int // concurrent sessions (goroutines)
+	Txns    int // calls per client
+	Conns   int // mux connections in the pool (default 1)
+	// DepositEvery makes every k-th call a deposit; the rest are
+	// balance reads, which keep the handler cheap so the run is
+	// wire-bound — exactly where the pool pays off. 0 = all deposits.
+	DepositEvery int
+	// TCP runs the wires over real loopback TCP mux servers instead of
+	// in-process pipes.
+	TCP bool
+	// MaxRetries bounds overload retries per call (default 50).
+	MaxRetries int
+}
+
+// PoolResult aggregates one pooled ledger run.
+type PoolResult struct {
+	Conns     int
+	Clients   int
+	TotalTxns int
+	Deposits  int
+	Elapsed   time.Duration
+	Tput      float64
+	MeanMs    float64
+	P95Ms     float64
+	// Sheds counts rpc.ErrOverloaded replies absorbed by backoff.
+	Sheds int64
+	// SessionsPerConn is how many control sessions the pool placed on
+	// each connection — the striping audit (a broken pool piles all of
+	// them on index 0).
+	SessionsPerConn []int
+	// FinalTotal is the sum of account balances afterwards;
+	// ExpectTotal is what the deposits should have produced. Unequal
+	// values mean lost updates.
+	FinalTotal, ExpectTotal float64
+}
+
+// inProcMuxPool builds a MuxPool whose connections are in-process
+// pipes, each served by its own demux loop over handlers from
+// newHandlers (one per connection, exactly like a TCP server's
+// per-connection factory) under one shared config.
+func inProcMuxPool(n int, newHandlers func() rpc.SessionHandlers, cfg rpc.MuxServeConfig) (*rpc.MuxPool, error) {
+	return rpc.NewMuxPool(n, func(int) (io.ReadWriteCloser, error) {
+		srv, cli := net.Pipe()
+		go rpc.ServeMuxConnConfig(srv, newHandlers(), cfg)
+		return cli, nil
+	})
+}
+
+// callWithShedRetry adapts runtime.RetryOverloaded (the shared
+// jittered shed-retry loop) to the drivers' value-returning calls.
+func callWithShedRetry(maxRetries int, call func() (val.Value, error)) (val.Value, int64, error) {
+	var ret val.Value
+	sheds, err := runtime.RetryOverloaded(maxRetries, func() error {
+		var cerr error
+		ret, cerr = call()
+		return cerr
+	})
+	return ret, sheds, err
+}
+
+// RunPoolLedger drives cfg.Clients concurrent ledger sessions with
+// their wires striped across a pool of cfg.Conns mux connections per
+// port. Everything else matches RunParallel: one shared DB-side
+// runtime, one shared database, per-session latency.
+func RunPoolLedger(part *pyxis.Partition, cfg PoolCfg) (*PoolResult, error) {
+	if cfg.Clients < 1 || cfg.Txns < 1 {
+		return nil, fmt.Errorf("bench: RunPoolLedger needs Clients >= 1 and Txns >= 1")
+	}
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 50
+	}
+	db, err := parallelDB(cfg.Clients)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := part.Compiled
+	dbPeer := runtime.NewPeer(prog, pdg.DB, nil)
+	appPeer := runtime.NewPeer(prog, pdg.App, nil)
+	newMgr := func() rpc.SessionHandlers {
+		return runtime.NewSessionManager(dbPeer, func() dbapi.Conn { return dbapi.NewLocal(db) })
+	}
+
+	var ctlPool, dbPool *rpc.MuxPool
+	if cfg.TCP {
+		ctlSrv, err := rpc.NewMuxServer("127.0.0.1:0", newMgr)
+		if err != nil {
+			return nil, err
+		}
+		defer ctlSrv.Close()
+		dbSrv, err := rpc.NewMuxServer("127.0.0.1:0", func() rpc.SessionHandlers { return dbapi.MuxHandlers(db) })
+		if err != nil {
+			return nil, err
+		}
+		defer dbSrv.Close()
+		if ctlPool, err = rpc.DialMuxPool(ctlSrv.Addr(), cfg.Conns); err != nil {
+			return nil, err
+		}
+		defer ctlPool.Close()
+		if dbPool, err = rpc.DialMuxPool(dbSrv.Addr(), cfg.Conns); err != nil {
+			return nil, err
+		}
+		defer dbPool.Close()
+	} else {
+		if ctlPool, err = inProcMuxPool(cfg.Conns, newMgr, rpc.MuxServeConfig{}); err != nil {
+			return nil, err
+		}
+		defer ctlPool.Close()
+		if dbPool, err = inProcMuxPool(cfg.Conns, func() rpc.SessionHandlers { return dbapi.MuxHandlers(db) }, rpc.MuxServeConfig{}); err != nil {
+			return nil, err
+		}
+		defer dbPool.Close()
+	}
+
+	type sessionOut struct {
+		lats     []float64
+		deposits int
+		sheds    int64
+		connIdx  uint8
+		err      error
+	}
+	outs := make([]sessionOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := &outs[i]
+			ctlT := ctlPool.Session()
+			dbT := dbPool.Session()
+			out.connIdx = rpc.SessionConn(ctlT.ID())
+			sess := appPeer.NewSession(dbapi.NewClient(dbT))
+			client := runtime.NewClient(sess, ctlT)
+			defer client.Close()
+			oid, sheds, err := callWithShedRetry(cfg.MaxRetries, func() (val.Value, error) {
+				o, err := client.NewObject("Ledger", val.IntV(int64(i)))
+				return val.ObjV(o), err
+			})
+			out.sheds += sheds
+			if err != nil {
+				out.err = err
+				return
+			}
+			for k := 0; k < cfg.Txns; k++ {
+				isDeposit := cfg.DepositEvery == 0 || k%cfg.DepositEvery == 0
+				t0 := time.Now()
+				_, sheds, err := callWithShedRetry(cfg.MaxRetries, func() (val.Value, error) {
+					if isDeposit {
+						return client.CallEntry("Ledger.deposit", val.OID(oid.I),
+							val.IntV(int64(i)), val.IntV(int64(k)), val.DoubleV(1))
+					}
+					return client.CallEntry("Ledger.balance", val.OID(oid.I), val.IntV(int64(i)))
+				})
+				out.sheds += sheds
+				if err != nil {
+					out.err = fmt.Errorf("session %d txn %d: %w", i, k, err)
+					return
+				}
+				out.lats = append(out.lats, float64(time.Since(t0).Microseconds())/1e3)
+				if isDeposit {
+					out.deposits++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &PoolResult{Conns: cfg.Conns, Clients: cfg.Clients, Elapsed: elapsed,
+		SessionsPerConn: make([]int, cfg.Conns)}
+	var all []float64
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		all = append(all, outs[i].lats...)
+		res.Deposits += outs[i].deposits
+		res.Sheds += outs[i].sheds
+		res.SessionsPerConn[int(outs[i].connIdx)%cfg.Conns]++
+	}
+	res.TotalTxns = len(all)
+	res.Tput = float64(len(all)) / elapsed.Seconds()
+	agg := Summarize(all)
+	res.MeanMs, res.P95Ms = agg.MeanMs, agg.P95Ms
+	res.ExpectTotal = float64(res.Deposits)
+
+	sess := db.NewSession()
+	rs, err := sess.Query("SELECT balance FROM accounts")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rs.Rows {
+		res.FinalTotal += row[0].F
+	}
+	return res, nil
+}
+
+// String renders the result as one table row block.
+func (r *PoolResult) String() string {
+	return fmt.Sprintf("conns=%d clients=%d txns=%d elapsed=%v tput=%.0f txn/s lat(mean=%.3fms p95=%.3fms) sheds=%d sessions/conn=%v",
+		r.Conns, r.Clients, r.TotalTxns, r.Elapsed.Round(time.Millisecond), r.Tput, r.MeanMs, r.P95Ms, r.Sheds, r.SessionsPerConn)
+}
+
+// RunPoolScaling measures throughput vs. pool size at a fixed client
+// count: one RunPoolLedger per entry of conns against a fresh database
+// per point. The first entry (conventionally 1) is the old
+// single-connection deployment; the ratio of any later point to it is
+// the price of the head-of-line the pool removed.
+func RunPoolScaling(part *pyxis.Partition, base PoolCfg, conns []int) ([]*PoolResult, error) {
+	results := make([]*PoolResult, 0, len(conns))
+	for _, n := range conns {
+		cfg := base
+		cfg.Conns = n
+		res, err := RunPoolLedger(part, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: pool point conns=%d: %w", n, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// PoolScalingReport renders a RunPoolScaling sweep with speedup
+// relative to the first (usually 1-connection) point.
+func PoolScalingReport(results []*PoolResult) string {
+	if len(results) == 0 {
+		return "(no pool points)"
+	}
+	base := results[0].Tput
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %8s %10s %12s %10s %10s %9s\n", "conns", "clients", "txns", "tput(txn/s)", "mean(ms)", "p95(ms)", "speedup")
+	for _, r := range results {
+		speedup := 0.0
+		if base > 0 {
+			speedup = r.Tput / base
+		}
+		fmt.Fprintf(&b, "%6d %8d %10d %12.0f %10.3f %10.3f %8.2fx\n",
+			r.Conns, r.Clients, r.TotalTxns, r.Tput, r.MeanMs, r.P95Ms, speedup)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ---------------------------------------------------------------------------
+// Saturation: admission control shedding under forced overload
+// ---------------------------------------------------------------------------
+
+// PoolSatCfg configures one saturation run: more clients than the
+// server admits at once.
+type PoolSatCfg struct {
+	Clients int // concurrent client goroutines
+	Txns    int // transactions per client
+	Conns   int // pool connections per wire (default 1)
+	// MaxSessions is the server's admitted-session cap; Clients >
+	// MaxSessions forces session sheds (0 disables the cap, in which
+	// case nothing sheds and the run degenerates to RunParallelTPCC).
+	MaxSessions int
+	// PaymentEvery makes every k-th transaction a Payment (0 disables).
+	PaymentEvery int
+	// TCP runs the wires over real loopback TCP mux servers.
+	TCP bool
+	// MaxRetries bounds deadlock retries per transaction (default 50).
+	MaxRetries int
+	// OpenTimeout bounds how long one client keeps retrying session
+	// admission (default 120s; capacity frees as admitted clients
+	// finish, so waits are bounded by the workload, not the timeout).
+	OpenTimeout time.Duration
+}
+
+// PoolSatResult aggregates one saturation run.
+type PoolSatResult struct {
+	Clients     int
+	Conns       int
+	MaxSessions int
+	TotalTxns   int
+	NewOrders   int
+	Payments    int
+	Deadlocks   int
+	Elapsed     time.Duration
+	Tput        float64
+	MeanMs      float64
+	P95Ms       float64
+	// ClientSheds counts rpc.ErrOverloaded replies clients observed
+	// (and absorbed with jittered backoff).
+	ClientSheds int64
+	// Admission snapshots the server-side controller after the run.
+	Admission runtime.AdmissionStats
+}
+
+// RunPoolSaturation floods an admission-gated DB server: cfg.Clients
+// TPC-C sessions arrive over a cfg.Conns-connection pool at a server
+// that admits only cfg.MaxSessions of them at once. Excess sessions
+// are shed with rpc.ErrOverloaded and retry with jittered backoff
+// until slots free, so the run completes every transaction while the
+// concurrent population — and with it queue growth and p95 — stays
+// bounded. It returns the result plus the shared database so callers
+// audit CheckTPCCInvariants afterwards.
+func RunPoolSaturation(part *pyxis.Partition, c TPCCConfig, cfg PoolSatCfg) (*PoolSatResult, *sqldb.DB, error) {
+	if cfg.Clients < 1 || cfg.Txns < 1 {
+		return nil, nil, fmt.Errorf("bench: RunPoolSaturation needs Clients >= 1 and Txns >= 1")
+	}
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 50
+	}
+	if cfg.OpenTimeout <= 0 {
+		cfg.OpenTimeout = 120 * time.Second
+	}
+	db := c.Load()
+
+	prog := part.Compiled
+	dbPeer := runtime.NewPeer(prog, pdg.DB, nil)
+	appPeer := runtime.NewPeer(prog, pdg.App, nil)
+	newMgr := func() rpc.SessionHandlers {
+		return runtime.NewSessionManager(dbPeer, func() dbapi.Conn { return dbapi.NewLocal(db) })
+	}
+
+	// The admission controller is the experiment: session slots capped
+	// at MaxSessions, the load monitor supplying the (a) queue-depth /
+	// (b) lock-wait / (c) CPU-proxy blend. As in RunParallelDynamic the
+	// organic saturation points are pushed out — clients share this
+	// process with the server, so goroutine counts and colocated lock
+	// waits would otherwise trip the load gate nondeterministically;
+	// the session cap is the forcing function here, and the two-process
+	// cmd/pyxis-dbserver keeps the calibrated defaults.
+	mon := runtime.NewLoadMonitor(db)
+	mon.GoroutineSat = 1 << 20
+	mon.LockWaitSat = 1 << 20
+	adm := runtime.NewAdmissionController(mon, runtime.AdmissionConfig{MaxSessions: cfg.MaxSessions})
+	muxCfg := rpc.MuxServeConfig{Load: mon.Source(), Admission: adm}
+
+	var ctlPool, dbPool *rpc.MuxPool
+	var err error
+	if cfg.TCP {
+		ctlSrv, err := rpc.NewMuxServerConfig("127.0.0.1:0", newMgr, muxCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer ctlSrv.Close()
+		dbSrv, err := rpc.NewMuxServer("127.0.0.1:0", func() rpc.SessionHandlers { return dbapi.MuxHandlers(db) })
+		if err != nil {
+			return nil, nil, err
+		}
+		defer dbSrv.Close()
+		if ctlPool, err = rpc.DialMuxPool(ctlSrv.Addr(), cfg.Conns); err != nil {
+			return nil, nil, err
+		}
+		defer ctlPool.Close()
+		if dbPool, err = rpc.DialMuxPool(dbSrv.Addr(), cfg.Conns); err != nil {
+			return nil, nil, err
+		}
+		defer dbPool.Close()
+	} else {
+		if ctlPool, err = inProcMuxPool(cfg.Conns, newMgr, muxCfg); err != nil {
+			return nil, nil, err
+		}
+		defer ctlPool.Close()
+		if dbPool, err = inProcMuxPool(cfg.Conns, func() rpc.SessionHandlers { return dbapi.MuxHandlers(db) }, rpc.MuxServeConfig{}); err != nil {
+			return nil, nil, err
+		}
+		defer dbPool.Close()
+	}
+
+	type sessionOut struct {
+		lats      []float64
+		newOrders int
+		payments  int
+		deadlocks int
+		sheds     int64
+		err       error
+	}
+	outs := make([]sessionOut, cfg.Clients)
+	// With more clients than slots a shed is inevitable — but only if
+	// the admitted sessions actually overlap the excess clients'
+	// arrival, which goroutine scheduling (especially on few cores)
+	// does not guarantee for a short workload. So the first wave of
+	// admitted clients HOLDS its sessions until some client has
+	// observed a shed: the excess clients keep retrying against full
+	// slots, the flag flips, the holders release. That makes the
+	// saturation genuinely forced rather than scheduling-dependent,
+	// with no deadlock — the waiters' retries are exactly what sets
+	// the flag.
+	oversubscribed := cfg.MaxSessions > 0 && cfg.Clients > cfg.MaxSessions
+	var shedObserved atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := &outs[i]
+			ctlT := ctlPool.Session()
+			dbT := dbPool.Session()
+			sess := appPeer.NewSession(dbapi.NewClient(dbT))
+			client := runtime.NewClient(sess, ctlT)
+			defer client.Close()
+			if oversubscribed {
+				defer func() {
+					if out.err != nil {
+						return
+					}
+					deadline := time.Now().Add(cfg.OpenTimeout)
+					for !shedObserved.Load() && time.Now().Before(deadline) {
+						time.Sleep(time.Millisecond)
+					}
+				}()
+			}
+
+			// Session admission: the first control transfer creates the
+			// server-side session, so a shed here means "no slot free";
+			// the session holds no server state and simply retries with
+			// jittered backoff until a slot opens or the timeout fires.
+			var oid val.OID
+			deadline := time.Now().Add(cfg.OpenTimeout)
+			for attempt := 0; ; attempt++ {
+				o, err := client.NewObject("TPCC")
+				if err == nil {
+					oid = o
+					break
+				}
+				if !errors.Is(err, rpc.ErrOverloaded) {
+					out.err = fmt.Errorf("session %d open: %w", i, err)
+					return
+				}
+				out.sheds++
+				shedObserved.Store(true)
+				if time.Now().After(deadline) {
+					out.err = fmt.Errorf("session %d never admitted within %v: %w", i, cfg.OpenTimeout, err)
+					return
+				}
+				time.Sleep(runtime.ShedBackoff(attempt))
+			}
+
+			for k := 0; k < cfg.Txns; k++ {
+				seq := int64(i)*1_000_003 + int64(k)
+				wid, did, cid, olcnt, seed, rb := c.txnParams(seq)
+				isPayment := cfg.PaymentEvery > 0 && k%cfg.PaymentEvery == 0
+				t0 := time.Now()
+				var err error
+				for attempt := 0; ; attempt++ {
+					if isPayment {
+						amount := float64(seq%97 + 1)
+						_, err = client.CallEntry("TPCC.payment", oid,
+							val.IntV(wid), val.IntV(did), val.IntV(cid), val.DoubleV(amount))
+					} else {
+						_, err = client.CallEntry("TPCC.newOrder", oid,
+							val.IntV(wid), val.IntV(did), val.IntV(cid), val.IntV(olcnt),
+							val.IntV(seed), val.IntV(int64(c.Items)), val.BoolV(rb))
+					}
+					if err == nil {
+						break
+					}
+					if attempt >= cfg.MaxRetries {
+						out.err = fmt.Errorf("session %d txn %d: %w", i, k, err)
+						return
+					}
+					switch {
+					case isDeadlockErr(err):
+						out.deadlocks++
+					case errors.Is(err, rpc.ErrOverloaded):
+						// A per-call shed on an admitted session (the
+						// tightened queue bound while saturated).
+						out.sheds++
+						shedObserved.Store(true)
+						time.Sleep(runtime.ShedBackoff(attempt))
+					default:
+						out.err = fmt.Errorf("session %d txn %d: %w", i, k, err)
+						return
+					}
+				}
+				out.lats = append(out.lats, float64(time.Since(t0).Microseconds())/1e3)
+				if isPayment {
+					out.payments++
+				} else {
+					out.newOrders++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &PoolSatResult{Clients: cfg.Clients, Conns: cfg.Conns, MaxSessions: cfg.MaxSessions, Elapsed: elapsed}
+	var all []float64
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, nil, outs[i].err
+		}
+		all = append(all, outs[i].lats...)
+		res.NewOrders += outs[i].newOrders
+		res.Payments += outs[i].payments
+		res.Deadlocks += outs[i].deadlocks
+		res.ClientSheds += outs[i].sheds
+	}
+	res.TotalTxns = len(all)
+	res.Tput = float64(len(all)) / elapsed.Seconds()
+	agg := Summarize(all)
+	res.MeanMs, res.P95Ms = agg.MeanMs, agg.P95Ms
+	res.Admission = adm.Stats()
+	return res, db, nil
+}
+
+// String renders the result as one table row block.
+func (r *PoolSatResult) String() string {
+	return fmt.Sprintf("clients=%d conns=%d max-sessions=%d txns=%d (no=%d pay=%d dl-retries=%d) elapsed=%v tput=%.0f txn/s lat(mean=%.3fms p95=%.3fms) sheds(client=%d server-sessions=%d server-calls=%d)",
+		r.Clients, r.Conns, r.MaxSessions, r.TotalTxns, r.NewOrders, r.Payments, r.Deadlocks,
+		r.Elapsed.Round(time.Millisecond), r.Tput, r.MeanMs, r.P95Ms,
+		r.ClientSheds, r.Admission.ShedSessions, r.Admission.ShedCalls)
+}

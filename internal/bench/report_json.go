@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	goruntime "runtime"
+	"time"
+)
+
+// BenchReport wraps one experiment's result for the machine-readable
+// bench trajectory: pyxis-bench -json writes one BENCH_<experiment>.json
+// per experiment so successive PRs can be compared number-for-number
+// instead of by eyeballing tables. The envelope carries the host facts
+// a comparison must normalize by (a 1-CPU runner cannot show parallel
+// speedup; race instrumentation flattens it).
+type BenchReport struct {
+	Experiment string    `json:"experiment"`
+	Generated  time.Time `json:"generated"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	Race       bool      `json:"race"`
+	Data       any       `json:"data"`
+}
+
+// RaceEnabled reports whether this build is race-detector-instrumented
+// (exported so cmd/pyxis-bench can relax wall-clock speedup
+// enforcement exactly like the package's own scaling tests do).
+func RaceEnabled() bool { return raceEnabled }
+
+// SaveReport writes data as BENCH_<experiment>.json under dir (""
+// means the current directory) and returns the path written.
+func SaveReport(dir, experiment string, data any) (string, error) {
+	rep := BenchReport{
+		Experiment: experiment,
+		Generated:  time.Now().UTC(),
+		GoMaxProcs: goruntime.GOMAXPROCS(0),
+		NumCPU:     goruntime.NumCPU(),
+		Race:       raceEnabled,
+		Data:       data,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: marshal %s report: %w", experiment, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+experiment+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -130,6 +130,9 @@ type MuxClient struct {
 	// Self-aligning atomics (plain int64 + atomic.AddInt64 would fault
 	// on 32-bit platforms at this struct offset).
 	calls, bytesSent, bytesRecv atomic.Int64
+	// outstanding counts calls issued but not yet answered — the
+	// connection-local load signal a MuxPool balances new sessions by.
+	outstanding atomic.Int64
 
 	// onLoad receives every LoadReport piggy-backed on reply frames.
 	onLoad      atomic.Pointer[func(LoadReport)]
@@ -213,6 +216,8 @@ func (c *MuxClient) call(sid, rid uint32, req []byte) ([]byte, error) {
 	}
 	c.pending[key] = ch
 	c.mu.Unlock()
+	c.outstanding.Add(1)
+	defer c.outstanding.Add(-1)
 
 	c.wmu.Lock()
 	err := writeMuxFrame(c.conn, muxFrame{sid: sid, rid: rid, kind: muxCall, body: req})
@@ -251,9 +256,31 @@ func (c *MuxClient) call(sid, rid uint32, req []byte) ([]byte, error) {
 // 24-bit per-connection counter underneath.
 const sessionTagShift = 24
 
+// Pool-allocated session IDs additionally fold the owning connection's
+// pool index into the 4 bits under the tag byte, so one pool-wide
+// counter yields IDs that are unique across every connection of the
+// pool while SessionTag keeps routing (the dual SessionManager reads
+// only the top byte). Plain MuxClient sessions don't reserve these
+// bits — their 24-bit counter simply wraps through them — so
+// SessionConn is meaningful only for pool-placed sessions.
+const (
+	sessionConnShift = 20
+	sessionConnMask  = 0xF
+	// MaxPoolConns bounds a MuxPool's size: the connection index must
+	// fit the 4 ID bits between the session counter and the tag byte.
+	MaxPoolConns = sessionConnMask + 1
+)
+
 // SessionTag extracts the variant tag a client encoded into a session
 // ID with TaggedSession (0 for plain sessions).
 func SessionTag(sid uint32) uint8 { return uint8(sid >> sessionTagShift) }
+
+// SessionConn extracts the pool connection index folded into a
+// pool-allocated session ID (0 for sessions opened directly on a
+// MuxClient, which also use these bits as plain counter space).
+func SessionConn(sid uint32) uint8 {
+	return uint8(sid>>sessionConnShift) & sessionConnMask
+}
 
 // Session opens a new logical session. The returned transport is safe
 // for concurrent use and independent of every other session on the
@@ -270,6 +297,24 @@ func (c *MuxClient) TaggedSession(tag uint8) *MuxSession {
 	sid := c.nextSID.Add(1)&(1<<sessionTagShift-1) | uint32(tag)<<sessionTagShift
 	return &MuxSession{c: c, sid: sid}
 }
+
+// newSession opens a session under an externally allocated ID (the
+// MuxPool allocates pool-wide IDs with the connection index folded in).
+func (c *MuxClient) newSession(sid uint32) *MuxSession {
+	return &MuxSession{c: c, sid: sid}
+}
+
+// Err returns the sticky transport error, or nil while the connection
+// is healthy. A pool skips poisoned connections when placing sessions.
+func (c *MuxClient) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Outstanding returns how many calls are currently in flight on this
+// connection (issued, not yet answered) across all its sessions.
+func (c *MuxClient) Outstanding() int64 { return c.outstanding.Load() }
 
 // SetOnLoad registers fn to receive every load report piggy-backed on
 // this connection's replies (any session). Safe to call concurrently
@@ -384,12 +429,38 @@ const SessionQueueDepth = 32
 // use.
 type LoadSource func(queueLen int) (rep LoadReport, ok bool)
 
+// AdmissionPolicy lets a server refuse work instead of merely
+// reporting saturation: the demux loop consults it before creating a
+// session and before queueing each call. A returned error sheds the
+// frame with a muxReplyShed reply — the client sees the typed
+// ErrOverloaded and its existing backoff applies — without any session
+// or transaction state having been created. Implementations are called
+// from every connection's demux loop and must be safe for concurrent
+// use.
+type AdmissionPolicy interface {
+	// AdmitSession gates creation of a new session. On error the
+	// session is not opened (no handler, no worker) and the triggering
+	// call is shed; a later call may retry admission.
+	AdmitSession(sid uint32) error
+	// AdmitCall gates queueing one call on an admitted session;
+	// queueLen is the session's queue depth at arrival. On error the
+	// call is shed and the session stays live.
+	AdmitCall(sid uint32, queueLen int) error
+	// SessionClosed releases the admission slot of a session that
+	// passed AdmitSession, after its worker drained (explicit close or
+	// connection teardown). Called exactly once per admitted session.
+	SessionClosed(sid uint32)
+}
+
 // MuxServeConfig tunes one demux loop beyond the defaults.
 type MuxServeConfig struct {
 	// Load, when non-nil, attaches a load report to every reply frame
 	// (including sheds — overload is exactly when the peer most wants
 	// the signal).
 	Load LoadSource
+	// Admission, when non-nil, gates session creation and per-call
+	// queueing; refused frames are shed with ErrOverloaded replies.
+	Admission AdmissionPolicy
 }
 
 // ServeMuxConn demuxes one multiplexed connection, dispatching each
@@ -423,6 +494,16 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 		}
 		wg.Wait()
 	}()
+	// shed refuses one call with the typed shed reply (the client sees
+	// ErrOverloaded and backs off); false means the connection is dead.
+	shed := func(f muxFrame, reason string, queueLen int) bool {
+		out := muxFrame{sid: f.sid, rid: f.rid, kind: muxReplyShed, body: []byte(reason)}
+		attachLoad(&out, cfg.Load, queueLen)
+		wmu.Lock()
+		werr := writeMuxFrame(conn, out)
+		wmu.Unlock()
+		return werr == nil
+	}
 	for {
 		f, err := readMuxFrame(conn)
 		if err != nil {
@@ -442,6 +523,17 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 			}
 			sw := sessions[f.sid]
 			if sw == nil {
+				// Session admission: refused sessions are never opened —
+				// no handler, no worker, no transaction state — so the
+				// shed is free to retry once capacity returns.
+				if cfg.Admission != nil {
+					if aerr := cfg.Admission.AdmitSession(f.sid); aerr != nil {
+						if !shed(f, aerr.Error(), 0) {
+							return
+						}
+						continue
+					}
+				}
 				sw = &sessionWorker{ch: make(chan muxFrame, SessionQueueDepth)}
 				sessions[f.sid] = sw
 				h := handlers.Open(f.sid)
@@ -449,7 +541,14 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					defer handlers.Closed(sid)
+					defer func() {
+						handlers.Closed(sid)
+						if cfg.Admission != nil {
+							// The admission slot frees only after the
+							// handler released the session's state.
+							cfg.Admission.SessionClosed(sid)
+						}
+					}()
 					for req := range sw.ch {
 						resp, herr := h(req.body)
 						out := muxFrame{sid: req.sid, rid: req.rid, kind: muxReplyOK, body: resp}
@@ -472,6 +571,16 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 					}
 				}()
 			}
+			// Call admission: a saturated server tightens the effective
+			// queue bound below the structural SessionQueueDepth.
+			if cfg.Admission != nil {
+				if aerr := cfg.Admission.AdmitCall(f.sid, len(sw.ch)); aerr != nil {
+					if !shed(f, aerr.Error(), len(sw.ch)) {
+						return
+					}
+					continue
+				}
+			}
 			select {
 			case sw.ch <- f:
 			default:
@@ -480,13 +589,7 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 				// other session on the connection). The typed shed
 				// reply lets the client back off and retry instead of
 				// failing its transaction.
-				out := muxFrame{sid: f.sid, rid: f.rid, kind: muxReplyShed,
-					body: []byte(fmt.Sprintf("session %d queue overflow (max %d outstanding calls)", f.sid, SessionQueueDepth))}
-				attachLoad(&out, cfg.Load, len(sw.ch))
-				wmu.Lock()
-				werr := writeMuxFrame(conn, out)
-				wmu.Unlock()
-				if werr != nil {
+				if !shed(f, fmt.Sprintf("session %d queue overflow (max %d outstanding calls)", f.sid, SessionQueueDepth), len(sw.ch)) {
 					return
 				}
 			}
@@ -569,6 +672,16 @@ func (s *MuxServer) Addr() string { return s.lis.Addr().String() }
 func (s *MuxServer) SetLoadSource(ls LoadSource) {
 	s.mu.Lock()
 	s.cfg.Load = ls
+	s.mu.Unlock()
+}
+
+// SetAdmission configures the admission policy consulted by
+// connections accepted afterwards (in-flight connections keep their
+// configuration). The policy is shared server-wide, so its session
+// accounting spans every connection.
+func (s *MuxServer) SetAdmission(p AdmissionPolicy) {
+	s.mu.Lock()
+	s.cfg.Admission = p
 	s.mu.Unlock()
 }
 

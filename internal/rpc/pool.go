@@ -1,0 +1,203 @@
+package rpc
+
+// This file stripes sessions across a pool of mux connections. One
+// multiplexed TCP connection is a single head-of-line: every frame of
+// every session funnels through one read loop and one write mutex on
+// each end, so past a handful of concurrent sessions the wire — not
+// the engine — caps throughput. A MuxPool keeps N connections open,
+// places each NEW session on the least-loaded one (by in-flight calls
+// plus the connection's last server-reported queue depth) and pins it
+// there for life, which preserves every per-session invariant of the
+// single-connection protocol: per-session ordering (one worker per
+// session server-side), session-scoped state, and the tag-byte routing
+// of dual deployments.
+//
+// Session IDs are allocated pool-wide from one counter with the
+// owning connection's index folded into the 4 bits under the tag byte
+// (see SessionConn), so IDs never collide across the pool's
+// connections and rpc.SessionTag — which the dual SessionManager
+// routes by — keeps working unchanged. Like the plain client's 24-bit
+// counter, the pool's 20-bit counter eventually wraps (after 2^20
+// sessions per tag); a pool serving session churn that long should be
+// cycled before reuse could collide with a still-open session.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// MuxPool is a fixed-size pool of mux connections that balances new
+// sessions onto the least-loaded connection. It is safe for concurrent
+// use. Sessions stay pinned to the connection they were placed on; if
+// a pooled connection dies, only its pinned sessions fail and new
+// sessions are placed on the survivors.
+type MuxPool struct {
+	conns []*MuxClient
+	// depth[i] is connection i's most recent server-reported session
+	// queue depth — the far end of the placement signal (the near end
+	// is MuxClient.Outstanding).
+	depth []atomic.Uint32
+
+	nextSID atomic.Uint32 // pool-wide session counter
+	rr      atomic.Uint32 // rotates placement tie-breaks across conns
+
+	onLoad atomic.Pointer[func(LoadReport)]
+}
+
+// NewMuxPool builds a pool of n connections, dialing each with dial(i)
+// (so tests can hand every slot a distinct peer). On any dial error
+// the already-opened connections are closed. n must be in
+// [1, MaxPoolConns].
+func NewMuxPool(n int, dial func(i int) (io.ReadWriteCloser, error)) (*MuxPool, error) {
+	if n < 1 || n > MaxPoolConns {
+		return nil, fmt.Errorf("rpc: pool size %d out of range [1, %d]", n, MaxPoolConns)
+	}
+	p := &MuxPool{
+		conns: make([]*MuxClient, n),
+		depth: make([]atomic.Uint32, n),
+	}
+	for i := range p.conns {
+		conn, err := dial(i)
+		if err != nil {
+			for _, c := range p.conns[:i] {
+				c.Close()
+			}
+			return nil, fmt.Errorf("rpc: pool dial conn %d: %w", i, err)
+		}
+		c := NewMuxClient(conn)
+		// Every connection's piggy-backed reports flow through one
+		// pool-level sink: the pool records the per-connection queue
+		// depth for placement and forwards the report to the shared
+		// consumer (typically a switcher EWMA), so a report arriving on
+		// ANY pooled connection feeds the same average.
+		idx := i
+		c.SetOnLoad(func(rep LoadReport) {
+			p.depth[idx].Store(rep.QueueDepth)
+			if fn := p.onLoad.Load(); fn != nil {
+				(*fn)(rep)
+			}
+		})
+		p.conns[i] = c
+	}
+	return p, nil
+}
+
+// DialMuxPool connects a pool of n mux connections to a MuxServer at
+// addr.
+func DialMuxPool(addr string, n int) (*MuxPool, error) {
+	return NewMuxPool(n, func(int) (io.ReadWriteCloser, error) {
+		return net.Dial("tcp", addr)
+	})
+}
+
+// Size returns the number of pooled connections.
+func (p *MuxPool) Size() int { return len(p.conns) }
+
+// Conn returns the i-th pooled connection (for inspection; sessions
+// should be opened through Session/TaggedSession so placement and
+// pool-wide ID allocation apply).
+func (p *MuxPool) Conn(i int) *MuxClient { return p.conns[i] }
+
+// place picks the least-loaded healthy connection. Load is the
+// connection's in-flight calls plus its last reported session queue
+// depth; ties resolve round-robin so an idle pool still stripes
+// sessions instead of piling them on connection 0. With every
+// connection poisoned it falls back to index 0 — the session's first
+// call then surfaces the transport error.
+func (p *MuxPool) place() int {
+	n := len(p.conns)
+	// Reduce in uint32 before converting: a wrapped counter cast
+	// through int would go negative on 32-bit platforms.
+	start := int(p.rr.Add(1) % uint32(n))
+	best, bestScore := -1, int64(0)
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		c := p.conns[i]
+		if c.Err() != nil {
+			continue
+		}
+		score := c.Outstanding()
+		if score > 0 {
+			// The reported depth counts only while calls are in flight:
+			// with zero outstanding, nothing of ours can be queued
+			// server-side, so the last report is a stale snapshot of a
+			// finished burst and must not keep penalizing an idle
+			// connection (it would only refresh on traffic the stale
+			// score itself steers away).
+			score += int64(p.depth[i].Load())
+		}
+		if best < 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// Session opens a new logical session on the least-loaded connection.
+// The returned transport is pinned to that connection for its
+// lifetime.
+func (p *MuxPool) Session() *MuxSession { return p.TaggedSession(0) }
+
+// TaggedSession opens a session whose ID carries tag in its top byte
+// (see MuxClient.TaggedSession) on the least-loaded connection. The
+// pool-wide counter plus the folded connection index keep IDs unique
+// across the whole pool (until the 20-bit counter wraps — see the
+// package comment above).
+func (p *MuxPool) TaggedSession(tag uint8) *MuxSession {
+	i := p.place()
+	ctr := p.nextSID.Add(1) & (1<<sessionConnShift - 1)
+	sid := uint32(tag)<<sessionTagShift | uint32(i)<<sessionConnShift | ctr
+	return p.conns[i].newSession(sid)
+}
+
+// SetOnLoad registers fn to receive every load report piggy-backed on
+// ANY pooled connection's replies — the fan-in that keeps one shared
+// EWMA fed no matter which connection a session landed on. Safe to
+// call concurrently with traffic; nil unregisters.
+func (p *MuxPool) SetOnLoad(fn func(LoadReport)) {
+	if fn == nil {
+		p.onLoad.Store(nil)
+		return
+	}
+	p.onLoad.Store(&fn)
+}
+
+// LoadReports returns how many piggy-backed load reports arrived
+// across all pooled connections.
+func (p *MuxPool) LoadReports() int64 {
+	var n int64
+	for _, c := range p.conns {
+		n += c.LoadReports()
+	}
+	return n
+}
+
+// Stats returns aggregate traffic counters across all pooled
+// connections.
+func (p *MuxPool) Stats() Stats {
+	var st Stats
+	for _, c := range p.conns {
+		s := c.Stats()
+		st.Calls += s.Calls
+		st.BytesSent += s.BytesSent
+		st.BytesRecv += s.BytesRecv
+	}
+	return st
+}
+
+// Close tears down every pooled connection; all sessions fail
+// afterwards. The first error wins.
+func (p *MuxPool) Close() error {
+	var err error
+	for _, c := range p.conns {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

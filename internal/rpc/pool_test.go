@@ -1,0 +1,252 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePool builds an n-connection pool whose every connection is a
+// pipe served by its own demux loop over handlers from newHandlers
+// (mirroring a TCP server's per-connection factory). It returns the
+// pool plus each connection's server-side pipe end, so tests can sever
+// individual connections.
+func pipePool(t *testing.T, n int, newHandlers func(i int) SessionHandlers, cfg MuxServeConfig) (*MuxPool, []net.Conn) {
+	t.Helper()
+	srvEnds := make([]net.Conn, 0, n)
+	p, err := NewMuxPool(n, func(i int) (io.ReadWriteCloser, error) {
+		srv, cli := net.Pipe()
+		srvEnds = append(srvEnds, srv)
+		go ServeMuxConnConfig(srv, newHandlers(i), cfg)
+		return cli, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, srvEnds
+}
+
+// TestMuxPoolStripesUniqueTaggedIDs opens many sessions on an idle
+// pool and checks the tentpole's ID contract: pool-wide uniqueness,
+// the connection index folded under the tag byte matching the
+// connection the session actually runs on, tags surviving the round
+// trip, and placement striping across connections instead of piling
+// onto one.
+func TestMuxPoolStripesUniqueTaggedIDs(t *testing.T) {
+	p, _ := pipePool(t, 4, func(int) SessionHandlers { return &echoHandlers{} }, MuxServeConfig{})
+
+	seen := map[uint32]bool{}
+	perConn := make([]int, 4)
+	for k := 0; k < 16; k++ {
+		tag := uint8(k % 3)
+		s := p.TaggedSession(tag)
+		if seen[s.ID()] {
+			t.Fatalf("session ID %d allocated twice", s.ID())
+		}
+		seen[s.ID()] = true
+		if got := SessionTag(s.ID()); got != tag {
+			t.Errorf("session %d carries tag %d, want %d", s.ID(), got, tag)
+		}
+		perConn[int(SessionConn(s.ID()))]++
+		// The echo handler prefixes the serving session ID: the reply
+		// must come from the session we think we opened, over whichever
+		// connection the ID claims.
+		resp, err := s.Call([]byte("ping"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSID := binary.LittleEndian.Uint32(resp); gotSID != s.ID() {
+			t.Errorf("call served under session %d, want %d", gotSID, s.ID())
+		}
+	}
+	for i, n := range perConn {
+		if n == 0 {
+			t.Errorf("idle-pool placement never used connection %d: %v", i, perConn)
+		}
+	}
+}
+
+// TestMuxPoolPlacesAwayFromLoadedConn pins the placement signal: with
+// an in-flight call holding one connection busy, every new session
+// must land on a different connection.
+func TestMuxPoolPlacesAwayFromLoadedConn(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	defer func() { gateOnce.Do(func() { close(gate) }) }()
+	h := HandlerFactory(func(sid uint32) Handler {
+		return func(req []byte) ([]byte, error) {
+			if string(req) == "block" {
+				<-gate
+			}
+			return req, nil
+		}
+	})
+	p, _ := pipePool(t, 2, func(int) SessionHandlers { return h }, MuxServeConfig{})
+
+	busy := p.Session()
+	busyConn := int(SessionConn(busy.ID()))
+	done := make(chan error, 1)
+	go func() {
+		_, err := busy.Call([]byte("block"))
+		done <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for p.Conn(busyConn).Outstanding() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("blocked call never became outstanding")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	for k := 0; k < 6; k++ {
+		s := p.Session()
+		if got := int(SessionConn(s.ID())); got == busyConn {
+			t.Fatalf("session %d placed on the loaded connection %d", s.ID(), busyConn)
+		}
+		if _, err := s.Call([]byte("hi")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gateOnce.Do(func() { close(gate) })
+	if err := <-done; err != nil {
+		t.Fatalf("blocked call failed: %v", err)
+	}
+}
+
+// TestMuxPoolConnLossFailsOnlyPinnedSessions is the teardown contract:
+// severing ONE pooled connection fails exactly its pinned sessions —
+// sessions on the surviving connection keep working, and every new
+// session is placed on a survivor.
+func TestMuxPoolConnLossFailsOnlyPinnedSessions(t *testing.T) {
+	p, srvEnds := pipePool(t, 2, func(int) SessionHandlers { return &echoHandlers{} }, MuxServeConfig{})
+
+	// Round-robin tie-breaking spreads an idle pool, so two sessions
+	// cover both connections; assert that rather than assume it.
+	s0, s1 := p.Session(), p.Session()
+	c0, c1 := int(SessionConn(s0.ID())), int(SessionConn(s1.ID()))
+	if c0 == c1 {
+		t.Fatalf("setup: both sessions pinned to connection %d", c0)
+	}
+	for _, s := range []*MuxSession{s0, s1} {
+		if _, err := s.Call([]byte("warm")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sever s0's connection server-side (a crashed peer, not a client
+	// Close): its pinned session must fail...
+	srvEnds[c0].Close()
+	if _, err := s0.Call([]byte("after loss")); err == nil {
+		t.Fatal("session on the severed connection survived")
+	}
+	deadline := time.After(5 * time.Second)
+	for p.Conn(c0).Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("severed connection never poisoned")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// ...while the surviving session keeps serving...
+	if resp, err := s1.Call([]byte("still here")); err != nil || string(resp[4:]) != "still here" {
+		t.Fatalf("survivor session broken: %q %v", resp, err)
+	}
+
+	// ...and every new session is placed on the survivor.
+	for k := 0; k < 6; k++ {
+		s := p.Session()
+		if got := int(SessionConn(s.ID())); got != c1 {
+			t.Fatalf("new session %d placed on dead connection %d", s.ID(), got)
+		}
+		if _, err := s.Call([]byte("fresh")); err != nil {
+			t.Fatalf("new session on survivor failed: %v", err)
+		}
+	}
+}
+
+// TestMuxPoolSizeAndDialErrors covers construction: out-of-range pool
+// sizes are rejected, and a mid-construction dial failure closes the
+// connections already opened.
+func TestMuxPoolSizeAndDialErrors(t *testing.T) {
+	for _, n := range []int{0, -1, MaxPoolConns + 1} {
+		if _, err := NewMuxPool(n, nil); err == nil {
+			t.Errorf("pool size %d accepted", n)
+		}
+	}
+
+	var opened []net.Conn
+	_, err := NewMuxPool(3, func(i int) (io.ReadWriteCloser, error) {
+		if i == 2 {
+			return nil, fmt.Errorf("boom")
+		}
+		srv, cli := net.Pipe()
+		go ServeMuxConn(srv, &echoHandlers{})
+		opened = append(opened, cli)
+		return cli, nil
+	})
+	if err == nil {
+		t.Fatal("partial dial failure not surfaced")
+	}
+	// The already-dialed connections must have been closed: a write on
+	// the client end fails once MuxClient.Close ran.
+	for i, c := range opened {
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+		if _, werr := c.Write([]byte("x")); werr == nil {
+			t.Errorf("conn %d left open after failed pool construction", i)
+		}
+	}
+}
+
+// TestMuxPoolOverTCP is the end-to-end smoke: DialMuxPool against a
+// real MuxServer, concurrent sessions striped over the pool.
+func TestMuxPoolOverTCP(t *testing.T) {
+	srv, err := NewMuxServer("127.0.0.1:0", func() SessionHandlers { return &echoHandlers{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p, err := DialMuxPool(srv.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		s := p.Session()
+		wg.Add(1)
+		go func(s *MuxSession) {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				msg := fmt.Sprintf("s%d-k%d", s.ID(), k)
+				resp, err := s.Call([]byte(msg))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if string(resp[4:]) != msg {
+					errCh <- fmt.Errorf("echo mismatch %q -> %q", msg, resp[4:])
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Calls != 12*10 {
+		t.Errorf("pool stats counted %d calls, want %d", st.Calls, 12*10)
+	}
+}

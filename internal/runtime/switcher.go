@@ -152,7 +152,7 @@ type CallResult struct {
 // CallEntry routes one entry invocation through the switcher: it picks
 // a deployment per attempt (the EWMA may move between retries), maps
 // the pick to that deployment's receiver OID, completes the pick, and
-// backs off linearly (attempt+1 ms) while the server sheds the call.
+// backs off with jitter (ShedBackoff) while the server sheds the call.
 // Non-overload errors return immediately — retry policy for
 // application errors (e.g. deadlock victims) belongs to the caller.
 func (d *DynamicClient) CallEntry(qname string, oidHigh, oidLow val.OID, args ...val.Value) (CallResult, error) {
@@ -182,8 +182,9 @@ func (d *DynamicClient) CallEntry(qname string, oidHigh, oidLow val.OID, args ..
 			return res, err
 		}
 		// The server refused to queue the call, so no transaction
-		// state was left behind; back off and try again.
-		time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+		// state was left behind; back off (jittered, so sessions shed
+		// together don't retry in lockstep) and try again.
+		time.Sleep(ShedBackoff(attempt))
 	}
 }
 

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -177,6 +178,18 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 		}
 		resp, err := c.Remote.Call(req)
 		if err != nil {
+			if errors.Is(err, rpc.ErrOverloaded) {
+				// The server refused the transfer (admission shed or
+				// queue overflow). Every shed-retry path re-runs the
+				// entry from the top, so any transaction this entry
+				// already opened on the APP-side connection must be
+				// rolled back now: a retry would otherwise hit "already
+				// in a transaction", and the abandoned transaction's
+				// row locks would block admitted sessions until the
+				// connection died. Best effort — with no open
+				// transaction the rollback is a harmless error.
+				_ = c.Sess.DB.Rollback()
+			}
 			return val.Value{}, fmt.Errorf("runtime: control transfer failed: %w", err)
 		}
 		peer.Metrics.BytesRecv.Add(int64(len(resp)))
