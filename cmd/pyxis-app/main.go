@@ -12,12 +12,20 @@
 //
 // With -dynamic (against a pyxis-dbserver also running -dynamic) each
 // session holds a (high-budget, low-budget) deployment pair and routes
-// every call off the shared switcher EWMA, which is fed by the DB load
-// reports piggy-backed on every reply (reports from EVERY pooled
-// connection feed the same EWMA); server sheds surface as
-// rpc.ErrOverloaded and are retried with jittered backoff — including
-// admission refusals from a pyxis-dbserver running -max-sessions or
-// -admit-high.
+// every call off its shard's switcher EWMA, which is fed by the DB
+// load reports piggy-backed on every reply (reports from EVERY pooled
+// connection of a shard feed that shard's EWMA); server sheds surface
+// as rpc.ErrOverloaded and are retried with jittered backoff —
+// including admission refusals from a pyxis-dbserver running
+// -max-sessions or -admit-high.
+//
+// Against a SHARDED DB tier, -db and -ctl take comma-separated address
+// lists of equal length — entry i of each list is shard i, typically a
+// pyxis-dbserver started with -shard i/N. Each client session picks
+// its home shard by hashing its client index through runtime.ShardMap
+// and opens every session (including the -dynamic low-budget pair) on
+// that shard; load EWMAs are kept per shard, so one saturated shard
+// switches its own sessions low without dragging its siblings.
 //
 // Usage (after starting pyxis-dbserver with the same -src/-schema/-budget):
 //
@@ -25,6 +33,10 @@
 //	    -db localhost:7001 -ctl localhost:7002 \
 //	    -new Order -args 7 -call Order.placeOrder -callargs 3,0.9 \
 //	    -clients 8 -n 100 [-pool 4] [-dynamic -low-budget 0]
+//
+// Sharded tier (one pyxis-dbserver per shard):
+//
+//	pyxis-app ... -db host1:7001,host2:7001 -ctl host1:7002,host2:7002
 package main
 
 import (
@@ -51,8 +63,8 @@ func main() {
 		srcPath  = flag.String("src", "", "PyxJ source file (required)")
 		budget   = flag.Float64("budget", 1.0, "budget fraction (must match pyxis-dbserver)")
 		schema   = flag.String("schema", "", "schema file (must match pyxis-dbserver; used only for profiling)")
-		dbAddr   = flag.String("db", "localhost:7001", "database server wire address")
-		ctlAddr  = flag.String("ctl", "localhost:7002", "control-transfer server address")
+		dbAddr   = flag.String("db", "localhost:7001", "database server wire address(es); comma-separated, one per shard")
+		ctlAddr  = flag.String("ctl", "localhost:7002", "control-transfer server address(es); comma-separated, one per shard")
 		newClass = flag.String("new", "", "class to instantiate (required)")
 		ctorArgs = flag.String("args", "", "comma-separated constructor arguments")
 		call     = flag.String("call", "", "entry method Class.method to invoke (required)")
@@ -109,37 +121,49 @@ func main() {
 		fmt.Printf("pyxis-app: low partition {%s}\n", lowPart.Describe())
 	}
 
-	// A pool of multiplexed connections per port (-pool 1 is the
-	// classic single connection); every client session is a
-	// (db session, ctl session) pair, each pinned to whichever pooled
-	// connection was least loaded when it was opened.
-	dbMux, err := rpc.DialMuxPool(*dbAddr, *poolN)
+	// One shard per -db/-ctl address pair (a single address is the
+	// classic unsharded tier). Within each shard, a pool of -pool
+	// multiplexed connections; every client session is a (db session,
+	// ctl session) pair on its home shard, each pinned to whichever
+	// pooled connection was least loaded when it was opened.
+	dbAddrs := splitAddrs(*dbAddr)
+	ctlAddrs := splitAddrs(*ctlAddr)
+	if len(dbAddrs) != len(ctlAddrs) {
+		fatal(fmt.Errorf("-db lists %d shards but -ctl lists %d (must match pairwise)", len(dbAddrs), len(ctlAddrs)))
+	}
+	shards := len(dbAddrs)
+	dbMux, err := rpc.DialShardedPool(dbAddrs, *poolN)
 	if err != nil {
 		fatal(fmt.Errorf("dial db: %w", err))
 	}
 	defer dbMux.Close()
-	ctlMux, err := rpc.DialMuxPool(*ctlAddr, *poolN)
+	ctlMux, err := rpc.DialShardedPool(ctlAddrs, *poolN)
 	if err != nil {
 		fatal(fmt.Errorf("dial ctl: %w", err))
 	}
 	defer ctlMux.Close()
+	// No schema-aware partition key at this layer: each client session
+	// hashes its index to a home shard and opens everything there.
+	sc := runtime.NewShardedClient(runtime.ShardMap{Shards: shards})
 
 	appPeer := runtime.NewPeer(part.Compiled, pdg.App, os.Stdout)
 	ctorVals := parseArgs(*ctorArgs)
 	callVals := parseArgs(*callArgs)
 
-	// With -dynamic, every reply from the DB server carries its load
-	// sample; the shared switcher folds them into the EWMA each
-	// session consults before its next call.
-	var sw *runtime.Switcher
+	// With -dynamic, every reply from a shard's DB server carries its
+	// load sample; that shard's switcher folds them into the EWMA each
+	// of its sessions consults before its next call. EWMAs are
+	// per-shard — shard i's saturation never routes shard j's sessions.
 	var appPeerLow *runtime.Peer
 	var dyns []*runtime.DynamicClient
 	if *dynamic {
-		sw = runtime.NewSwitcher()
-		sw.Threshold = *threshold
-		sw.Hysteresis = *hysteresis
-		ctlMux.SetOnLoad(sw.ObserveReport)
-		dbMux.SetOnLoad(sw.ObserveReport)
+		for i := 0; i < shards; i++ {
+			sw := sc.Switcher(i)
+			sw.Threshold = *threshold
+			sw.Hysteresis = *hysteresis
+		}
+		ctlMux.SetOnLoad(sc.Observe)
+		dbMux.SetOnLoad(sc.Observe)
 		appPeerLow = runtime.NewPeer(lowPart.Compiled, pdg.App, os.Stdout)
 		dyns = make([]*runtime.DynamicClient, *clients)
 	}
@@ -157,8 +181,18 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			dbT := dbMux.Session()
-			ctlT := ctlMux.Session()
+			// Home shard picked once, at session open; both wires (and
+			// the dynamic pair below) stay pinned to it.
+			dbT, shard, err := sc.OpenSession(dbMux, int64(i))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			ctlT, err := ctlMux.Session(shard)
+			if err != nil {
+				results[i].err = err
+				return
+			}
 			sess := appPeer.NewSession(dbapi.NewClient(dbT))
 			client := runtime.NewClient(sess, ctlT)
 
@@ -183,9 +217,19 @@ func main() {
 			// backs off on overload sheds internally).
 			var callOnce func() (val.Value, error)
 			if *dynamic {
-				lowSess := appPeerLow.NewSession(dbapi.NewClient(dbMux.Session()))
-				lowClient := runtime.NewClient(lowSess, ctlMux.TaggedSession(runtime.TagLowBudget))
-				dyn := &runtime.DynamicClient{High: client, Low: lowClient, Switcher: sw}
+				lowDbT, err := dbMux.Session(shard)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				lowCtlT, err := ctlMux.TaggedSession(shard, runtime.TagLowBudget)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				lowSess := appPeerLow.NewSession(dbapi.NewClient(lowDbT))
+				lowClient := runtime.NewClient(lowSess, lowCtlT)
+				dyn := &runtime.DynamicClient{High: client, Low: lowClient, Switcher: sc.Switcher(shard)}
 				dyns[i] = dyn
 				defer dyn.Close()
 				oidHigh, err := newObject(client)
@@ -261,8 +305,8 @@ func main() {
 	}
 	ctl := ctlMux.Stats()
 	db := dbMux.Stats()
-	fmt.Printf("pyxis-app: control transfers=%d (%d B), app-side db round trips=%d (%d B) pool=%d conns/port\n",
-		ctl.Calls, ctl.BytesSent+ctl.BytesRecv, db.Calls, db.BytesSent+db.BytesRecv, *poolN)
+	fmt.Printf("pyxis-app: control transfers=%d (%d B), app-side db round trips=%d (%d B) shards=%d pool=%d conns/shard\n",
+		ctl.Calls, ctl.BytesSent+ctl.BytesRecv, db.Calls, db.BytesSent+db.BytesRecv, shards, *poolN)
 	var openSheds int64
 	for i := range results {
 		openSheds += results[i].sheds
@@ -280,8 +324,12 @@ func main() {
 		if low+high > 0 {
 			share = 100 * float64(low) / float64(low+high)
 		}
-		fmt.Printf("pyxis-app: dynamic mix low=%d high=%d (%.0f%% low) sheds=%d (+%d at open) ewma=%.1f%% load-reports=%d\n",
-			low, high, share, sheds, openSheds, sw.Load(),
+		ewmas := make([]string, shards)
+		for i := 0; i < shards; i++ {
+			ewmas[i] = fmt.Sprintf("%.1f%%", sc.Load(i))
+		}
+		fmt.Printf("pyxis-app: dynamic mix low=%d high=%d (%.0f%% low) sheds=%d (+%d at open) ewma/shard=[%s] load-reports=%d\n",
+			low, high, share, sheds, openSheds, strings.Join(ewmas, " "),
 			ctlMux.LoadReports()+dbMux.LoadReports())
 	} else if openSheds > 0 {
 		fmt.Printf("pyxis-app: %d overload sheds absorbed with jittered backoff\n", openSheds)
@@ -289,6 +337,18 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitAddrs splits a comma-separated shard address list, trimming
+// whitespace and dropping empty entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // parseArgs converts "7,0.9,true,hi" into scalar values.

@@ -40,10 +40,11 @@ func saveJSON(experiment string, data any) {
 func main() {
 	var (
 		full    = flag.Bool("full", false, "run paper-scale sweeps (slower)")
-		exps    = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1,parallel,tpcc-wall,dynamic-wall,pool-wall", "comma-separated experiments")
+		exps    = flag.String("exp", "fig9,fig10,fig11,fig12,fig13,fig14,micro1,parallel,tpcc-wall,dynamic-wall,pool-wall,shard-wall", "comma-separated experiments")
 		clients = flag.Int("clients", 16, "max concurrent sessions for the parallel experiments")
 		txns    = flag.Int("txns", 200, "transactions per client for the parallel experiments")
 		pool    = flag.Int("pool", 4, "mux connections per wire for the pool experiments")
+		shards  = flag.Int("shards", 2, "shard servers for the shard-wall experiment")
 		jsonFlg = flag.Bool("json", false, "also write machine-readable BENCH_<experiment>.json result files")
 	)
 	flag.Parse()
@@ -83,6 +84,10 @@ func main() {
 		}
 		if name == "pool-wall" {
 			runPoolWall(*clients, *txns, *pool)
+			continue
+		}
+		if name == "shard-wall" {
+			runShardWall(*clients, *txns, *shards)
 			continue
 		}
 		run, ok := runners[name]
@@ -352,6 +357,84 @@ func runPoolWall(clients, txns, pool int) {
 		os.Exit(1)
 	}
 	saveJSON("pool-wall", map[string]any{"scaling": scaling, "saturation": sat})
+	fmt.Println()
+}
+
+// runShardWall prices the single DB server itself: the wall-clock
+// TPC-C mix over real loopback TCP against 1 shard server vs -shards
+// independent shard servers, each owning a disjoint warehouse range
+// with its own database, lock manager and runtime — the shared-nothing
+// scale-out rung after pool-wall's single-server connection pool. The
+// N-shard speedup is enforced (>= 1.3x) on parallel hardware (>= 4
+// CPUs, >= 8 sessions, no race detector), the cross-shard invariant
+// aggregator must hold after every point (RunShardScaling exits
+// non-zero otherwise), and the report is always written to
+// BENCH_shard-wall.json so the scale-out trajectory is machine-
+// comparable across PRs.
+func runShardWall(clients, txns, shards int) {
+	if clients < 1 || txns < 1 || shards < 2 {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: -clients/-txns must be >= 1 and -shards >= 2")
+		os.Exit(2)
+	}
+	cfg := bench.DefaultTPCC()
+	// Every shard must own at least two warehouses so intra-shard
+	// variety survives the split; both sweep points use the same
+	// (possibly grown) schema, so the comparison stays apples-to-apples.
+	if cfg.Warehouses < 2*shards {
+		cfg.Warehouses = 2 * shards
+	}
+	part, err := bench.TPCCParallelPartition(cfg, 1.0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: shard-wall:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== TPC-C wall clock: one DB server vs a sharded shared-nothing tier ==")
+	fmt.Printf("budget 1.0: {%s} warehouses=%d\n", part.Describe(), cfg.Warehouses)
+	// Mostly-read mix (as in pool-wall): cheap lastOrder calls keep the
+	// single server wire-bound, which is the serial resource sharding
+	// multiplies; the writes keep the invariant aggregator honest.
+	base := bench.ShardCfg{Clients: clients, Txns: txns, Conns: 1,
+		WriteEvery: 8, PaymentEvery: 3, TCP: true}
+	results, err := bench.RunShardScaling(part, cfg, base, []int{1, shards})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: shard-wall:", err)
+		os.Exit(1)
+	}
+	fmt.Println(bench.ShardScalingReport(results))
+	last := results[len(results)-1]
+	// Clients spread over WAREHOUSES (not shards), so full shard
+	// coverage is only guaranteed once every warehouse has a client.
+	if clients >= cfg.Warehouses {
+		for s, n := range last.SessionsPerShard {
+			if n == 0 {
+				fmt.Fprintf(os.Stderr, "pyxis-bench: shard-wall: shard %d served no sessions: %v\n",
+					s, last.SessionsPerShard)
+				os.Exit(1)
+			}
+		}
+	}
+	speedup := 0.0
+	if results[0].Tput > 0 {
+		speedup = last.Tput / results[0].Tput
+	}
+	enforce := goruntime.GOMAXPROCS(0) >= 4 && clients >= 8 && !bench.RaceEnabled()
+	if enforce && speedup < 1.3 {
+		fmt.Fprintf(os.Stderr, "pyxis-bench: shard-wall: %d shards only %.2fx of single-server throughput (want >= 1.3x at %d sessions on %d CPUs)\n",
+			shards, speedup, clients, goruntime.GOMAXPROCS(0))
+		os.Exit(1)
+	}
+	if !enforce {
+		fmt.Printf("(speedup %.2fx not enforced: needs >= 4 CPUs, >= 8 sessions, no race detector; have %d CPUs, %d sessions, race=%v)\n",
+			speedup, goruntime.GOMAXPROCS(0), clients, bench.RaceEnabled())
+	}
+	// Unlike the -json-gated experiments, shard-wall always writes its
+	// report: the scale-out number is the PR's acceptance artifact.
+	path, err := bench.SaveReport("", "shard-wall", results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyxis-bench: shard-wall:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(wrote %s)\n", path)
 	fmt.Println()
 }
 

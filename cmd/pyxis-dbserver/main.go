@@ -33,11 +33,22 @@
 // holding its first session while shed on its second — size
 // -max-sessions at 2x the intended dynamic client count.
 //
+// With -shard i/N the process declares itself shard i of an N-server
+// shared-nothing tier: each shard runs its own database, lock manager,
+// runtime peers, load monitor and admission controller — nothing is
+// shared between shard processes, which is the whole point. The flag
+// is the deployment contract, not a behavior switch: the server stays
+// shard-unaware by design, the -schema script loads only this shard's
+// slice of the data, and a pyxis-app started with matching -db/-ctl
+// address lists routes every session to its home shard by partition
+// key (runtime.ShardMap).
+//
 // Usage:
 //
 //	pyxis-dbserver -src order.pyxj -budget 1.0 -schema schema.sql \
 //	    -db :7001 -ctl :7002 [-dynamic -low-budget 0] \
-//	    [-max-sessions 256] [-admit-high 85 -admit-low 60]
+//	    [-max-sessions 256] [-admit-high 85 -admit-low 60] \
+//	    [-shard 0/4]
 package main
 
 import (
@@ -66,13 +77,23 @@ func main() {
 		lowBudget   = flag.Float64("low-budget", 0, "budget fraction of the low-CPU partition served alongside -budget with -dynamic")
 		maxSessions = flag.Int("max-sessions", 0,
 			"cap on concurrently admitted control sessions (0 = unlimited; a -dynamic client holds TWO control sessions, so size the cap at 2x the intended client count)")
-		admitHigh   = flag.Float64("admit-high", 0, "blended load percent above which new sessions are refused (0 disables the load gate)")
-		admitLow    = flag.Float64("admit-low", 0, "blended load percent below which admission resumes (default admit-high - 25)")
+		admitHigh = flag.Float64("admit-high", 0, "blended load percent above which new sessions are refused (0 disables the load gate)")
+		admitLow  = flag.Float64("admit-low", 0, "blended load percent below which admission resumes (default admit-high - 25)")
+		shardSlot = flag.String("shard", "",
+			"shard slot \"i/n\" this server owns in an n-shard shared-nothing tier (load only this shard's data via -schema; empty = unsharded)")
 	)
 	flag.Parse()
 	if *srcPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	shardDesc := ""
+	if *shardSlot != "" {
+		shard, shards, err := runtime.ParseShardSlot(*shardSlot)
+		if err != nil {
+			fatal(err)
+		}
+		shardDesc = fmt.Sprintf(" shard=%d/%d", shard, shards)
 	}
 
 	src, err := os.ReadFile(*srcPath)
@@ -190,8 +211,8 @@ func main() {
 	}
 	defer ctlSrv.Close()
 
-	fmt.Printf("pyxis-dbserver: db=%s ctl=%s dynamic=%v partition={%s}%s%s\n",
-		dbSrv.Addr(), ctlSrv.Addr(), *dynamic, part.Describe(), dynDesc, admDesc)
+	fmt.Printf("pyxis-dbserver: db=%s ctl=%s%s dynamic=%v partition={%s}%s%s\n",
+		dbSrv.Addr(), ctlSrv.Addr(), shardDesc, *dynamic, part.Describe(), dynDesc, admDesc)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

@@ -91,10 +91,11 @@ func TestParallelLedgerScaling(t *testing.T) {
 	if raceEnabled {
 		wantRatio = 1.4
 	}
-	attempts := 1
-	if assertRatio {
-		attempts = 3 // wall-clock measurement: allow scheduler-noise retries
-	}
+	// Wall-clock measurement: allow scheduler-noise retries. The
+	// serialized-host path gets them too — its 0.5x collapse guard is
+	// just as exposed to a noisy neighbor or GC pause as the scaling
+	// assertion, especially on a 1-CPU box under the race detector.
+	const attempts = 3
 
 	var ratio float64
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -115,7 +116,10 @@ func TestParallelLedgerScaling(t *testing.T) {
 		one, eight := results[0], results[len(results)-1]
 		ratio = eight.Tput / one.Tput
 		t.Logf("attempt %d (GOMAXPROCS=%d):\n%s", attempt+1, runtime.GOMAXPROCS(0), ScalingReport(results))
-		if !assertRatio || ratio >= wantRatio {
+		if assertRatio && ratio >= wantRatio {
+			break
+		}
+		if !assertRatio && ratio >= 0.5 {
 			break
 		}
 	}

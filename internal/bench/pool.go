@@ -171,8 +171,16 @@ func RunPoolLedger(part *pyxis.Partition, cfg PoolCfg) (*PoolResult, error) {
 		go func(i int) {
 			defer wg.Done()
 			out := &outs[i]
-			ctlT := ctlPool.Session()
-			dbT := dbPool.Session()
+			ctlT, err := ctlPool.Session()
+			if err != nil {
+				out.err = err
+				return
+			}
+			dbT, err := dbPool.Session()
+			if err != nil {
+				out.err = err
+				return
+			}
 			out.connIdx = rpc.SessionConn(ctlT.ID())
 			sess := appPeer.NewSession(dbapi.NewClient(dbT))
 			client := runtime.NewClient(sess, ctlT)
@@ -435,8 +443,16 @@ func RunPoolSaturation(part *pyxis.Partition, c TPCCConfig, cfg PoolSatCfg) (*Po
 		go func(i int) {
 			defer wg.Done()
 			out := &outs[i]
-			ctlT := ctlPool.Session()
-			dbT := dbPool.Session()
+			ctlT, err := ctlPool.Session()
+			if err != nil {
+				out.err = err
+				return
+			}
+			dbT, err := dbPool.Session()
+			if err != nil {
+				out.err = err
+				return
+			}
 			sess := appPeer.NewSession(dbapi.NewClient(dbT))
 			client := runtime.NewClient(sess, ctlT)
 			defer client.Close()

@@ -1,0 +1,413 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"pyxis"
+	"pyxis/internal/dbapi"
+	"pyxis/internal/pdg"
+	"pyxis/internal/rpc"
+	"pyxis/internal/runtime"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// This file measures the scale-OUT story: instead of one DB server
+// with N connections (the pool sweep), N independent DB servers each
+// own a disjoint warehouse range of the TPC-C schema — separate
+// database, separate lock manager, separate DB-side runtime peer,
+// separate mux servers; NOTHING shared between shards. Every client
+// session routes to its home warehouse's shard at open time
+// (runtime.ShardMap + ShardedClient over an rpc.ShardedPool) and
+// stays there, so the workload is cross-shard-transaction-free by
+// construction — TPC-C is warehouse-partitionable, which is exactly
+// why the paper's benchmark is the right vehicle to prove multi-server
+// speedup.
+//
+// The 1-shard point IS the old single-server deployment, so the sweep
+// directly prices everything a single server serializes: its one wire
+// (per-connection read loop + write mutex), its one lock table, its
+// one latch hierarchy. The cross-shard invariant aggregator
+// (CheckShardInvariants) then proves the split lost nothing: every
+// shard holds exactly its own warehouses, per-shard TPC-C invariants
+// hold, and the GLOBAL sums (warehouse YTD vs district YTD, order
+// counters) reconcile across all shards together.
+
+// ShardCfg configures one sharded TPC-C measurement.
+type ShardCfg struct {
+	Clients int // concurrent sessions (goroutines)
+	Txns    int // calls per client
+	Shards  int // independent shard servers (default 1; must be <= Warehouses)
+	Conns   int // pool connections per shard (default 1)
+	// WriteEvery makes every k-th call a write transaction (NewOrder,
+	// or Payment per PaymentEvery); the rest call the read-only
+	// TPCC.lastOrder entry, which keeps the per-call engine work small
+	// so the single shard's wire saturates first — exactly the
+	// head-of-line scale-out removes. 0 = every call writes.
+	WriteEvery int
+	// PaymentEvery makes every k-th write a Payment (0 disables).
+	PaymentEvery int
+	// TCP runs the wires over real loopback TCP mux servers instead of
+	// in-process pipes.
+	TCP bool
+	// MaxRetries bounds deadlock-victim retries per transaction
+	// (default 50).
+	MaxRetries int
+}
+
+// ShardResult aggregates one sharded TPC-C run.
+type ShardResult struct {
+	Shards    int
+	Clients   int
+	TotalTxns int
+	NewOrders int
+	Payments  int
+	Reads     int
+	Deadlocks int
+	Elapsed   time.Duration
+	Tput      float64
+	MeanMs    float64
+	P95Ms     float64
+	// SessionsPerShard is how many client sessions each shard served —
+	// the routing audit (a broken ShardMap piles everything on shard 0).
+	SessionsPerShard []int
+}
+
+// RunShardTPCC drives cfg.Clients concurrent TPC-C sessions against
+// cfg.Shards independent shard servers, each owning a disjoint
+// warehouse range. Every client is assigned a home warehouse, opens
+// its sessions on that warehouse's shard, and keeps all its
+// transactions inside the shard's range. It returns the result plus
+// the per-shard databases so callers audit CheckShardInvariants
+// afterwards.
+func RunShardTPCC(part *pyxis.Partition, c TPCCConfig, cfg ShardCfg) (*ShardResult, []*sqldb.DB, error) {
+	if cfg.Clients < 1 || cfg.Txns < 1 {
+		return nil, nil, fmt.Errorf("bench: RunShardTPCC needs Clients >= 1 and Txns >= 1")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > c.Warehouses {
+		return nil, nil, fmt.Errorf("bench: %d shards over %d warehouses would leave empty shards", cfg.Shards, c.Warehouses)
+	}
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 50
+	}
+
+	smap := runtime.ShardMap{Shards: cfg.Shards, Warehouses: c.Warehouses}
+	prog := part.Compiled
+	appPeer := runtime.NewPeer(prog, pdg.App, nil)
+
+	// Per-shard server state — one database slice, one DB-side runtime
+	// peer, one handler factory each. No shard ever touches another's.
+	dbs := make([]*sqldb.DB, cfg.Shards)
+	dbPeers := make([]*runtime.Peer, cfg.Shards)
+	for i := range dbs {
+		lo, hi := smap.WarehouseRange(i)
+		dbs[i] = c.LoadRange(int(lo), int(hi))
+		dbPeers[i] = runtime.NewPeer(prog, pdg.DB, nil)
+	}
+	newMgr := func(shard int) rpc.SessionHandlers {
+		return runtime.NewSessionManager(dbPeers[shard], func() dbapi.Conn { return dbapi.NewLocal(dbs[shard]) })
+	}
+
+	var ctlPool, dbPool *rpc.ShardedPool
+	var err error
+	if cfg.TCP {
+		ctlAddrs := make([]string, cfg.Shards)
+		dbAddrs := make([]string, cfg.Shards)
+		for i := 0; i < cfg.Shards; i++ {
+			shard := i
+			ctlSrv, err := rpc.NewMuxServer("127.0.0.1:0", func() rpc.SessionHandlers { return newMgr(shard) })
+			if err != nil {
+				return nil, nil, err
+			}
+			defer ctlSrv.Close()
+			dbSrv, err := rpc.NewMuxServer("127.0.0.1:0", func() rpc.SessionHandlers { return dbapi.MuxHandlers(dbs[shard]) })
+			if err != nil {
+				return nil, nil, err
+			}
+			defer dbSrv.Close()
+			ctlAddrs[i], dbAddrs[i] = ctlSrv.Addr(), dbSrv.Addr()
+		}
+		if ctlPool, err = rpc.DialShardedPool(ctlAddrs, cfg.Conns); err != nil {
+			return nil, nil, err
+		}
+		defer ctlPool.Close()
+		if dbPool, err = rpc.DialShardedPool(dbAddrs, cfg.Conns); err != nil {
+			return nil, nil, err
+		}
+		defer dbPool.Close()
+	} else {
+		pipeTo := func(handlers func(shard int) rpc.SessionHandlers) func(shard, conn int) (io.ReadWriteCloser, error) {
+			return func(shard, _ int) (io.ReadWriteCloser, error) {
+				srv, cli := net.Pipe()
+				go rpc.ServeMuxConnConfig(srv, handlers(shard), rpc.MuxServeConfig{})
+				return cli, nil
+			}
+		}
+		if ctlPool, err = rpc.NewShardedPool(cfg.Shards, cfg.Conns, pipeTo(newMgr)); err != nil {
+			return nil, nil, err
+		}
+		defer ctlPool.Close()
+		if dbPool, err = rpc.NewShardedPool(cfg.Shards, cfg.Conns, pipeTo(func(shard int) rpc.SessionHandlers {
+			return dbapi.MuxHandlers(dbs[shard])
+		})); err != nil {
+			return nil, nil, err
+		}
+		defer dbPool.Close()
+	}
+
+	sc := runtime.NewShardedClient(smap)
+	type sessionOut struct {
+		lats      []float64
+		newOrders int
+		payments  int
+		reads     int
+		deadlocks int
+		shard     int
+		err       error
+	}
+	outs := make([]sessionOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := &outs[i]
+			// Clients spread evenly over warehouses; the home warehouse
+			// picks the shard, and every transaction of the session
+			// stays inside that shard's warehouse range.
+			homeW := int64(i%c.Warehouses) + 1
+			ctlT, shard, err := sc.OpenSession(ctlPool, homeW)
+			if err != nil {
+				out.err = err
+				return
+			}
+			out.shard = shard
+			dbT, err := dbPool.Session(shard)
+			if err != nil {
+				out.err = err
+				return
+			}
+			lo, hi := smap.WarehouseRange(shard)
+			sess := appPeer.NewSession(dbapi.NewClient(dbT))
+			client := runtime.NewClient(sess, ctlT)
+			defer client.Close()
+			oid, err := client.NewObject("TPCC")
+			if err != nil {
+				out.err = err
+				return
+			}
+			for k := 0; k < cfg.Txns; k++ {
+				seq := int64(i)*1_000_003 + int64(k)
+				wid, did, cid, olcnt, seed, rb := c.txnParamsRange(seq, lo, hi)
+				isWrite := cfg.WriteEvery <= 1 || k%cfg.WriteEvery == 0
+				isPayment := isWrite && cfg.PaymentEvery > 0 && k%cfg.PaymentEvery == 0
+				t0 := time.Now()
+				var err error
+				for attempt := 0; ; attempt++ {
+					switch {
+					case !isWrite:
+						_, err = client.CallEntry("TPCC.lastOrder", oid)
+					case isPayment:
+						amount := float64(seq%97 + 1)
+						_, err = client.CallEntry("TPCC.payment", oid,
+							val.IntV(wid), val.IntV(did), val.IntV(cid), val.DoubleV(amount))
+					default:
+						_, err = client.CallEntry("TPCC.newOrder", oid,
+							val.IntV(wid), val.IntV(did), val.IntV(cid), val.IntV(olcnt),
+							val.IntV(seed), val.IntV(int64(c.Items)), val.BoolV(rb))
+					}
+					if err == nil {
+						break
+					}
+					if isDeadlockErr(err) && attempt < cfg.MaxRetries {
+						out.deadlocks++
+						continue
+					}
+					out.err = fmt.Errorf("session %d (shard %d) txn %d: %w", i, shard, k, err)
+					return
+				}
+				out.lats = append(out.lats, float64(time.Since(t0).Microseconds())/1e3)
+				switch {
+				case !isWrite:
+					out.reads++
+				case isPayment:
+					out.payments++
+				default:
+					out.newOrders++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &ShardResult{Shards: cfg.Shards, Clients: cfg.Clients, Elapsed: elapsed,
+		SessionsPerShard: make([]int, cfg.Shards)}
+	var all []float64
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, nil, outs[i].err
+		}
+		all = append(all, outs[i].lats...)
+		res.NewOrders += outs[i].newOrders
+		res.Payments += outs[i].payments
+		res.Reads += outs[i].reads
+		res.Deadlocks += outs[i].deadlocks
+		res.SessionsPerShard[outs[i].shard]++
+	}
+	res.TotalTxns = len(all)
+	res.Tput = float64(len(all)) / elapsed.Seconds()
+	agg := Summarize(all)
+	res.MeanMs, res.P95Ms = agg.MeanMs, agg.P95Ms
+	return res, dbs, nil
+}
+
+// CheckShardInvariants is the cross-shard consistency aggregator: it
+// audits each shard's slice with CheckTPCCInvariantsRange, verifies
+// ownership is exactly the disjoint warehouse ranges ShardMap assigns
+// (no warehouse duplicated onto or missing from a shard), and then
+// reconciles the GLOBAL sums across all shards together — total
+// warehouse YTD = total district YTD, and total order counters =
+// total orders = total new_order rows — so a transaction booked on
+// the wrong shard shows up even when every shard is internally
+// consistent. It returns every violation found (nil means consistent).
+func CheckShardInvariants(dbs []*sqldb.DB, c TPCCConfig, m runtime.ShardMap) []string {
+	var violations []string
+	if len(dbs) != m.NumShards() {
+		return []string{fmt.Sprintf("shard count mismatch: %d databases for %d shards", len(dbs), m.NumShards())}
+	}
+	queryOne := func(s *sqldb.Session, sql string) (val.Value, error) {
+		rs, err := s.Query(sql)
+		if err != nil {
+			return val.Value{}, err
+		}
+		if len(rs.Rows) != 1 || len(rs.Rows[0]) != 1 {
+			return val.Value{}, fmt.Errorf("want one value, got %d rows", len(rs.Rows))
+		}
+		return rs.Rows[0][0], nil
+	}
+	var totalWarehouses, totalOrders, totalNewOrders, totalNextSum, totalDistricts int64
+	var sumWYTD, sumDYTD float64
+	for shard, db := range dbs {
+		lo, hi := m.WarehouseRange(shard)
+		for _, v := range CheckTPCCInvariantsRange(db, c, int(lo), int(hi)) {
+			violations = append(violations, fmt.Sprintf("shard %d: %s", shard, v))
+		}
+		s := db.NewSession()
+		// Ownership: the shard holds exactly its assigned range — the
+		// per-range audit above would miss a shard that also carries a
+		// stray copy of a sibling's warehouse.
+		count, err := queryOne(s, "SELECT COUNT(*) FROM warehouse")
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("shard %d: warehouse count: %v", shard, err))
+			continue
+		}
+		if want := hi - lo + 1; count.I != want {
+			violations = append(violations,
+				fmt.Sprintf("shard %d: owns %d warehouses, assigned range [%d,%d] has %d", shard, count.I, lo, hi, want))
+		}
+		totalWarehouses += count.I
+		wytd, err1 := queryOne(s, "SELECT SUM(w_ytd) FROM warehouse")
+		dytd, err2 := queryOne(s, "SELECT SUM(d_ytd) FROM district")
+		orders, err3 := queryOne(s, "SELECT COUNT(*) FROM orders")
+		newOrders, err4 := queryOne(s, "SELECT COUNT(*) FROM new_order")
+		nextSum, err5 := queryOne(s, "SELECT SUM(d_next_o_id) FROM district")
+		districts, err6 := queryOne(s, "SELECT COUNT(*) FROM district")
+		for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("shard %d: global sums: %v", shard, err))
+			}
+		}
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil {
+			continue
+		}
+		sumWYTD += wytd.AsFloat()
+		sumDYTD += dytd.AsFloat()
+		totalOrders += orders.I
+		totalNewOrders += newOrders.I
+		totalNextSum += int64(nextSum.AsFloat())
+		totalDistricts += districts.I
+	}
+	if totalWarehouses != int64(c.Warehouses) {
+		violations = append(violations,
+			fmt.Sprintf("shards own %d warehouses in total, schema has %d", totalWarehouses, c.Warehouses))
+	}
+	// Same relative epsilon as the per-warehouse audit: the totals
+	// accumulate identical amounts in different orders.
+	if diff := math.Abs(sumWYTD - sumDYTD); diff > 1e-6*math.Max(1, math.Abs(sumWYTD)) {
+		violations = append(violations,
+			fmt.Sprintf("global: sum(w_ytd)=%v != sum(d_ytd)=%v across %d shards", sumWYTD, sumDYTD, len(dbs)))
+	}
+	// Every district's d_next_o_id starts at 1, so global orders =
+	// sum(d_next_o_id - 1) = sum(d_next_o_id) - #districts.
+	if wantOrders := totalNextSum - totalDistricts; totalOrders != wantOrders || totalNewOrders != wantOrders {
+		violations = append(violations,
+			fmt.Sprintf("global: %d orders / %d new_order rows, counters say %d", totalOrders, totalNewOrders, wantOrders))
+	}
+	return violations
+}
+
+// RunShardScaling measures throughput vs. shard count at a fixed
+// client count: one RunShardTPCC per entry of shardCounts against a
+// fresh set of shard databases per point, auditing the cross-shard
+// invariants after each. The first entry (conventionally 1) is the
+// old single-server deployment; the ratio of any later point to it is
+// the scale-out speedup.
+func RunShardScaling(part *pyxis.Partition, c TPCCConfig, base ShardCfg, shardCounts []int) ([]*ShardResult, error) {
+	results := make([]*ShardResult, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		cfg := base
+		cfg.Shards = n
+		res, dbs, err := RunShardTPCC(part, c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shard point shards=%d: %w", n, err)
+		}
+		smap := runtime.ShardMap{Shards: n, Warehouses: c.Warehouses}
+		if violations := CheckShardInvariants(dbs, c, smap); len(violations) > 0 {
+			return nil, fmt.Errorf("bench: shard point shards=%d: invariants violated: %s",
+				n, strings.Join(violations, "; "))
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// ShardScalingReport renders a RunShardScaling sweep with speedup
+// relative to the first (usually 1-shard) point.
+func ShardScalingReport(results []*ShardResult) string {
+	if len(results) == 0 {
+		return "(no shard points)"
+	}
+	base := results[0].Tput
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %8s %10s %12s %10s %10s %9s\n", "shards", "clients", "txns", "tput(txn/s)", "mean(ms)", "p95(ms)", "speedup")
+	for _, r := range results {
+		speedup := 0.0
+		if base > 0 {
+			speedup = r.Tput / base
+		}
+		fmt.Fprintf(&b, "%6d %8d %10d %12.0f %10.3f %10.3f %8.2fx\n",
+			r.Shards, r.Clients, r.TotalTxns, r.Tput, r.MeanMs, r.P95Ms, speedup)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// String renders the result as one table row block.
+func (r *ShardResult) String() string {
+	return fmt.Sprintf("shards=%d clients=%d txns=%d (no=%d pay=%d read=%d dl-retries=%d) elapsed=%v tput=%.0f txn/s lat(mean=%.3fms p95=%.3fms) sessions/shard=%v",
+		r.Shards, r.Clients, r.TotalTxns, r.NewOrders, r.Payments, r.Reads, r.Deadlocks,
+		r.Elapsed.Round(time.Millisecond), r.Tput, r.MeanMs, r.P95Ms, r.SessionsPerShard)
+}

@@ -51,7 +51,14 @@ var tpccDDL = []string{
 }
 
 // Load builds and populates a TPC-C database.
-func (c TPCCConfig) Load() *sqldb.DB {
+func (c TPCCConfig) Load() *sqldb.DB { return c.LoadRange(1, c.Warehouses) }
+
+// LoadRange builds one shard's slice of the TPC-C database: only
+// warehouses loW..hiW (inclusive) with their districts, customers and
+// stock, plus the full read-only item catalog (reference data, cheap
+// enough to replicate on every shard). LoadRange(1, c.Warehouses) is
+// the unsharded database.
+func (c TPCCConfig) LoadRange(loW, hiW int) *sqldb.DB {
 	db := sqldb.Open()
 	s := db.NewSession()
 	must := func(sql string, args ...val.Value) {
@@ -62,7 +69,7 @@ func (c TPCCConfig) Load() *sqldb.DB {
 	for _, ddl := range tpccDDL {
 		must(ddl)
 	}
-	for w := 1; w <= c.Warehouses; w++ {
+	for w := loW; w <= hiW; w++ {
 		must("INSERT INTO warehouse VALUES (?, ?, ?, 0.0)",
 			val.IntV(int64(w)), val.StrV(fmt.Sprintf("wh%d", w)), val.DoubleV(float64(w%5)*0.02))
 		for d := 1; d <= c.DistrictsPerW; d++ {
@@ -220,6 +227,17 @@ func (c TPCCConfig) txnParams(k int64) (wid, did, cid, olcnt, seed int64, rollba
 	olcnt = int64(c.MinLines) + (h/997)%int64(c.MaxLines-c.MinLines+1)
 	seed = h % 99991
 	rollback = int(h/13)%100 < c.RollbackPct
+	return
+}
+
+// txnParamsRange is txnParams with the warehouse remapped into the
+// inclusive range [loW, hiW] — the sharded drivers keep every
+// transaction of a session inside its home shard's warehouse range
+// (cross-shard transactions are a ROADMAP follow-up, not a thing the
+// runtime can do).
+func (c TPCCConfig) txnParamsRange(k, loW, hiW int64) (wid, did, cid, olcnt, seed int64, rollback bool) {
+	wid, did, cid, olcnt, seed, rollback = c.txnParams(k)
+	wid = loW + (wid-1)%(hiW-loW+1)
 	return
 }
 

@@ -63,6 +63,16 @@ var ErrOverloaded = errors.New("rpc: server overloaded")
 
 const muxHeaderLen = 9
 
+// muxRetiredCap bounds the retired-session tombstone FIFO kept by
+// each side: the server remembers the last muxRetiredCap closed
+// session IDs per connection (a call racing its session's close frame
+// must fail, not resurrect the session), and the client quarantines a
+// closed ID for the same number of closes before letting a wrapped
+// counter re-mint it — the two FIFOs advance on the same close events,
+// so an ID the client hands out again is guaranteed evicted from the
+// server's tombstones.
+const muxRetiredCap = 1024
+
 type muxFrame struct {
 	sid  uint32
 	rid  uint32
@@ -125,6 +135,25 @@ type MuxClient struct {
 	pending map[uint64]chan muxFrame // (sid<<32|rid) -> reply slot
 	err     error                    // sticky: set when the read loop dies
 	closed  bool
+	// live is the wrap-collision guard: every session ID currently open
+	// on this connection (client- or pool-allocated), plus the closed
+	// IDs still quarantined below. The session counters wrap — 24 bits
+	// per connection, 20 per pool — and a recycled ID handed to a
+	// second session would cross-route replies between the two;
+	// reserve/release keep a wrapped counter skipping over IDs that are
+	// still open.
+	live map[uint32]struct{}
+	// recycled quarantines closed IDs in close order, mirroring the
+	// server's retired-session tombstone FIFO exactly: the server
+	// rejects calls on the last muxRetiredCap closed IDs (to kill calls
+	// racing a close), so an ID only becomes allocatable again once
+	// enough later closes have evicted it from the far end's tombstones.
+	recycled []uint32
+
+	// poisoned mirrors err != nil as one atomic load, so a pool placing
+	// sessions can skip a dead connection without taking mu on every
+	// placement scan.
+	poisoned atomic.Bool
 
 	nextSID atomic.Uint32
 	// Self-aligning atomics (plain int64 + atomic.AddInt64 would fault
@@ -142,7 +171,7 @@ type MuxClient struct {
 // NewMuxClient starts a multiplexed client over an existing
 // connection and takes ownership of it.
 func NewMuxClient(conn io.ReadWriteCloser) *MuxClient {
-	c := &MuxClient{conn: conn, pending: map[uint64]chan muxFrame{}}
+	c := &MuxClient{conn: conn, pending: map[uint64]chan muxFrame{}, live: map[uint32]struct{}{}}
 	go c.readLoop()
 	return c
 }
@@ -193,6 +222,7 @@ func (c *MuxClient) readLoop() {
 
 // fail poisons the client: every pending and future call returns err.
 func (c *MuxClient) fail(err error) {
+	c.poisoned.Store(true)
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = err
@@ -291,17 +321,65 @@ func (c *MuxClient) Session() *MuxSession { return c.TaggedSession(0) }
 // Tags let one connection multiplex sessions of several server-side
 // variants — e.g. the high- and low-budget deployments of dynamic
 // switching — with the server routing Open by SessionTag. Session IDs
-// stay client-allocated and connection-scoped; the untagged counter
-// wraps after 2^24 sessions per connection.
+// stay client-allocated and connection-scoped; the counter wraps after
+// 2^24 sessions per connection, at which point two guards engage:
+// counter value 0 is never minted (session ID 0 under tag 0 is
+// indistinguishable from "no session", and the lowest recycled IDs are
+// the likeliest to still be open), and any ID belonging to a
+// still-open session is skipped rather than handed out twice (a
+// duplicate ID would cross-route the two sessions' replies).
 func (c *MuxClient) TaggedSession(tag uint8) *MuxSession {
-	sid := c.nextSID.Add(1)&(1<<sessionTagShift-1) | uint32(tag)<<sessionTagShift
+	const space = 1 << sessionTagShift
+	for k := 0; k < space; k++ {
+		ctr := c.nextSID.Add(1) & (space - 1)
+		if ctr == 0 {
+			continue
+		}
+		sid := ctr | uint32(tag)<<sessionTagShift
+		if c.reserve(sid) {
+			return &MuxSession{c: c, sid: sid}
+		}
+	}
+	// Every counter value under this tag belongs to a live session —
+	// 2^24 concurrently open sessions, beyond any real deployment.
+	// Return the (colliding) base ID rather than spin forever; its
+	// first call will misbehave exactly as the pre-guard code did.
+	return &MuxSession{c: c, sid: uint32(tag) << sessionTagShift}
+}
+
+// newSession opens a session under an externally allocated ID the
+// caller already reserved (the MuxPool allocates pool-wide IDs with
+// the connection index folded in, reserving them on the owning
+// connection).
+func (c *MuxClient) newSession(sid uint32) *MuxSession {
 	return &MuxSession{c: c, sid: sid}
 }
 
-// newSession opens a session under an externally allocated ID (the
-// MuxPool allocates pool-wide IDs with the connection index folded in).
-func (c *MuxClient) newSession(sid uint32) *MuxSession {
-	return &MuxSession{c: c, sid: sid}
+// reserve claims sid for a new session; false means a still-open
+// session holds it (wrap collision) and the caller must pick another.
+func (c *MuxClient) reserve(sid uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, taken := c.live[sid]; taken {
+		return false
+	}
+	c.live[sid] = struct{}{}
+	return true
+}
+
+// release retires sid into the quarantine FIFO; it returns to the
+// allocatable space only after muxRetiredCap further closes, when the
+// server's matching tombstone has been evicted too.
+func (c *MuxClient) release(sid uint32) {
+	c.mu.Lock()
+	if _, ok := c.live[sid]; ok {
+		c.recycled = append(c.recycled, sid)
+		if len(c.recycled) > muxRetiredCap {
+			delete(c.live, c.recycled[0])
+			c.recycled = c.recycled[1:]
+		}
+	}
+	c.mu.Unlock()
 }
 
 // Err returns the sticky transport error, or nil while the connection
@@ -380,6 +458,7 @@ func (s *MuxSession) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.c.release(s.sid)
 	s.c.wmu.Lock()
 	defer s.c.wmu.Unlock()
 	return writeMuxFrame(s.c.conn, muxFrame{sid: s.sid, kind: muxCloseSess})
@@ -486,7 +565,6 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 		retired      = map[uint32]bool{}
 		retiredOrder []uint32
 	)
-	const retiredCap = 1024
 	defer func() {
 		for sid, sw := range sessions {
 			close(sw.ch)
@@ -601,7 +679,7 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 			if !retired[f.sid] {
 				retired[f.sid] = true
 				retiredOrder = append(retiredOrder, f.sid)
-				if len(retiredOrder) > retiredCap {
+				if len(retiredOrder) > muxRetiredCap {
 					delete(retired, retiredOrder[0])
 					retiredOrder = retiredOrder[1:]
 				}

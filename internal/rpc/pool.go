@@ -18,15 +18,23 @@ package rpc
 // connections and rpc.SessionTag — which the dual SessionManager
 // routes by — keeps working unchanged. Like the plain client's 24-bit
 // counter, the pool's 20-bit counter eventually wraps (after 2^20
-// sessions per tag); a pool serving session churn that long should be
-// cycled before reuse could collide with a still-open session.
+// sessions per tag); the same guards apply on wrap: counter value 0 is
+// never minted (it would alias session ID 0) and IDs still held by
+// open sessions are skipped instead of handed out twice.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync/atomic"
 )
+
+// ErrPoolPoisoned reports that every connection of a MuxPool has
+// failed: there is nowhere left to place a session. Callers should
+// treat it like a connection loss (rebuild the pool), not retry the
+// session open; errors.Is matches it through wrapping.
+var ErrPoolPoisoned = errors.New("rpc: all pooled connections poisoned")
 
 // MuxPool is a fixed-size pool of mux connections that balances new
 // sessions onto the least-loaded connection. It is safe for concurrent
@@ -103,9 +111,11 @@ func (p *MuxPool) Conn(i int) *MuxClient { return p.conns[i] }
 // place picks the least-loaded healthy connection. Load is the
 // connection's in-flight calls plus its last reported session queue
 // depth; ties resolve round-robin so an idle pool still stripes
-// sessions instead of piling them on connection 0. With every
-// connection poisoned it falls back to index 0 — the session's first
-// call then surfaces the transport error.
+// sessions instead of piling them on connection 0. Dead connections
+// are skipped with one atomic load each (no per-scan mutex); with
+// every connection poisoned it returns -1 and the caller surfaces the
+// typed ErrPoolPoisoned instead of silently pinning new sessions to a
+// dead connection.
 func (p *MuxPool) place() int {
 	n := len(p.conns)
 	// Reduce in uint32 before converting: a wrapped counter cast
@@ -115,7 +125,7 @@ func (p *MuxPool) place() int {
 	for k := 0; k < n; k++ {
 		i := (start + k) % n
 		c := p.conns[i]
-		if c.Err() != nil {
+		if c.poisoned.Load() {
 			continue
 		}
 		score := c.Outstanding()
@@ -132,27 +142,45 @@ func (p *MuxPool) place() int {
 			best, bestScore = i, score
 		}
 	}
-	if best < 0 {
-		return 0
-	}
 	return best
 }
 
 // Session opens a new logical session on the least-loaded connection.
 // The returned transport is pinned to that connection for its
-// lifetime.
-func (p *MuxPool) Session() *MuxSession { return p.TaggedSession(0) }
+// lifetime. With every pooled connection dead it fails with
+// ErrPoolPoisoned.
+func (p *MuxPool) Session() (*MuxSession, error) { return p.TaggedSession(0) }
 
 // TaggedSession opens a session whose ID carries tag in its top byte
 // (see MuxClient.TaggedSession) on the least-loaded connection. The
 // pool-wide counter plus the folded connection index keep IDs unique
-// across the whole pool (until the 20-bit counter wraps — see the
-// package comment above).
-func (p *MuxPool) TaggedSession(tag uint8) *MuxSession {
+// across the whole pool; on 20-bit counter wrap, counter value 0 and
+// IDs of still-open sessions are skipped (the same guards as the
+// plain client's 24-bit path). With every pooled connection dead it
+// fails with ErrPoolPoisoned.
+func (p *MuxPool) TaggedSession(tag uint8) (*MuxSession, error) {
 	i := p.place()
-	ctr := p.nextSID.Add(1) & (1<<sessionConnShift - 1)
-	sid := uint32(tag)<<sessionTagShift | uint32(i)<<sessionConnShift | ctr
-	return p.conns[i].newSession(sid)
+	if i < 0 {
+		return nil, fmt.Errorf("rpc: %d-conn pool has no live connection to place a session on: %w",
+			len(p.conns), ErrPoolPoisoned)
+	}
+	const space = 1 << sessionConnShift
+	for k := 0; k < space; k++ {
+		ctr := p.nextSID.Add(1) & (space - 1)
+		if ctr == 0 {
+			// Post-wrap the counter passes 0 again; never mint it —
+			// with tag 0 on connection 0 it would be session ID 0.
+			continue
+		}
+		sid := uint32(tag)<<sessionTagShift | uint32(i)<<sessionConnShift | ctr
+		// Reserve on the owning connection (IDs are connection-scoped
+		// on the wire, and the folded index keeps them pool-unique).
+		if p.conns[i].reserve(sid) {
+			return p.conns[i].newSession(sid), nil
+		}
+	}
+	return nil, fmt.Errorf("rpc: session ID space exhausted: all %d counter values under tag %d are live on conn %d",
+		space-1, tag, i)
 }
 
 // SetOnLoad registers fn to receive every load report piggy-backed on

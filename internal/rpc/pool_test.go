@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -44,7 +45,10 @@ func TestMuxPoolStripesUniqueTaggedIDs(t *testing.T) {
 	perConn := make([]int, 4)
 	for k := 0; k < 16; k++ {
 		tag := uint8(k % 3)
-		s := p.TaggedSession(tag)
+		s, err := p.TaggedSession(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if seen[s.ID()] {
 			t.Fatalf("session ID %d allocated twice", s.ID())
 		}
@@ -88,7 +92,10 @@ func TestMuxPoolPlacesAwayFromLoadedConn(t *testing.T) {
 	})
 	p, _ := pipePool(t, 2, func(int) SessionHandlers { return h }, MuxServeConfig{})
 
-	busy := p.Session()
+	busy, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
 	busyConn := int(SessionConn(busy.ID()))
 	done := make(chan error, 1)
 	go func() {
@@ -105,7 +112,10 @@ func TestMuxPoolPlacesAwayFromLoadedConn(t *testing.T) {
 	}
 
 	for k := 0; k < 6; k++ {
-		s := p.Session()
+		s, err := p.Session()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got := int(SessionConn(s.ID())); got == busyConn {
 			t.Fatalf("session %d placed on the loaded connection %d", s.ID(), busyConn)
 		}
@@ -129,7 +139,14 @@ func TestMuxPoolConnLossFailsOnlyPinnedSessions(t *testing.T) {
 
 	// Round-robin tie-breaking spreads an idle pool, so two sessions
 	// cover both connections; assert that rather than assume it.
-	s0, s1 := p.Session(), p.Session()
+	s0, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
 	c0, c1 := int(SessionConn(s0.ID())), int(SessionConn(s1.ID()))
 	if c0 == c1 {
 		t.Fatalf("setup: both sessions pinned to connection %d", c0)
@@ -162,13 +179,199 @@ func TestMuxPoolConnLossFailsOnlyPinnedSessions(t *testing.T) {
 
 	// ...and every new session is placed on the survivor.
 	for k := 0; k < 6; k++ {
-		s := p.Session()
+		s, err := p.Session()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got := int(SessionConn(s.ID())); got != c1 {
 			t.Fatalf("new session %d placed on dead connection %d", s.ID(), got)
 		}
 		if _, err := s.Call([]byte("fresh")); err != nil {
 			t.Fatalf("new session on survivor failed: %v", err)
 		}
+	}
+}
+
+// TestMuxPoolSessionIDWrap is the wrap regression: the pool's 20-bit
+// session counter is stubbed to just below 2^20 so a handful of opens
+// carries it past the point where the old code minted session ID 0
+// (tag 0, conn 0, ctr 0) and then recycled the IDs of still-open
+// sessions. Post-fix, counter value 0 is never minted and every
+// still-open ID is skipped; the property is checked for every ID
+// minted across the wrap.
+func TestMuxPoolSessionIDWrap(t *testing.T) {
+	p, _ := pipePool(t, 1, func(int) SessionHandlers { return &echoHandlers{} }, MuxServeConfig{})
+
+	// Sessions opened pre-wrap and kept open: their IDs must never be
+	// handed out again.
+	held := map[uint32]*MuxSession{}
+	for k := 0; k < 8; k++ {
+		s, err := p.TaggedSession(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[s.ID()] = s
+	}
+
+	// Stub the counter to 4 mints before the 2^20 wrap, then mint
+	// enough sessions to cross it (and the held IDs' counter values)
+	// twice over.
+	const space = 1 << sessionConnShift
+	for round := 0; round < 2; round++ {
+		p.nextSID.Store(space - 4)
+		for k := 0; k < 16; k++ {
+			s, err := p.TaggedSession(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ctr := s.ID() & (space - 1); ctr == 0 {
+				t.Fatalf("round %d: wrap minted counter value 0 (session ID %d)", round, s.ID())
+			}
+			if _, taken := held[s.ID()]; taken {
+				t.Fatalf("round %d: wrap re-minted still-open session ID %d", round, s.ID())
+			}
+			// The wrapped session must actually work end to end.
+			resp, err := s.Call([]byte("wrapped"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotSID := binary.LittleEndian.Uint32(resp); gotSID != s.ID() {
+				t.Fatalf("round %d: wrapped call served under session %d, want %d", round, gotSID, s.ID())
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// A closed session's ID is quarantined while the server might still
+	// tombstone it (the retired-session FIFO holds the last
+	// muxRetiredCap closes), then returns to the allocatable space:
+	// close one held session, drive muxRetiredCap further closes
+	// through the connection, stub the counter so the victim's ID comes
+	// up next, and the pool mints it again — and the server accepts it
+	// as a fresh session.
+	var victim *MuxSession
+	for _, s := range held {
+		victim = s
+		break
+	}
+	if err := victim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately after close the ID must still be skipped (quarantine).
+	p.nextSID.Store(victim.ID()&(space-1) - 1)
+	s, err := p.TaggedSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() == victim.ID() {
+		t.Fatalf("quarantined ID %d re-minted before the server could forget it", victim.ID())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < muxRetiredCap; k++ {
+		s, err := p.TaggedSession(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.nextSID.Store(victim.ID()&(space-1) - 1)
+	s, err = p.TaggedSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() != victim.ID() {
+		t.Fatalf("released ID %d not re-minted after quarantine drained (got %d)", victim.ID(), s.ID())
+	}
+	if resp, err := s.Call([]byte("reused")); err != nil {
+		t.Fatalf("re-minted session rejected: %v", err)
+	} else if gotSID := binary.LittleEndian.Uint32(resp); gotSID != s.ID() {
+		t.Fatalf("re-minted call served under session %d, want %d", gotSID, s.ID())
+	}
+}
+
+// TestMuxClientSessionIDWrap mirrors the wrap regression on the plain
+// client's 24-bit counter path: counter value 0 is skipped and a
+// still-open session's ID is never recycled.
+func TestMuxClientSessionIDWrap(t *testing.T) {
+	c, _ := pipeMux(t, &echoHandlers{})
+
+	held := map[uint32]bool{}
+	for k := 0; k < 8; k++ {
+		held[c.Session().ID()] = true
+	}
+
+	const space = 1 << sessionTagShift
+	c.nextSID.Store(space - 4)
+	for k := 0; k < 16; k++ {
+		s := c.Session()
+		if ctr := s.ID() & (space - 1); ctr == 0 {
+			t.Fatalf("wrap minted counter value 0 (session ID %d)", s.ID())
+		}
+		if held[s.ID()] {
+			t.Fatalf("wrap re-minted still-open session ID %d", s.ID())
+		}
+		if _, err := s.Call([]byte("wrapped")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Tags partition the guard: a held untagged ID does not block the
+	// same counter value under another tag.
+	c.nextSID.Store(space - 4)
+	for k := 0; k < 16; k++ {
+		s := c.TaggedSession(3)
+		if SessionTag(s.ID()) != 3 {
+			t.Fatalf("tag lost across wrap: session %d", s.ID())
+		}
+		if ctr := s.ID() & (space - 1); ctr == 0 {
+			t.Fatalf("tagged wrap minted counter value 0 (session ID %d)", s.ID())
+		}
+	}
+}
+
+// TestMuxPoolAllConnsPoisoned is the poisoned-pool regression: with
+// EVERY pooled connection dead, opening a session must fail with the
+// typed ErrPoolPoisoned instead of silently pinning the session to
+// dead conn 0 and letting its first call surface a generic transport
+// error.
+func TestMuxPoolAllConnsPoisoned(t *testing.T) {
+	p, srvEnds := pipePool(t, 2, func(int) SessionHandlers { return &echoHandlers{} }, MuxServeConfig{})
+
+	// Warm both connections so the severed reads are noticed.
+	for k := 0; k < 2; k++ {
+		s, err := p.Session()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Call([]byte("warm")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, srv := range srvEnds {
+		srv.Close()
+	}
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < p.Size(); i++ {
+		for p.Conn(i).Err() == nil {
+			select {
+			case <-deadline:
+				t.Fatalf("conn %d never poisoned", i)
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+
+	if _, err := p.Session(); !errors.Is(err, ErrPoolPoisoned) {
+		t.Fatalf("all-poisoned pool returned %v, want ErrPoolPoisoned", err)
+	}
+	if _, err := p.TaggedSession(2); !errors.Is(err, ErrPoolPoisoned) {
+		t.Fatalf("all-poisoned pool (tagged) returned %v, want ErrPoolPoisoned", err)
 	}
 }
 
@@ -223,7 +426,10 @@ func TestMuxPoolOverTCP(t *testing.T) {
 	var wg sync.WaitGroup
 	errCh := make(chan error, 12)
 	for i := 0; i < 12; i++ {
-		s := p.Session()
+		s, err := p.Session()
+		if err != nil {
+			t.Fatal(err)
+		}
 		wg.Add(1)
 		go func(s *MuxSession) {
 			defer wg.Done()

@@ -1,0 +1,150 @@
+package rpc
+
+// This file is the wire half of the shard-router layer: a ShardedPool
+// holds one MuxPool per database shard — each shard an INDEPENDENT
+// pyxis-dbserver process owning a disjoint slice of the data — and
+// exposes the same Session/TaggedSession surface keyed by shard index.
+// Nothing is shared between shards: not the connections, not the
+// session-ID space, not the load reports. The pool deliberately has no
+// opinion about which shard a key lives on — key→shard mapping is the
+// runtime's ShardMap; this layer only owns "given a shard, give me a
+// session on one of its connections".
+//
+// Load reports stay per-shard too: every report is delivered to the
+// sink WITH the shard index it arrived from, so a consumer keeps one
+// EWMA per shard instead of blurring N servers' saturation into one
+// average (a saturated shard must shed and switch without dragging its
+// idle siblings along).
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// ShardedPool is a fixed set of per-shard connection pools. It is safe
+// for concurrent use. Sessions are opened on an explicit shard (the
+// caller routes keys to shards via runtime.ShardMap) and inherit every
+// MuxPool guarantee — least-loaded placement, pinned-for-life
+// sessions, pool-unique IDs — within that shard.
+type ShardedPool struct {
+	pools []*MuxPool
+
+	onLoad atomic.Pointer[func(int, LoadReport)]
+}
+
+// NewShardedPool builds a pool set of shards pools with connsPerShard
+// connections each, dialing connection conn of shard shard with
+// dial(shard, conn). On any dial error the shards already opened are
+// closed.
+func NewShardedPool(shards, connsPerShard int, dial func(shard, conn int) (io.ReadWriteCloser, error)) (*ShardedPool, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("rpc: sharded pool needs at least 1 shard, got %d", shards)
+	}
+	s := &ShardedPool{pools: make([]*MuxPool, shards)}
+	for i := range s.pools {
+		shard := i
+		p, err := NewMuxPool(connsPerShard, func(conn int) (io.ReadWriteCloser, error) {
+			return dial(shard, conn)
+		})
+		if err != nil {
+			for _, opened := range s.pools[:i] {
+				opened.Close()
+			}
+			return nil, fmt.Errorf("rpc: shard %d: %w", i, err)
+		}
+		// The per-shard pool's sink belongs to the ShardedPool: it
+		// stamps the shard index onto every report before fan-out, so
+		// the consumer's per-shard EWMAs never mix servers.
+		p.SetOnLoad(func(rep LoadReport) {
+			if fn := s.onLoad.Load(); fn != nil {
+				(*fn)(shard, rep)
+			}
+		})
+		s.pools[i] = p
+	}
+	return s, nil
+}
+
+// DialShardedPool connects connsPerShard TCP connections to each
+// shard server address in addrs (shard i is addrs[i]).
+func DialShardedPool(addrs []string, connsPerShard int) (*ShardedPool, error) {
+	return NewShardedPool(len(addrs), connsPerShard, func(shard, _ int) (io.ReadWriteCloser, error) {
+		return net.Dial("tcp", addrs[shard])
+	})
+}
+
+// NumShards returns the number of shards.
+func (s *ShardedPool) NumShards() int { return len(s.pools) }
+
+// Pool returns shard's connection pool (for inspection; sessions
+// should be opened through Session/TaggedSession).
+func (s *ShardedPool) Pool(shard int) *MuxPool { return s.pools[shard] }
+
+// Session opens a new logical session on shard's least-loaded
+// connection. The session is pinned to that shard (and connection)
+// for its lifetime.
+func (s *ShardedPool) Session(shard int) (*MuxSession, error) { return s.TaggedSession(shard, 0) }
+
+// TaggedSession opens a session carrying tag in its ID's top byte on
+// shard's least-loaded connection. A dead shard (every pooled
+// connection poisoned) fails with ErrPoolPoisoned — its sibling
+// shards keep serving.
+func (s *ShardedPool) TaggedSession(shard int, tag uint8) (*MuxSession, error) {
+	if shard < 0 || shard >= len(s.pools) {
+		return nil, fmt.Errorf("rpc: shard %d out of range [0, %d)", shard, len(s.pools))
+	}
+	sess, err := s.pools[shard].TaggedSession(tag)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: shard %d: %w", shard, err)
+	}
+	return sess, nil
+}
+
+// SetOnLoad registers fn to receive every load report piggy-backed on
+// any connection of any shard, stamped with the shard index it
+// arrived from. Safe to call concurrently with traffic; nil
+// unregisters. (It replaces the per-shard pools' sinks, which the
+// ShardedPool owns.)
+func (s *ShardedPool) SetOnLoad(fn func(shard int, rep LoadReport)) {
+	if fn == nil {
+		s.onLoad.Store(nil)
+		return
+	}
+	s.onLoad.Store(&fn)
+}
+
+// LoadReports returns how many piggy-backed load reports arrived
+// across every shard's connections.
+func (s *ShardedPool) LoadReports() int64 {
+	var n int64
+	for _, p := range s.pools {
+		n += p.LoadReports()
+	}
+	return n
+}
+
+// Stats returns aggregate traffic counters across every shard.
+func (s *ShardedPool) Stats() Stats {
+	var st Stats
+	for _, p := range s.pools {
+		ps := p.Stats()
+		st.Calls += ps.Calls
+		st.BytesSent += ps.BytesSent
+		st.BytesRecv += ps.BytesRecv
+	}
+	return st
+}
+
+// Close tears down every shard's pool; all sessions fail afterwards.
+// The first error wins.
+func (s *ShardedPool) Close() error {
+	var err error
+	for _, p := range s.pools {
+		if cerr := p.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -151,7 +151,10 @@ func TestPoolReportsFoldIntoSharedEWMA(t *testing.T) {
 	// an idle pool over all three).
 	byConn := map[uint8]*rpc.MuxSession{}
 	for len(byConn) < 3 {
-		s := pool.TaggedSession(0)
+		s, err := pool.TaggedSession(0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if _, ok := byConn[rpc.SessionConn(s.ID())]; !ok {
 			byConn[rpc.SessionConn(s.ID())] = s
 		}

@@ -62,6 +62,26 @@ type LoadMonitor struct {
 
 const rateWindow = 50 * time.Millisecond
 
+// maxRateWindow caps the differentiation window of the lock-wait rate.
+// Refreshes are driven by traffic, so after an idle stretch the
+// previous sample can be arbitrarily old; dividing a fresh wait burst
+// by the whole idle period would average it toward zero exactly when
+// load returns and the switcher most needs to see it. Clamping the
+// window treats everything before the last few windows as history, not
+// denominator.
+//
+// Attributing the whole delta to the clamped window is sound because
+// sampling rides the same wire that creates waits: every statement of
+// every session produces replies (and admission checks) that call
+// Sample, so a refresh gap much longer than rateWindow means the
+// server processed ~nothing — and accumulated ~no waits — for most of
+// it; the delta really did arrive near the end. The residual
+// distortion is a server trickling ~1 call/s whose rare colliding
+// transactions over-report by dt/maxRateWindow — absolute rates there
+// are far below LockWaitSat, and dense sampling (with dt ≈ rateWindow)
+// resumes exactly when load does.
+const maxRateWindow = 4 * rateWindow
+
 // NewLoadMonitor returns a monitor over db with default saturation
 // points.
 func NewLoadMonitor(db *sqldb.DB) *LoadMonitor {
@@ -116,8 +136,20 @@ func (m *LoadMonitor) lockWaitRate() float64 {
 		m.mu.Lock()
 		if now.UnixNano() >= m.nextRefresh.Load() {
 			waits, _ := m.DB.LockWaits()
-			if dt := now.Sub(m.lastAt); dt > 0 {
-				m.rateBits.Store(math.Float64bits(float64(waits-m.lastWaits) / dt.Seconds()))
+			delta := waits - m.lastWaits
+			if delta < 0 {
+				// The underlying counter moved backwards (a fresh DB
+				// swapped in behind the monitor): a negative rate would
+				// permanently drag the blend down, so treat a reset as
+				// zero waits this window.
+				delta = 0
+			}
+			dt := now.Sub(m.lastAt)
+			if dt > maxRateWindow {
+				dt = maxRateWindow
+			}
+			if dt > 0 {
+				m.rateBits.Store(math.Float64bits(float64(delta) / dt.Seconds()))
 			}
 			m.lastWaits, m.lastAt = waits, now
 			m.nextRefresh.Store(now.Add(rateWindow).UnixNano())

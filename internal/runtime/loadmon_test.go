@@ -87,3 +87,44 @@ func TestLoadMonitorDynamicSignal(t *testing.T) {
 		t.Errorf("lock-wait rate stayed zero across a blocked writer: %+v", rep)
 	}
 }
+
+// TestLoadMonitorIdleThenBurstRate is the idle-window regression: the
+// rate refresh is traffic-driven, so after an idle stretch the first
+// window used to span the whole idle period, averaging a post-idle
+// wait burst toward zero exactly when the switcher needed to react.
+// The window must clamp to maxRateWindow. (Simulated by backdating the
+// monitor's last sample: lastWaits is set 200 below the counter so the
+// next refresh sees a 200-wait burst "arriving" after 10 idle
+// seconds.)
+func TestLoadMonitorIdleThenBurstRate(t *testing.T) {
+	db := sqldb.Open()
+	m := NewLoadMonitor(db)
+
+	const burst = 200
+	waits, _ := db.LockWaits()
+	m.mu.Lock()
+	m.lastAt = time.Now().Add(-10 * time.Second)
+	m.lastWaits = waits - burst
+	m.mu.Unlock()
+	m.nextRefresh.Store(0) // force a refresh on the next sample
+
+	rate := m.lockWaitRate()
+	// Old code: 200 waits / 10 s = 20/s. Clamped: 200 / maxRateWindow
+	// = 1000/s. Anything near the clamped figure proves the idle
+	// stretch no longer dilutes the burst.
+	want := float64(burst) / maxRateWindow.Seconds()
+	if rate < want/2 {
+		t.Errorf("post-idle burst rate = %.0f waits/s, want ~%.0f (idle stretch diluted the window)", rate, want)
+	}
+
+	// A counter reset (fresh DB behind the monitor) must clamp to rate
+	// 0, not go negative and drag the blend down.
+	m.mu.Lock()
+	m.lastAt = time.Now().Add(-time.Second)
+	m.lastWaits = waits + 5000
+	m.mu.Unlock()
+	m.nextRefresh.Store(0)
+	if rate := m.lockWaitRate(); rate != 0 {
+		t.Errorf("counter reset produced rate %.0f, want 0", rate)
+	}
+}

@@ -1,0 +1,161 @@
+package runtime
+
+import (
+	"testing"
+
+	"pyxis/internal/rpc"
+)
+
+// TestShardMapWarehouseBoundaries is the boundary table: for each
+// (warehouses, shards) shape, every shard's first and last warehouse
+// must map back to that shard, and the ranges must tile [1, W] exactly
+// — contiguous, disjoint, nothing dropped.
+func TestShardMapWarehouseBoundaries(t *testing.T) {
+	shapes := []struct{ warehouses, shards int }{
+		{1, 1}, {4, 1}, {4, 2}, {5, 2}, {4, 4}, {10, 3}, {7, 4}, {16, 5},
+	}
+	for _, sh := range shapes {
+		m := ShardMap{Shards: sh.shards, Warehouses: sh.warehouses}
+		next := int64(1)
+		for s := 0; s < sh.shards; s++ {
+			lo, hi := m.WarehouseRange(s)
+			if lo != next {
+				t.Errorf("%d/%d: shard %d range starts at %d, want %d (gap or overlap)",
+					sh.warehouses, sh.shards, s, lo, next)
+			}
+			if hi < lo {
+				t.Errorf("%d/%d: shard %d has empty range [%d,%d] despite warehouses >= shards",
+					sh.warehouses, sh.shards, s, lo, hi)
+				continue
+			}
+			// First and last warehouse of the range route home; so does
+			// everything between (ranges are small enough to sweep).
+			for w := lo; w <= hi; w++ {
+				if got := m.Shard(w); got != s {
+					t.Errorf("%d/%d: warehouse %d maps to shard %d, want %d",
+						sh.warehouses, sh.shards, w, got, s)
+				}
+			}
+			next = hi + 1
+		}
+		if next != int64(sh.warehouses)+1 {
+			t.Errorf("%d/%d: ranges cover [1,%d], want [1,%d]",
+				sh.warehouses, sh.shards, next-1, sh.warehouses)
+		}
+		// Range sizes differ by at most one warehouse.
+		min, max := int64(1<<62), int64(0)
+		for s := 0; s < sh.shards; s++ {
+			lo, hi := m.WarehouseRange(s)
+			size := hi - lo + 1
+			if size < min {
+				min = size
+			}
+			if size > max {
+				max = size
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("%d/%d: range sizes spread %d..%d, want balanced within 1",
+				sh.warehouses, sh.shards, min, max)
+		}
+	}
+}
+
+// TestShardMapMoreShardsThanWarehouses: surplus shards get empty
+// ranges (lo > hi) and never own a warehouse key.
+func TestShardMapMoreShardsThanWarehouses(t *testing.T) {
+	m := ShardMap{Shards: 5, Warehouses: 3}
+	for w := int64(1); w <= 3; w++ {
+		if got := m.Shard(w); got != int(w-1) {
+			t.Errorf("warehouse %d maps to shard %d, want %d", w, got, w-1)
+		}
+	}
+	for s := 3; s < 5; s++ {
+		if lo, hi := m.WarehouseRange(s); lo <= hi {
+			t.Errorf("surplus shard %d owns warehouses [%d,%d], want empty", s, lo, hi)
+		}
+	}
+}
+
+// TestShardMapHashFallback: keys outside the warehouse range (and all
+// keys when Warehouses is 0) hash deterministically into [0, shards)
+// and actually spread.
+func TestShardMapHashFallback(t *testing.T) {
+	for _, m := range []ShardMap{{Shards: 4}, {Shards: 4, Warehouses: 8}} {
+		hit := make([]int, 4)
+		for _, key := range []int64{0, -1, -500, 9, 10_000, 1 << 40} {
+			s := m.Shard(key)
+			if s < 0 || s >= 4 {
+				t.Fatalf("key %d hashed to shard %d, out of [0,4)", key, s)
+			}
+			if again := m.Shard(key); again != s {
+				t.Fatalf("key %d hashed to %d then %d (non-deterministic)", key, s, again)
+			}
+		}
+		for key := int64(1000); key < 1200; key++ {
+			hit[m.Shard(key)]++
+		}
+		for s, n := range hit {
+			if n == 0 {
+				t.Errorf("map %+v: hash fallback never picked shard %d: %v", m, s, hit)
+			}
+		}
+	}
+	// Unsharded and zero-value maps route everything to shard 0.
+	for _, m := range []ShardMap{{}, {Shards: 1, Warehouses: 4}} {
+		for _, key := range []int64{-3, 0, 1, 4, 99} {
+			if got := m.Shard(key); got != 0 {
+				t.Errorf("map %+v key %d -> shard %d, want 0", m, key, got)
+			}
+		}
+	}
+}
+
+// TestParseShardSlot covers the -shard flag format.
+func TestParseShardSlot(t *testing.T) {
+	if shard, shards, err := ParseShardSlot("2/4"); err != nil || shard != 2 || shards != 4 {
+		t.Errorf("ParseShardSlot(2/4) = %d, %d, %v", shard, shards, err)
+	}
+	if shard, shards, err := ParseShardSlot(" 0 / 1 "); err != nil || shard != 0 || shards != 1 {
+		t.Errorf("ParseShardSlot(' 0 / 1 ') = %d, %d, %v", shard, shards, err)
+	}
+	for _, bad := range []string{"", "3", "4/4", "-1/4", "a/4", "1/b", "1/0", "1/-2"} {
+		if _, _, err := ParseShardSlot(bad); err == nil {
+			t.Errorf("ParseShardSlot(%q) accepted", bad)
+		}
+	}
+}
+
+// TestShardedClientPerShardEWMA pins the per-shard isolation of the
+// load state: saturating shard 0's reports routes shard 0's sessions
+// low while shard 1 — and only shard 1 — stays high.
+func TestShardedClientPerShardEWMA(t *testing.T) {
+	sc := NewShardedClient(ShardMap{Shards: 2, Warehouses: 4})
+	if sc.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", sc.NumShards())
+	}
+
+	for k := 0; k < 30; k++ {
+		sc.Observe(0, rpc.LoadReport{Load: 95})
+		sc.Observe(1, rpc.LoadReport{Load: 5})
+	}
+	if !sc.Switcher(0).UseLowBudget() {
+		t.Errorf("shard 0 saturated (EWMA %.1f) but not routed low", sc.Load(0))
+	}
+	if sc.Switcher(1).UseLowBudget() {
+		t.Errorf("shard 1 idle (EWMA %.1f) but routed low — shard 0's load leaked", sc.Load(1))
+	}
+	if lo, hi := sc.Load(1), sc.Load(0); lo >= hi {
+		t.Errorf("per-shard EWMAs blended: shard0=%.1f shard1=%.1f", hi, lo)
+	}
+
+	// Out-of-range shard indexes (a stale report after a resize) are
+	// dropped, not a panic.
+	sc.Observe(-1, rpc.LoadReport{Load: 50})
+	sc.Observe(2, rpc.LoadReport{Load: 50})
+
+	// HomeShard follows the map's warehouse ranges.
+	if sc.HomeShard(1) != 0 || sc.HomeShard(4) != 1 {
+		t.Errorf("HomeShard(1)=%d HomeShard(4)=%d, want 0 and 1", sc.HomeShard(1), sc.HomeShard(4))
+	}
+}
