@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"pyxis"
+	"pyxis/internal/compile"
 	"pyxis/internal/interp"
 	"pyxis/internal/sqldb"
 	"pyxis/internal/val"
@@ -35,7 +36,8 @@ func main() {
 		schema   = flag.String("schema", "", "file with ';'-separated SQL statements to preload the profiling database")
 		showPyx  = flag.Bool("pyxil", false, "print the PyxIL program per budget")
 		showDot  = flag.Bool("dot", false, "print the partition graph in Graphviz DOT")
-		showBlk  = flag.Bool("blocks", false, "print the compiled execution blocks per budget")
+		showBlk  = flag.Bool("blocks", false, "print the compiled execution blocks per budget (pre-fusion)")
+		showFuse = flag.Bool("dump-fused", false, "print the fused superblock program per budget (with fusion statistics)")
 		showRpt  = flag.Bool("report", true, "print the partition report per budget")
 		showProf = flag.Bool("profile", false, "print the collected profile")
 	)
@@ -117,8 +119,23 @@ func main() {
 				fatal(err)
 			}
 		}
+		// part.Compiled is post-fusion; both dump flags recompile from
+		// the partition's PyxIL so -blocks shows the raw block program
+		// and -dump-fused can report the fusion statistics.
 		if *showBlk {
-			fmt.Printf("--- execution blocks (budget %.2f) ---\n%s", frac, part.Compiled.Disassemble())
+			raw, err := compile.Compile(part.PyxIL)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("--- execution blocks (budget %.2f) ---\n%s", frac, raw.Disassemble())
+		}
+		if *showFuse {
+			fused, err := compile.Compile(part.PyxIL)
+			if err != nil {
+				fatal(err)
+			}
+			stats := compile.Fuse(fused)
+			fmt.Printf("--- fused superblocks (budget %.2f, %s) ---\n%s", frac, stats, fused.Disassemble())
 		}
 	}
 }

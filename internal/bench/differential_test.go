@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestDifferentialTPCC runs the identical single-client TPC-C
+// NewOrder/Payment schedule through the seed pipeline (unfused blocks,
+// Legacy deployment) and the fused/prepared pipeline at three budgets,
+// and requires:
+//
+//   - bit-identical final database state (every table, every row);
+//   - the fused run to make no more control transfers than the seed;
+//   - the TPC-C consistency invariants to hold on the fused database.
+//
+// One client keeps the schedule deterministic — txnParams is a pure
+// function of the sequence number, and without concurrency there are
+// no deadlock-retry reorderings.
+func TestDifferentialTPCC(t *testing.T) {
+	c := DefaultTPCC()
+	for _, budget := range []float64{1.0, 0.5, 0} {
+		t.Run(fmt.Sprintf("budget%.2f", budget), func(t *testing.T) {
+			seedPart, err := TPCCParallelPartitionOpts(c, budget, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fusedPart, err := TPCCParallelPartitionOpts(c, budget, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fusedPart.Compiled.Blocks) > len(seedPart.Compiled.Blocks) {
+				t.Fatalf("fusion grew the program: %d -> %d blocks",
+					len(seedPart.Compiled.Blocks), len(fusedPart.Compiled.Blocks))
+			}
+
+			cfg := TPCCParallelCfg{Clients: 1, Txns: 40, PaymentEvery: 3}
+			seedCfg := cfg
+			seedCfg.Legacy = true
+			seedRes, seedDB, err := RunParallelTPCC(seedPart, c, seedCfg)
+			if err != nil {
+				t.Fatalf("seed run: %v", err)
+			}
+			fusedRes, fusedDB, err := RunParallelTPCC(fusedPart, c, cfg)
+			if err != nil {
+				t.Fatalf("fused run: %v", err)
+			}
+
+			seedSnap, fusedSnap := seedDB.Snapshot(), fusedDB.Snapshot()
+			if !reflect.DeepEqual(seedSnap, fusedSnap) {
+				for name, rows := range seedSnap {
+					if !reflect.DeepEqual(rows, fusedSnap[name]) {
+						t.Errorf("table %s diverged: seed %d rows, fused %d rows",
+							name, len(rows), len(fusedSnap[name]))
+					}
+				}
+				t.Fatal("fused pipeline produced a different database state")
+			}
+			if fusedRes.Transfers > seedRes.Transfers {
+				t.Errorf("fusion increased transfers: %d -> %d", seedRes.Transfers, fusedRes.Transfers)
+			}
+			if violations := CheckTPCCInvariants(fusedDB, c); len(violations) > 0 {
+				t.Errorf("fused run violated TPC-C invariants: %v", violations)
+			}
+		})
+	}
+}

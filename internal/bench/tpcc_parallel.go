@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	goruntime "runtime"
 	"strings"
 	"sync"
 	"time"
@@ -40,6 +41,11 @@ type TPCCParallelCfg struct {
 	// progressed, so retries converge — the bound guards against a
 	// livelocked engine).
 	MaxRetries int
+	// Legacy runs both peers on the seed pipeline — version-0 stack
+	// transfers, string-SQL database calls, a fresh allocation per
+	// activation frame. The interp-vs-vm experiment uses it as the
+	// baseline against the fused/prepared hot path.
+	Legacy bool
 }
 
 // TPCCParallelResult aggregates one wall-clock TPC-C run.
@@ -57,6 +63,14 @@ type TPCCParallelResult struct {
 	MeanMs    float64
 	P95Ms     float64
 	Transfers int64
+	// TransferBytes is the control-transfer traffic both directions
+	// (APP-peer sends plus DB-peer sends); BytesPerTxn normalizes it.
+	TransferBytes int64
+	BytesPerTxn   float64
+	// AllocsPerTxn is the process-wide heap allocation count per
+	// transaction over the measured window (driver included — both
+	// variants of a comparison run the identical driver).
+	AllocsPerTxn float64
 	// LockWaits/LockDeadlocks snapshot the engine's contention counters
 	// after the run.
 	LockWaits     int64
@@ -66,10 +80,18 @@ type TPCCParallelResult struct {
 // TPCCParallelPartition profiles the TPC-C PyxJ program (NewOrder and
 // Payment) and solves a partition at the given budget fraction.
 func TPCCParallelPartition(c TPCCConfig, budgetFrac float64) (*pyxis.Partition, error) {
+	return TPCCParallelPartitionOpts(c, budgetFrac, false)
+}
+
+// TPCCParallelPartitionOpts is TPCCParallelPartition with the
+// superblock fusion post-pass optionally disabled — the interp-vs-vm
+// baseline compiles the same placement without fusion.
+func TPCCParallelPartitionOpts(c TPCCConfig, budgetFrac float64, noFuse bool) (*pyxis.Partition, error) {
 	sys, err := profiledTPCCSystem(c)
 	if err != nil {
 		return nil, err
 	}
+	sys.NoFuse = noFuse
 	return sys.PartitionAt(budgetFrac)
 }
 
@@ -97,7 +119,9 @@ func RunParallelTPCC(part *pyxis.Partition, c TPCCConfig, cfg TPCCParallelCfg) (
 
 	prog := part.Compiled
 	dbPeer := runtime.NewPeer(prog, pdg.DB, nil)
+	dbPeer.Legacy = cfg.Legacy
 	appPeer := runtime.NewPeer(prog, pdg.App, nil)
+	appPeer.Legacy = cfg.Legacy
 	newMgr := func() rpc.SessionHandlers {
 		return runtime.NewSessionManager(dbPeer, func() dbapi.Conn { return dbapi.NewLocal(db) })
 	}
@@ -138,6 +162,8 @@ func RunParallelTPCC(part *pyxis.Partition, c TPCCConfig, cfg TPCCParallelCfg) (
 	}
 	outs := make([]sessionOut, cfg.Clients)
 	var wg sync.WaitGroup
+	var memBefore goruntime.MemStats
+	goruntime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for i := 0; i < cfg.Clients; i++ {
 		wg.Add(1)
@@ -193,6 +219,8 @@ func RunParallelTPCC(part *pyxis.Partition, c TPCCConfig, cfg TPCCParallelCfg) (
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter goruntime.MemStats
+	goruntime.ReadMemStats(&memAfter)
 
 	res := &TPCCParallelResult{Clients: cfg.Clients, Elapsed: elapsed}
 	var all []float64
@@ -209,7 +237,14 @@ func RunParallelTPCC(part *pyxis.Partition, c TPCCConfig, cfg TPCCParallelCfg) (
 	res.Tput = float64(len(all)) / elapsed.Seconds()
 	agg := Summarize(all)
 	res.MeanMs, res.P95Ms = agg.MeanMs, agg.P95Ms
-	res.Transfers = dbPeer.Metrics.Snapshot().Transfers
+	dbSnap := dbPeer.Metrics.Snapshot()
+	appSnap := appPeer.Metrics.Snapshot()
+	res.Transfers = dbSnap.Transfers
+	res.TransferBytes = dbSnap.BytesSent + appSnap.BytesSent
+	if res.TotalTxns > 0 {
+		res.BytesPerTxn = float64(res.TransferBytes) / float64(res.TotalTxns)
+		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.TotalTxns)
+	}
 	res.LockWaits, res.LockDeadlocks = db.LockWaits()
 	return res, db, nil
 }

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file is the acceptance experiment for the fused hot path: the
+// same TPC-C NewOrder/Payment mix driven twice through the wall-clock
+// harness —
+//
+//   - "interp": the seed pipeline. No superblock fusion, version-0
+//     stack transfers (every slot plus method qname strings), string
+//     SQL on every database call, a fresh allocation per activation
+//     frame.
+//   - "vm": the fused pipeline. Superblocks, version-1 live-slot delta
+//     transfers, the prepared-statement wire, pooled frames.
+//
+// Both runs execute the identical transaction schedule against a fresh
+// database each, so wall clock, transfer bytes per transaction and
+// allocations per transaction are directly comparable.
+
+// VMPoint is one budget's interp-vs-vm comparison.
+type VMPoint struct {
+	Budget      float64             `json:"budget"`
+	BlocksSeed  int                 `json:"blocks_seed"`
+	BlocksFused int                 `json:"blocks_fused"`
+	Seed        *TPCCParallelResult `json:"seed"`
+	Fused       *TPCCParallelResult `json:"fused"`
+	// Speedup is seed elapsed over fused elapsed (>1 means the fused
+	// pipeline is faster).
+	Speedup float64 `json:"speedup"`
+	// BytesRatio and AllocsRatio are seed-per-txn over fused-per-txn.
+	BytesRatio  float64 `json:"bytes_ratio"`
+	AllocsRatio float64 `json:"allocs_ratio"`
+}
+
+// RunInterpVsVM runs the comparison at each budget fraction. The fused
+// run's database is audited with CheckTPCCInvariants — a fused program
+// that is faster but inconsistent is a failure, not a result.
+func RunInterpVsVM(c TPCCConfig, cfg TPCCParallelCfg, budgets []float64) ([]*VMPoint, error) {
+	var points []*VMPoint
+	for _, b := range budgets {
+		seedPart, err := TPCCParallelPartitionOpts(c, b, true)
+		if err != nil {
+			return nil, fmt.Errorf("bench: seed partition at %.2f: %w", b, err)
+		}
+		fusedPart, err := TPCCParallelPartitionOpts(c, b, false)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fused partition at %.2f: %w", b, err)
+		}
+
+		seedCfg := cfg
+		seedCfg.Legacy = true
+		seedRes, _, err := RunParallelTPCC(seedPart, c, seedCfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: seed run at %.2f: %w", b, err)
+		}
+
+		fusedCfg := cfg
+		fusedCfg.Legacy = false
+		fusedRes, fdb, err := RunParallelTPCC(fusedPart, c, fusedCfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fused run at %.2f: %w", b, err)
+		}
+		if violations := CheckTPCCInvariants(fdb, c); len(violations) > 0 {
+			return nil, fmt.Errorf("bench: fused run at %.2f violated TPC-C invariants: %s",
+				b, strings.Join(violations, "; "))
+		}
+
+		pt := &VMPoint{
+			Budget:      b,
+			BlocksSeed:  len(seedPart.Compiled.Blocks),
+			BlocksFused: len(fusedPart.Compiled.Blocks),
+			Seed:        seedRes,
+			Fused:       fusedRes,
+		}
+		if fusedRes.Elapsed > 0 {
+			pt.Speedup = float64(seedRes.Elapsed) / float64(fusedRes.Elapsed)
+		}
+		if fusedRes.BytesPerTxn > 0 {
+			pt.BytesRatio = seedRes.BytesPerTxn / fusedRes.BytesPerTxn
+		}
+		if fusedRes.AllocsPerTxn > 0 {
+			pt.AllocsRatio = seedRes.AllocsPerTxn / fusedRes.AllocsPerTxn
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// String renders one comparison point as a two-row block.
+func (p *VMPoint) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "budget %.2f: blocks %d -> %d\n", p.Budget, p.BlocksSeed, p.BlocksFused)
+	fmt.Fprintf(&sb, "  interp: elapsed=%-10v tput=%8.0f txn/s  bytes/txn=%8.1f  allocs/txn=%8.1f\n",
+		p.Seed.Elapsed.Round(time.Millisecond), p.Seed.Tput, p.Seed.BytesPerTxn, p.Seed.AllocsPerTxn)
+	fmt.Fprintf(&sb, "  vm:     elapsed=%-10v tput=%8.0f txn/s  bytes/txn=%8.1f  allocs/txn=%8.1f\n",
+		p.Fused.Elapsed.Round(time.Millisecond), p.Fused.Tput, p.Fused.BytesPerTxn, p.Fused.AllocsPerTxn)
+	fmt.Fprintf(&sb, "  speedup=%.2fx  bytes ratio=%.2fx  allocs ratio=%.2fx",
+		p.Speedup, p.BytesRatio, p.AllocsRatio)
+	return sb.String()
+}

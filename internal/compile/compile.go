@@ -12,8 +12,9 @@ import (
 // Compile lowers a PyxIL program into execution blocks.
 func Compile(p *pyxil.Program) (*Program, error) {
 	c := &compiler{
-		px:   p,
-		prog: &Program{Classes: map[string]*ClassInfo{}, Methods: map[string]*MethodInfo{}},
+		px:     p,
+		prog:   &Program{Classes: map[string]*ClassInfo{}, Methods: map[string]*MethodInfo{}},
+		sqlIDs: map[string]int32{},
 	}
 	// Split every class into APP and DB parts (Fig. 6).
 	for _, cl := range p.Src.Classes {
@@ -47,6 +48,7 @@ func Compile(p *pyxil.Program) (*Program, error) {
 			if m.IsCtor {
 				ci.Ctor = mi
 			}
+			mi.Idx = len(c.prog.MethodList)
 			c.prog.Methods[m.QName()] = mi
 			c.prog.MethodList = append(c.prog.MethodList, mi)
 		}
@@ -62,8 +64,9 @@ func Compile(p *pyxil.Program) (*Program, error) {
 }
 
 type compiler struct {
-	px   *pyxil.Program
-	prog *Program
+	px     *pyxil.Program
+	prog   *Program
+	sqlIDs map[string]int32
 
 	method  *source.Method
 	info    *MethodInfo
@@ -651,7 +654,8 @@ func (c *compiler) builtin(x *source.BuiltinExpr, loc pdg.Loc) (int, error) {
 		if x.B == source.BUpdate {
 			op = OpDBExec
 		}
-		c.emit(Instr{Op: op, A: dst, SQL: x.SQLText(), Args: args})
+		sql := x.SQLText()
+		c.emit(Instr{Op: op, A: dst, SQL: sql, SQLID: c.internSQL(sql), Args: args})
 		if op == OpDBQuery && c.px.SyncArrays[c.curStmt] {
 			c.emit(Instr{Op: OpSendNative, A: dst})
 		}
@@ -730,6 +734,18 @@ func (c *compiler) builtin(x *source.BuiltinExpr, loc pdg.Loc) (int, error) {
 		return dst, nil
 	}
 	return 0, fmt.Errorf("compile: unhandled builtin %v", x.B)
+}
+
+// internSQL numbers a distinct SQL string into the program-wide
+// statement table (same program on both peers ⇒ same numbering).
+func (c *compiler) internSQL(sql string) int32 {
+	if id, ok := c.sqlIDs[sql]; ok {
+		return id
+	}
+	id := int32(len(c.prog.SQLTable))
+	c.prog.SQLTable = append(c.prog.SQLTable, sql)
+	c.sqlIDs[sql] = id
+	return id
 }
 
 func (c *compiler) zeroSlot(loc pdg.Loc) int {

@@ -70,7 +70,13 @@ type Instr struct {
 	Class   *ClassInfo
 	Field   *FieldRef
 	SQL     string
-	Args    []int
+	// SQLID indexes Program.SQLTable for OpDBQuery/OpDBExec: the
+	// compile-time statement number carried on the prepared dbapi wire
+	// instead of the SQL text. Only meaningful when
+	// Program.SQLTable[SQLID] == SQL (hand-built instructions leave it
+	// zero and are executed over the string path).
+	SQLID int32
+	Args  []int
 }
 
 // TermKind enumerates block terminators.
@@ -107,6 +113,21 @@ type Block struct {
 	Loc  pdg.Loc
 	Code []Instr
 	Term Term
+	// LiveIn is the frame-slot liveness bitset at block entry (word
+	// i>>6, bit i&63), computed by Fuse. Control transfers that resume
+	// at this block need only ship the live slots; nil means unknown
+	// (ship everything).
+	LiveIn []uint64
+}
+
+// LiveAt reports whether slot s is live at block entry. A nil bitset
+// (liveness not computed) treats every slot as live.
+func (b *Block) LiveAt(s int) bool {
+	if b.LiveIn == nil {
+		return true
+	}
+	w := s >> 6
+	return w < len(b.LiveIn) && b.LiveIn[w]&(1<<(uint(s)&63)) != 0
 }
 
 // FieldRef resolves a source field to its split-class location: which
@@ -160,6 +181,10 @@ type MethodInfo struct {
 	Params       []source.Type
 	Ret          source.Type
 	IsEntryPoint bool
+	// Idx is the method's position in MethodList. Both peers compile
+	// the same program, so transfer frames name methods by this index
+	// instead of the qname string.
+	Idx int
 }
 
 // Program is a compiled, placed program.
@@ -169,6 +194,11 @@ type Program struct {
 	Methods map[string]*MethodInfo
 	// MethodList preserves declaration order.
 	MethodList []*MethodInfo
+	// SQLTable numbers every distinct SQL string in the program; the
+	// prepared dbapi wire sends SQLTable indices instead of text.
+	SQLTable []string
+	// Fused is set once the superblock fusion pass has run.
+	Fused bool
 }
 
 // Block returns a block by id.
@@ -198,10 +228,25 @@ func (p *Program) Stats() string {
 func (p *Program) Disassemble() string {
 	var b strings.Builder
 	for _, m := range p.MethodList {
-		fmt.Fprintf(&b, "method %s: entry=b%d slots=%d\n", m.QName, m.Entry, m.NSlots)
+		fmt.Fprintf(&b, "method %s: idx=%d entry=b%d slots=%d\n", m.QName, m.Idx, m.Entry, m.NSlots)
+	}
+	for i, sql := range p.SQLTable {
+		fmt.Fprintf(&b, "stmt #%d: %q\n", i, sql)
 	}
 	for _, blk := range p.Blocks {
-		fmt.Fprintf(&b, "b%d [%s]:\n", blk.ID, blk.Loc)
+		fmt.Fprintf(&b, "b%d [%s]:", blk.ID, blk.Loc)
+		if blk.LiveIn != nil {
+			b.WriteString(" live-in={")
+			sep := ""
+			for s := 0; s < len(blk.LiveIn)*64; s++ {
+				if blk.LiveAt(s) {
+					fmt.Fprintf(&b, "%s%d", sep, s)
+					sep = ","
+				}
+			}
+			b.WriteString("}")
+		}
+		b.WriteString("\n")
 		for _, in := range blk.Code {
 			fmt.Fprintf(&b, "  %s", opNames[in.Op])
 			fmt.Fprintf(&b, " A=%d B=%d C=%d", in.A, in.B, in.C)
@@ -209,7 +254,7 @@ func (p *Program) Disassemble() string {
 				fmt.Fprintf(&b, " field=%s.%s", in.Field.Class.Name, in.Field.Name)
 			}
 			if in.SQL != "" {
-				fmt.Fprintf(&b, " sql=%q", in.SQL)
+				fmt.Fprintf(&b, " sql=#%d:%q", in.SQLID, in.SQL)
 			}
 			if len(in.Args) > 0 {
 				fmt.Fprintf(&b, " args=%v", in.Args)

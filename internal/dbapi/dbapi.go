@@ -16,6 +16,7 @@ package dbapi
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"pyxis/internal/rpc"
@@ -39,6 +40,23 @@ type Conn interface {
 	Close() error
 }
 
+// PreparedConn is implemented by connections that execute
+// compile-numbered statements without re-shipping (or re-parsing) the
+// SQL text on every call. id is the program-wide statement number
+// (compile.Program.SQLTable index); sql is the statement text, used to
+// prepare on first touch and as the fallback when the peer doesn't
+// speak the prepared protocol.
+type PreparedConn interface {
+	Conn
+	ExecStmt(id int, sql string, args ...val.Value) (int, error)
+	QueryStmt(id int, sql string, args ...val.Value) (*sqldb.ResultSet, error)
+}
+
+// ErrUnprepared reports a prepared-statement id the server session has
+// no statement for (e.g. a fresh session); the client re-sends the
+// call with the SQL text attached.
+var ErrUnprepared = errors.New("dbapi: statement not prepared")
+
 // ---------------------------------------------------------------------------
 // Local (embedded) connection
 // ---------------------------------------------------------------------------
@@ -46,6 +64,9 @@ type Conn interface {
 // Local is an embedded connection to an in-process database.
 type Local struct {
 	Sess *sqldb.Session
+	// stmts memoizes parsed statements by program-wide id, so the hot
+	// path skips even the (lock-free) plan-cache lookup.
+	stmts []sqldb.SQLStmt
 }
 
 // NewLocal opens an embedded connection on db.
@@ -60,6 +81,39 @@ func (l *Local) Commit() error   { return l.Sess.Commit() }
 func (l *Local) Rollback() error { return l.Sess.Rollback() }
 func (l *Local) Close() error    { return nil }
 
+func (l *Local) stmt(id int, sql string) (sqldb.SQLStmt, error) {
+	if id >= 0 && id < len(l.stmts) && l.stmts[id] != nil {
+		return l.stmts[id], nil
+	}
+	st, err := l.Sess.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	if id >= 0 {
+		for len(l.stmts) <= id {
+			l.stmts = append(l.stmts, nil)
+		}
+		l.stmts[id] = st
+	}
+	return st, nil
+}
+
+func (l *Local) ExecStmt(id int, sql string, args ...val.Value) (int, error) {
+	st, err := l.stmt(id, sql)
+	if err != nil {
+		return 0, err
+	}
+	return l.Sess.ExecParsed(st, args...)
+}
+
+func (l *Local) QueryStmt(id int, sql string, args ...val.Value) (*sqldb.ResultSet, error) {
+	st, err := l.stmt(id, sql)
+	if err != nil {
+		return nil, err
+	}
+	return l.Sess.QueryParsed(st, args...)
+}
+
 // ---------------------------------------------------------------------------
 // Wire protocol
 // ---------------------------------------------------------------------------
@@ -70,9 +124,14 @@ const (
 	opBegin
 	opCommit
 	opRollback
+	// Prepared variants: [op][uvarint id][bool hasSQL][sql?][args].
+	// The text rides along only on first touch (or after the server
+	// answers ErrUnprepared); every later call is id + args.
+	opPrepExec
+	opPrepQuery
 )
 
-// EncodeRequest marshals one database operation.
+// EncodeRequest marshals one string-path database operation.
 func EncodeRequest(op byte, sql string, args []val.Value) []byte {
 	var w rpc.Writer
 	w.Byte(op)
@@ -81,20 +140,42 @@ func EncodeRequest(op byte, sql string, args []val.Value) []byte {
 	return w.Buf
 }
 
+// encodePrepared marshals one prepared-path operation.
+func encodePrepared(op byte, id int, hasSQL bool, sql string, args []val.Value) []byte {
+	var w rpc.Writer
+	w.Byte(op)
+	w.Uvarint(uint64(id))
+	w.Bool(hasSQL)
+	if hasSQL {
+		w.Str(sql)
+	}
+	w.Vals(args)
+	return w.Buf
+}
+
 // Client is a remote connection over a transport. One Client maps to
 // one server-side session (and so one transaction context).
 type Client struct {
 	T rpc.Transport
+	// BytesSent/BytesRecv count request/response payload bytes
+	// (benchmark instrumentation; a Conn is single-threaded).
+	BytesSent int64
+	BytesRecv int64
+
+	prepared  []bool // ids the server session has the text for
+	noPrepare bool   // peer doesn't speak the prepared ops
 }
 
 // NewClient wraps a transport as a database connection.
 func NewClient(t rpc.Transport) *Client { return &Client{T: t} }
 
-func (c *Client) do(op byte, sql string, args []val.Value) (*rpc.Reader, error) {
-	resp, err := c.T.Call(EncodeRequest(op, sql, args))
+func (c *Client) call(req []byte) (*rpc.Reader, error) {
+	c.BytesSent += int64(len(req))
+	resp, err := c.T.Call(req)
 	if err != nil {
 		return nil, err
 	}
+	c.BytesRecv += int64(len(resp))
 	r := &rpc.Reader{Buf: resp}
 	if !r.Bool() { // ok flag
 		msg := r.Str()
@@ -103,8 +184,66 @@ func (c *Client) do(op byte, sql string, args []val.Value) (*rpc.Reader, error) 
 	return r, nil
 }
 
+func (c *Client) do(op byte, sql string, args []val.Value) (*rpc.Reader, error) {
+	return c.call(EncodeRequest(op, sql, args))
+}
+
+// doPrepared runs op over the prepared wire with the string path as
+// fallback: servers that answer ErrUnprepared get the text re-sent
+// once; peers that don't understand the op at all (a pre-prepared-wire
+// server mangles or rejects the frame) drop the connection to the
+// string protocol permanently.
+func (c *Client) doPrepared(op, strOp byte, id int, sql string, args []val.Value) (*rpc.Reader, error) {
+	if c.noPrepare || id < 0 {
+		return c.do(strOp, sql, args)
+	}
+	hasSQL := id >= len(c.prepared) || !c.prepared[id]
+	r, err := c.call(encodePrepared(op, id, hasSQL, sql, args))
+	if err == nil {
+		c.markPrepared(id)
+		return r, nil
+	}
+	if errors.Is(err, ErrUnprepared) {
+		r, err = c.call(encodePrepared(op, id, true, sql, args))
+		if err == nil {
+			c.markPrepared(id)
+		}
+		return r, err
+	}
+	if isOldPeer(err) {
+		c.noPrepare = true
+		return c.do(strOp, sql, args)
+	}
+	return nil, err
+}
+
+func (c *Client) markPrepared(id int) {
+	for len(c.prepared) <= id {
+		c.prepared = append(c.prepared, false)
+	}
+	c.prepared[id] = true
+}
+
+// isOldPeer recognizes how a server without the prepared ops fails:
+// its handler either rejects the op byte outright or misparses the
+// frame as a string request and runs off the buffer. Execution never
+// started in either case, so retrying on the string path is safe.
+func isOldPeer(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "unknown op") || strings.Contains(s, "short buffer")
+}
+
 func (c *Client) Exec(sql string, args ...val.Value) (int, error) {
 	r, err := c.do(opExec, sql, args)
+	if err != nil {
+		return 0, err
+	}
+	n := int(r.I64())
+	return n, r.Err()
+}
+
+func (c *Client) ExecStmt(id int, sql string, args ...val.Value) (int, error) {
+	r, err := c.doPrepared(opPrepExec, opExec, id, sql, args)
 	if err != nil {
 		return 0, err
 	}
@@ -117,6 +256,18 @@ func (c *Client) Query(sql string, args ...val.Value) (*sqldb.ResultSet, error) 
 	if err != nil {
 		return nil, err
 	}
+	return decodeResultSet(r)
+}
+
+func (c *Client) QueryStmt(id int, sql string, args ...val.Value) (*sqldb.ResultSet, error) {
+	r, err := c.doPrepared(opPrepQuery, opQuery, id, sql, args)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResultSet(r)
+}
+
+func decodeResultSet(r *rpc.Reader) (*sqldb.ResultSet, error) {
 	rs := &sqldb.ResultSet{}
 	ncols := int(r.U32())
 	for i := 0; i < ncols; i++ {
@@ -139,6 +290,7 @@ var wireErrors = map[string]error{
 	"deadlock":       sqldb.ErrDeadlock,
 	"dup-key":        sqldb.ErrDupKey,
 	"no-transaction": sqldb.ErrNoTransaction,
+	"unprepared":     ErrUnprepared,
 }
 
 func encodeError(err error) string {
@@ -149,6 +301,8 @@ func encodeError(err error) string {
 		return "dup-key"
 	case errors.Is(err, sqldb.ErrNoTransaction):
 		return "no-transaction"
+	case errors.Is(err, ErrUnprepared):
+		return "unprepared"
 	}
 	return "! " + err.Error()
 }
@@ -208,10 +362,17 @@ func (h *muxHandlers) Closed(sid uint32) {
 
 // SessionHandler serves the wire protocol against an existing session
 // (useful when the caller needs to control the session's WaitPoint).
+// Each handler keeps its session's prepared-statement table: ids are
+// bound when a request carries the SQL text and resolved to the
+// pre-parsed statement on every later call.
 func SessionHandler(sess *sqldb.Session) rpc.Handler {
+	prepared := map[uint64]sqldb.SQLStmt{}
 	return func(req []byte) ([]byte, error) {
 		r := &rpc.Reader{Buf: req}
 		op := r.Byte()
+		if op == opPrepExec || op == opPrepQuery {
+			return servePrepared(sess, prepared, op, r)
+		}
 		sql := r.Str()
 		args := r.Vals()
 		if err := r.Err(); err != nil {
@@ -232,14 +393,7 @@ func SessionHandler(sess *sqldb.Session) rpc.Handler {
 				return encodeErr(err), nil
 			}
 			w.Bool(true)
-			w.U32(uint32(len(rs.Cols)))
-			for _, c := range rs.Cols {
-				w.Str(c)
-			}
-			w.U32(uint32(len(rs.Rows)))
-			for _, row := range rs.Rows {
-				w.Vals(row)
-			}
+			writeResultSet(&w, rs)
 		case opBegin:
 			if err := sess.Begin(); err != nil {
 				return encodeErr(err), nil
@@ -259,6 +413,59 @@ func SessionHandler(sess *sqldb.Session) rpc.Handler {
 			return nil, fmt.Errorf("dbapi: unknown op %d", op)
 		}
 		return w.Buf, nil
+	}
+}
+
+// servePrepared handles the prepared-statement ops.
+func servePrepared(sess *sqldb.Session, prepared map[uint64]sqldb.SQLStmt, op byte, r *rpc.Reader) ([]byte, error) {
+	id := r.Uvarint()
+	hasSQL := r.Bool()
+	var sqlText string
+	if hasSQL {
+		sqlText = r.Str()
+	}
+	args := r.Vals()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	var st sqldb.SQLStmt
+	if hasSQL {
+		var perr error
+		st, perr = sess.Prepare(sqlText)
+		if perr != nil {
+			return encodeErr(perr), nil
+		}
+		prepared[id] = st
+	} else if st = prepared[id]; st == nil {
+		return encodeErr(ErrUnprepared), nil
+	}
+	var w rpc.Writer
+	if op == opPrepExec {
+		n, err := sess.ExecParsed(st, args...)
+		if err != nil {
+			return encodeErr(err), nil
+		}
+		w.Bool(true)
+		w.I64(int64(n))
+	} else {
+		rs, err := sess.QueryParsed(st, args...)
+		if err != nil {
+			return encodeErr(err), nil
+		}
+		w.Bool(true)
+		writeResultSet(&w, rs)
+	}
+	return w.Buf, nil
+}
+
+func writeResultSet(w *rpc.Writer, rs *sqldb.ResultSet) {
+	w.U32(uint32(len(rs.Cols)))
+	for _, c := range rs.Cols {
+		w.Str(c)
+	}
+	w.U32(uint32(len(rs.Rows)))
+	for _, row := range rs.Rows {
+		w.Vals(row)
 	}
 }
 

@@ -44,6 +44,13 @@ func (w *Writer) U64(v uint64) {
 func (w *Writer) I64(v int64)   { w.U64(uint64(v)) }
 func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
 
+// Uvarint appends v LEB128-encoded — the compact form for the small
+// integers (statement ids, method indices, slot counts) on the hot
+// wire.
+func (w *Writer) Uvarint(v uint64) {
+	w.Buf = binary.AppendUvarint(w.Buf, v)
+}
+
 func (w *Writer) Str(s string) {
 	w.U32(uint32(len(s)))
 	w.Buf = append(w.Buf, s...)
@@ -122,6 +129,20 @@ func (r *Reader) U64() uint64 {
 
 func (r *Reader) I64() int64   { return int64(r.U64()) }
 func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Uvarint decodes a LEB128 unsigned integer.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.Buf[r.Off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.Off += n
+	return v
+}
 
 func (r *Reader) Str() string {
 	n := int(r.U32())

@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pyxis/internal/compile"
+	"pyxis/internal/pdg"
+	"pyxis/internal/source"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// TestDifferentialRandomPlacements is the observational-equivalence
+// property test for the fused hot path: for each source program and a
+// sweep of seeded random statement/field placements, the same call
+// schedule runs through
+//
+//   - the seed pipeline: unfused blocks on a Legacy deployment
+//     (version-0 transfers, string SQL, per-call frame allocation), and
+//   - the fused pipeline: Fuse()d superblocks with live-slot delta
+//     transfers and pooled frames,
+//
+// and every observable — return values, errors, printed output — must
+// match exactly, while the fused run's control-transfer count must
+// never exceed the seed run's (fusion only merges or threads edges, so
+// it can only remove boundary crossings).
+
+const diffLoopSrc = `
+class L {
+    int total;
+    int[] buf;
+
+    L() {
+        total = 0;
+        buf = new int[16];
+    }
+
+    int step(int x) {
+        int y = x;
+        while (y > 0) {
+            total = total + y % 3;
+            y = y - 1;
+        }
+        return total;
+    }
+
+    entry int run(int n) {
+        int i = 0;
+        while (i < n) {
+            buf[i % 16] = step(i);
+            i = i + 1;
+        }
+        return total;
+    }
+
+    entry int peek(int i) {
+        return buf[i % 16];
+    }
+
+    entry string show() {
+        string s = "t=" + sys.str(total);
+        sys.print(s);
+        return s;
+    }
+}
+`
+
+// diffCall is one step of a deterministic call schedule.
+type diffCall struct {
+	method string
+	args   []val.Value
+}
+
+// diffSchedule derives a seeded schedule of entry calls for a source.
+func diffSchedule(class string, entries []string, rng *rand.Rand, n int) []diffCall {
+	var calls []diffCall
+	for i := 0; i < n; i++ {
+		m := entries[rng.Intn(len(entries))]
+		var args []val.Value
+		switch class + "." + m {
+		case "Calc.apply":
+			args = []val.Value{val.IntV(int64(rng.Intn(20))), val.BoolV(rng.Intn(2) == 0)}
+		case "Calc.histAt", "L.peek":
+			args = []val.Value{val.IntV(int64(rng.Intn(16)))}
+		case "L.run":
+			args = []val.Value{val.IntV(int64(1 + rng.Intn(6)))}
+		}
+		calls = append(calls, diffCall{method: class + "." + m, args: args})
+	}
+	return calls
+}
+
+// randomAssign returns a compileWith assignment that places each field
+// and each statement of every method on a seeded coin flip.
+func randomAssign(seed int64) func(g *pdg.Graph, place pdg.Placement) {
+	return func(g *pdg.Graph, place pdg.Placement) {
+		rng := rand.New(rand.NewSource(seed))
+		prog := g.Prog
+		for id := range prog.Fields {
+			if rng.Intn(2) == 0 {
+				place[id] = pdg.DB
+			}
+		}
+		for _, cl := range prog.Classes {
+			for _, m := range cl.Methods {
+				if rng.Intn(2) == 0 {
+					place[m.EntryID] = pdg.DB
+				}
+				source.WalkMethodStmts(m, func(s source.Stmt) bool {
+					if rng.Intn(2) == 0 {
+						place[s.ID()] = pdg.DB
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// runSchedule drives calls against a fresh deployment of compiled and
+// returns the observable trace plus the control-transfer count.
+func runSchedule(t *testing.T, compiled *compile.Program, legacy bool, class string, calls []diffCall) (trace string, transfers int64) {
+	t.Helper()
+	var out bytes.Buffer
+	dep := NewDeployment(compiled, sqldb.Open(), Options{Out: &out, Legacy: legacy})
+	oid, err := dep.Client.NewObject(class)
+	if err != nil {
+		t.Fatalf("NewObject(%s): %v", class, err)
+	}
+	var tr bytes.Buffer
+	for i, c := range calls {
+		v, err := dep.Client.CallEntry(c.method, oid, c.args...)
+		if err != nil {
+			fmt.Fprintf(&tr, "%d %s -> err %v\n", i, c.method, err)
+			continue
+		}
+		fmt.Fprintf(&tr, "%d %s -> %s\n", i, c.method, v.String())
+	}
+	tr.WriteString("--- printed ---\n")
+	tr.Write(out.Bytes())
+	return tr.String(), dep.App.Metrics.Snapshot().Transfers
+}
+
+func TestDifferentialRandomPlacements(t *testing.T) {
+	programs := []struct {
+		name, src, class string
+		entries          []string
+	}{
+		{"calc", calcSrc, "Calc", []string{"apply", "histAt", "describe"}},
+		{"loop", diffLoopSrc, "L", []string{"run", "peek", "show"}},
+	}
+	for _, p := range programs {
+		for seed := int64(1); seed <= 8; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", p.name, seed), func(t *testing.T) {
+				// Compile the same random placement twice so Fuse (which
+				// rewrites in place) gets its own copy.
+				unfused := compileWith(t, p.src, randomAssign(seed))
+				fused := compileWith(t, p.src, randomAssign(seed))
+				stats := compile.Fuse(fused)
+				if len(fused.Blocks) > len(unfused.Blocks) {
+					t.Fatalf("fusion grew the program: %d -> %d blocks", len(unfused.Blocks), len(fused.Blocks))
+				}
+
+				rng := rand.New(rand.NewSource(seed * 7919))
+				calls := diffSchedule(p.class, p.entries, rng, 24)
+
+				seedTrace, seedTransfers := runSchedule(t, unfused, true, p.class, calls)
+				fusedTrace, fusedTransfers := runSchedule(t, fused, false, p.class, calls)
+
+				if seedTrace != fusedTrace {
+					t.Errorf("fused pipeline diverged (fuse %s):\n-- seed --\n%s\n-- fused --\n%s",
+						stats, seedTrace, fusedTrace)
+				}
+				if fusedTransfers > seedTransfers {
+					t.Errorf("fusion increased transfers: %d -> %d", seedTransfers, fusedTransfers)
+				}
+			})
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"pyxis/internal/interp"
 	"pyxis/internal/pdg"
 	"pyxis/internal/source"
+	"pyxis/internal/sqldb"
 	"pyxis/internal/val"
 )
 
@@ -73,6 +74,12 @@ type Peer struct {
 	// serialized by the peer, so any io.Writer is safe.
 	Out io.Writer
 	Env Env
+	// Legacy pins the peer to the seed's hot path: version-0 stack
+	// transfers (full slots, qname strings), string-SQL database calls,
+	// and a fresh allocation per activation frame. Both peers of a
+	// deployment must agree. The interp-vs-vm benchmark runs a Legacy
+	// deployment as its baseline.
+	Legacy bool
 
 	Metrics Metrics
 
@@ -99,6 +106,19 @@ type Session struct {
 	DB   dbapi.Conn
 	Heap *Heap
 
+	// prep is DB with its prepared-statement surface exposed, when the
+	// connection offers one and the peer is not Legacy. Database ops
+	// whose instruction carries a program-interned statement id go
+	// through it.
+	prep dbapi.PreparedConn
+	// framePool recycles activation records (capped at framePoolCap);
+	// see newFrame/freeFrame.
+	framePool []*Frame
+	// argbuf is the database-call argument scratch; the engine consumes
+	// arguments by value during the (synchronous) call, so one slice per
+	// session suffices.
+	argbuf []val.Value
+
 	pending []pendingSync
 	pendSet map[pendKey]bool
 }
@@ -107,7 +127,13 @@ type Session struct {
 // connection (which the session owns: one connection = one
 // transaction context).
 func (p *Peer) NewSession(db dbapi.Conn) *Session {
-	return &Session{Peer: p, DB: db, Heap: NewHeap(p.Side), pendSet: map[pendKey]bool{}}
+	sn := &Session{Peer: p, DB: db, Heap: NewHeap(p.Side), pendSet: map[pendKey]bool{}}
+	if !p.Legacy {
+		if pc, ok := db.(dbapi.PreparedConn); ok {
+			sn.prep = pc
+		}
+	}
+	return sn
 }
 
 type pendKey struct {
@@ -147,6 +173,63 @@ type Frame struct {
 	Slots   []val.Value
 	RetSlot int
 	Cont    compile.BlockID
+}
+
+// framePoolCap bounds the per-session free list of activation records.
+const framePoolCap = 64
+
+// newFrame returns a zeroed activation record for m, recycling from
+// the session pool when possible. A Legacy peer always allocates
+// fresh, so the interp-vs-vm benchmark prices the seed's allocation
+// behaviour through it.
+func (sn *Session) newFrame(m *compile.MethodInfo) *Frame {
+	if n := len(sn.framePool); n > 0 && !sn.Peer.Legacy {
+		fr := sn.framePool[n-1]
+		sn.framePool[n-1] = nil
+		sn.framePool = sn.framePool[:n-1]
+		fr.Method = m
+		fr.RetSlot = 0
+		fr.Cont = compile.NoBlock
+		if cap(fr.Slots) >= m.NSlots {
+			fr.Slots = fr.Slots[:m.NSlots]
+			clear(fr.Slots)
+		} else {
+			fr.Slots = make([]val.Value, m.NSlots)
+		}
+		return fr
+	}
+	return &Frame{Method: m, Slots: make([]val.Value, m.NSlots), Cont: compile.NoBlock}
+}
+
+// freeFrame returns fr to the pool. Callers must hold no live
+// reference: a frame is freed only after its method returned or after
+// the frame was fully serialized onto the wire.
+func (sn *Session) freeFrame(fr *Frame) {
+	if sn.Peer.Legacy || len(sn.framePool) >= framePoolCap {
+		return
+	}
+	fr.Method = nil
+	sn.framePool = append(sn.framePool, fr)
+}
+
+// dbArgs returns an n-element argument slice — the session scratch,
+// or a fresh allocation on Legacy peers (which price the seed's
+// allocation behaviour).
+func (sn *Session) dbArgs(n int) []val.Value {
+	if sn.Peer.Legacy {
+		return make([]val.Value, n)
+	}
+	if cap(sn.argbuf) < n {
+		sn.argbuf = make([]val.Value, n)
+	}
+	return sn.argbuf[:n]
+}
+
+// freeStack frees every frame of a serialized stack.
+func (sn *Session) freeStack(stack []*Frame) {
+	for _, fr := range stack {
+		sn.freeFrame(fr)
+	}
 }
 
 // RunError is a runtime failure inside partitioned code.
@@ -200,12 +283,9 @@ func (sn *Session) Run(b compile.BlockID, stack []*Frame) (next compile.BlockID,
 			}
 		case compile.TCall:
 			callee := blk.Term.Method
-			nf := &Frame{
-				Method:  callee,
-				Slots:   make([]val.Value, callee.NSlots),
-				RetSlot: blk.Term.RetSlot,
-				Cont:    blk.Term.Cont,
-			}
+			nf := sn.newFrame(callee)
+			nf.RetSlot = blk.Term.RetSlot
+			nf.Cont = blk.Term.Cont
 			for i, src := range blk.Term.Args {
 				nf.Slots[i] = fr.Slots[src]
 			}
@@ -220,11 +300,13 @@ func (sn *Session) Run(b compile.BlockID, stack []*Frame) (next compile.BlockID,
 			}
 			stack = stack[:len(stack)-1]
 			if len(stack) == 0 {
+				sn.freeFrame(fr)
 				return 0, true, v, stack, nil
 			}
 			caller := stack[len(stack)-1]
 			caller.Slots[fr.RetSlot] = v
 			b = fr.Cont
+			sn.freeFrame(fr)
 		}
 	}
 }
@@ -311,11 +393,17 @@ func (sn *Session) exec(in *compile.Instr, fr *Frame) error {
 		if p.Env != nil {
 			p.Env.DBCall(p.Side)
 		}
-		args := make([]val.Value, len(in.Args))
+		args := sn.dbArgs(len(in.Args))
 		for i, slot := range in.Args {
 			args[i] = s[slot]
 		}
-		rs, err := sn.DB.Query(in.SQL, args...)
+		var rs *sqldb.ResultSet
+		var err error
+		if sn.prep != nil && int(in.SQLID) < len(p.Prog.SQLTable) && p.Prog.SQLTable[in.SQLID] == in.SQL {
+			rs, err = sn.prep.QueryStmt(int(in.SQLID), in.SQL, args...)
+		} else {
+			rs, err = sn.DB.Query(in.SQL, args...)
+		}
 		if err != nil {
 			return fmt.Errorf("db.query: %w", err)
 		}
@@ -325,11 +413,17 @@ func (sn *Session) exec(in *compile.Instr, fr *Frame) error {
 		if p.Env != nil {
 			p.Env.DBCall(p.Side)
 		}
-		args := make([]val.Value, len(in.Args))
+		args := sn.dbArgs(len(in.Args))
 		for i, slot := range in.Args {
 			args[i] = s[slot]
 		}
-		n, err := sn.DB.Exec(in.SQL, args...)
+		var n int
+		var err error
+		if sn.prep != nil && int(in.SQLID) < len(p.Prog.SQLTable) && p.Prog.SQLTable[in.SQLID] == in.SQL {
+			n, err = sn.prep.ExecStmt(int(in.SQLID), in.SQL, args...)
+		} else {
+			n, err = sn.DB.Exec(in.SQL, args...)
+		}
 		if err != nil {
 			return fmt.Errorf("db.update: %w", err)
 		}

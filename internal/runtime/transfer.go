@@ -23,39 +23,131 @@ import (
 // Each session preserves a single logical thread of control; many
 // sessions run the protocol concurrently over a multiplexed transport.
 
-func encodeStack(w *rpc.Writer, stack []*Frame) {
-	w.U32(uint32(len(stack)))
-	for _, fr := range stack {
-		w.Str(fr.Method.QName)
-		w.Vals(fr.Slots)
-		w.U32(uint32(fr.RetSlot))
-		w.U32(uint32(int32(fr.Cont)))
+// Stack codec versions. Version 0 is the seed's codec: method qnames
+// as strings and every slot of every frame on the wire. Version 1 is
+// the delta codec: the compile-assigned method index replaces the
+// qname, and only the slots live at the frame's resume point travel,
+// gated by an explicit per-frame bitmap so the decoder needs no
+// liveness information of its own (a peer whose program lacks liveness
+// simply sends a full bitmap). A Legacy peer encodes version 0 — the
+// interp-vs-vm benchmark uses it to price the fat wire — and either
+// peer decodes both.
+const (
+	stackV0 = 0
+	stackV1 = 1
+)
+
+// encodeStack serializes the frame stack. resume is the block where
+// the top frame resumes on the receiving side; a caller frame resumes
+// at its callee's continuation, with the callee's return slot excluded
+// from the live set because the return value overwrites it.
+func (sn *Session) encodeStack(w *rpc.Writer, stack []*Frame, resume compile.BlockID) {
+	if sn.Peer.Legacy {
+		w.Byte(stackV0)
+		w.U32(uint32(len(stack)))
+		for _, fr := range stack {
+			w.Str(fr.Method.QName)
+			w.Vals(fr.Slots)
+			w.U32(uint32(fr.RetSlot))
+			w.U32(uint32(int32(fr.Cont)))
+		}
+		return
+	}
+	prog := sn.Peer.Prog
+	w.Byte(stackV1)
+	w.Uvarint(uint64(len(stack)))
+	for i, fr := range stack {
+		w.Uvarint(uint64(fr.Method.Idx))
+		w.Uvarint(uint64(fr.RetSlot))
+		w.Uvarint(uint64(int64(fr.Cont) + 1)) // NoBlock (-1) encodes as 0
+		at, skip := resume, -1
+		if i < len(stack)-1 {
+			at, skip = stack[i+1].Cont, stack[i+1].RetSlot
+		}
+		var blk *compile.Block
+		if at != compile.NoBlock {
+			blk = prog.Block(at)
+		}
+		maskOff := len(w.Buf)
+		for j := 0; j < (len(fr.Slots)+7)/8; j++ {
+			w.Byte(0)
+		}
+		for s := range fr.Slots {
+			if s == skip || (blk != nil && !blk.LiveAt(s)) {
+				continue
+			}
+			w.Buf[maskOff+s>>3] |= 1 << (uint(s) & 7)
+			w.Val(fr.Slots[s])
+		}
 	}
 }
 
-func decodeStack(r *rpc.Reader, prog *compile.Program) ([]*Frame, error) {
-	n := int(r.U32())
-	stack := make([]*Frame, 0, n)
-	for i := 0; i < n; i++ {
-		qname := r.Str()
-		m := prog.Method(qname)
-		if m == nil {
-			return nil, fmt.Errorf("runtime: transfer references unknown method %q", qname)
+// decodeStack reconstructs a frame stack, dispatching on the codec
+// version byte. Version-1 frames come from the session's frame pool;
+// dead slots are left zeroed (liveness guarantees they are written
+// before any read).
+func (sn *Session) decodeStack(r *rpc.Reader) ([]*Frame, error) {
+	prog := sn.Peer.Prog
+	switch v := r.Byte(); v {
+	case stackV0:
+		n := int(r.U32())
+		if r.Err() != nil || n < 0 || n > len(r.Buf) {
+			return nil, fmt.Errorf("runtime: bad stack depth %d", n)
 		}
-		fr := &Frame{
-			Method:  m,
-			Slots:   r.Vals(),
-			RetSlot: int(r.U32()),
-			Cont:    compile.BlockID(int32(r.U32())),
+		stack := make([]*Frame, 0, n)
+		for i := 0; i < n; i++ {
+			qname := r.Str()
+			m := prog.Method(qname)
+			if m == nil {
+				return nil, fmt.Errorf("runtime: transfer references unknown method %q", qname)
+			}
+			fr := &Frame{
+				Method:  m,
+				Slots:   r.Vals(),
+				RetSlot: int(r.U32()),
+				Cont:    compile.BlockID(int32(r.U32())),
+			}
+			if len(fr.Slots) < m.NSlots {
+				grown := make([]val.Value, m.NSlots)
+				copy(grown, fr.Slots)
+				fr.Slots = grown
+			}
+			stack = append(stack, fr)
 		}
-		if len(fr.Slots) < m.NSlots {
-			grown := make([]val.Value, m.NSlots)
-			copy(grown, fr.Slots)
-			fr.Slots = grown
+		return stack, r.Err()
+	case stackV1:
+		n := int(r.Uvarint())
+		if r.Err() != nil || n < 0 || n > len(r.Buf) {
+			return nil, fmt.Errorf("runtime: bad stack depth %d", n)
 		}
-		stack = append(stack, fr)
+		stack := make([]*Frame, 0, n)
+		for i := 0; i < n; i++ {
+			idx := int(r.Uvarint())
+			if r.Err() != nil || idx < 0 || idx >= len(prog.MethodList) {
+				return nil, fmt.Errorf("runtime: transfer references unknown method index %d", idx)
+			}
+			fr := sn.newFrame(prog.MethodList[idx])
+			fr.RetSlot = int(r.Uvarint())
+			fr.Cont = compile.BlockID(int64(r.Uvarint()) - 1)
+			nb := (fr.Method.NSlots + 7) / 8
+			maskOff := r.Off
+			for j := 0; j < nb; j++ {
+				r.Byte()
+			}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			for s := 0; s < fr.Method.NSlots; s++ {
+				if r.Buf[maskOff+s>>3]&(1<<(uint(s)&7)) != 0 {
+					fr.Slots[s] = r.Val()
+				}
+			}
+			stack = append(stack, fr)
+		}
+		return stack, r.Err()
+	default:
+		return nil, fmt.Errorf("runtime: unknown stack codec version %d", v)
 	}
-	return stack, r.Err()
 }
 
 // Client drives a partitioned program from the application server: it
@@ -147,7 +239,7 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 	}
 	sn := c.Sess
 	peer := sn.Peer
-	fr := &Frame{Method: m, Slots: make([]val.Value, m.NSlots), RetSlot: 0, Cont: compile.NoBlock}
+	fr := sn.newFrame(m)
 	fr.Slots[0] = val.ObjV(this)
 	for i, a := range args {
 		if m.Params[i].K == source.KDouble && a.K == val.Int {
@@ -168,9 +260,10 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 		// Control transfer to the DB peer.
 		var w rpc.Writer
 		w.I64(int64(next))
-		encodeStack(&w, outStack)
+		sn.encodeStack(&w, outStack, next)
 		encodeSync(&w, sn.Heap, sn.takePending())
 		req := w.Buf
+		sn.freeStack(outStack)
 		peer.Metrics.Transfers.Add(1)
 		peer.Metrics.BytesSent.Add(int64(len(req)))
 		if peer.Env != nil {
@@ -206,7 +299,7 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 			return retv, nil
 		}
 		b = compile.BlockID(int32(r.U32()))
-		stack, err = decodeStack(r, peer.Prog)
+		stack, err = sn.decodeStack(r)
 		if err != nil {
 			return val.Value{}, err
 		}
@@ -227,7 +320,7 @@ func Handler(sn *Session) rpc.Handler {
 	return func(req []byte) ([]byte, error) {
 		r := &rpc.Reader{Buf: req}
 		b := compile.BlockID(r.I64())
-		stack, err := decodeStack(r, peer.Prog)
+		stack, err := sn.decodeStack(r)
 		if err != nil {
 			return nil, err
 		}
@@ -249,9 +342,10 @@ func Handler(sn *Session) rpc.Handler {
 			w.Val(ret)
 		} else {
 			w.U32(uint32(int32(next)))
-			encodeStack(&w, outStack)
+			sn.encodeStack(&w, outStack, next)
 		}
 		encodeSync(&w, sn.Heap, sn.takePending())
+		sn.freeStack(outStack)
 		peer.Metrics.Transfers.Add(1)
 		peer.Metrics.BytesSent.Add(int64(len(w.Buf)))
 		if peer.Env != nil {
@@ -291,6 +385,10 @@ type Options struct {
 	// shared by every session of the deployment; see the Env interface
 	// for the concurrency contract when sessions run on goroutines.
 	Env Env
+	// Legacy runs both peers on the seed's hot path (version-0
+	// transfers, string SQL, per-call frame allocation); see
+	// Peer.Legacy.
+	Legacy bool
 }
 
 // NewDeployment wires a compiled program to a database entirely
@@ -298,8 +396,10 @@ type Options struct {
 func NewDeployment(prog *compile.Program, db *sqldb.DB, opts Options) *Deployment {
 	dbPeer := NewPeer(prog, pdg.DB, opts.Out)
 	dbPeer.Env = opts.Env
+	dbPeer.Legacy = opts.Legacy
 	appPeer := NewPeer(prog, pdg.App, opts.Out)
 	appPeer.Env = opts.Env
+	appPeer.Legacy = opts.Legacy
 
 	d := &Deployment{
 		Prog:     prog,

@@ -64,8 +64,12 @@ type DB struct {
 
 	lm *lockManager
 
-	planMu    sync.RWMutex
-	planCache map[string]SQLStmt
+	// planCache maps SQL text to its immutable parsed statement. A
+	// sync.Map fits the workload exactly: written once per distinct
+	// statement, then read forever — steady-state lookups take no lock
+	// at all, so sessions never contend here (the old RWMutex
+	// serialized every statement in the system through one word).
+	planCache sync.Map // string → SQLStmt
 
 	nextTxn atomic.Int64
 	stats   statsCounters
@@ -74,9 +78,8 @@ type DB struct {
 // Open creates an empty database.
 func Open() *DB {
 	return &DB{
-		tables:    map[string]*Table{},
-		lm:        newLockManager(),
-		planCache: map[string]SQLStmt{},
+		tables: map[string]*Table{},
+		lm:     newLockManager(),
 	}
 }
 
@@ -535,22 +538,19 @@ func (s *Session) acquireLock(txn *Txn, key lockKey, mode LockMode) error {
 }
 
 // parse returns a cached parse of sql. Parsed statements are immutable
-// and shared across sessions.
+// and shared across sessions. Concurrent first touches may both parse,
+// but LoadOrStore guarantees every caller converges on one shared
+// statement object.
 func (db *DB) parse(sql string) (SQLStmt, error) {
-	db.planMu.RLock()
-	st, ok := db.planCache[sql]
-	db.planMu.RUnlock()
-	if ok {
-		return st, nil
+	if st, ok := db.planCache.Load(sql); ok {
+		return st.(SQLStmt), nil
 	}
 	st, err := ParseSQL(sql)
 	if err != nil {
 		return nil, err
 	}
-	db.planMu.Lock()
-	db.planCache[sql] = st
-	db.planMu.Unlock()
-	return st, nil
+	actual, _ := db.planCache.LoadOrStore(sql, st)
+	return actual.(SQLStmt), nil
 }
 
 // ResultSet is the result of a query: column names plus rows.
@@ -571,6 +571,11 @@ func (r *ResultSet) Size() int {
 	return n
 }
 
+// Prepare parses sql once (through the shared plan cache) and returns
+// the immutable statement for repeated execution via ExecParsed /
+// QueryParsed — the server half of the prepared-statement wire.
+func (s *Session) Prepare(sql string) (SQLStmt, error) { return s.db.parse(sql) }
+
 // Exec runs a DDL or DML statement. It returns the number of rows
 // affected. Outside an explicit transaction the statement autocommits.
 func (s *Session) Exec(sql string, args ...val.Value) (int, error) {
@@ -578,6 +583,12 @@ func (s *Session) Exec(sql string, args ...val.Value) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return s.ExecParsed(st, args...)
+}
+
+// ExecParsed is Exec on a pre-parsed statement, skipping the plan
+// cache entirely.
+func (s *Session) ExecParsed(st SQLStmt, args ...val.Value) (int, error) {
 	return s.execStmt(st, args)
 }
 
@@ -587,6 +598,11 @@ func (s *Session) Query(sql string, args ...val.Value) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.QueryParsed(st, args...)
+}
+
+// QueryParsed is Query on a pre-parsed statement.
+func (s *Session) QueryParsed(st SQLStmt, args ...val.Value) (*ResultSet, error) {
 	sel, ok := st.(*SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("sqldb: Query requires SELECT, got %T", st)

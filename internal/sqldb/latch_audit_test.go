@@ -165,8 +165,8 @@ func TestLatchAuditStructuralAccess(t *testing.T) {
 }
 
 // TestLatchAuditNoGlobalMutex asserts invariant 1: no sync.Mutex field
-// on DB (the engine must stay sharded; catMu/planMu are RWMutexes and
-// the lock manager stripes its own).
+// on DB (the engine must stay sharded; catMu is an RWMutex, the plan
+// cache is a lock-free sync.Map and the lock manager stripes its own).
 func TestLatchAuditNoGlobalMutex(t *testing.T) {
 	_, files, _ := auditPackage(t)
 	for _, f := range files {

@@ -58,6 +58,10 @@ type System struct {
 	Solver solver.Solver
 	// NoReorder disables the §4.4 statement reordering.
 	NoReorder bool
+	// NoFuse disables the superblock fusion post-pass, leaving the
+	// compiler's raw block graph (the seed pipeline; benches use it to
+	// price fusion).
+	NoFuse bool
 }
 
 // Load parses, checks and statically analyzes a PyxJ program.
@@ -168,6 +172,9 @@ func (s *System) Partition(budget float64) (*Partition, error) {
 	compiled, err := compile.Compile(px)
 	if err != nil {
 		return nil, err
+	}
+	if !s.NoFuse {
+		compile.Fuse(compiled)
 	}
 	return &Partition{System: s, Place: place, PyxIL: px, Compiled: compiled, Report: rep}, nil
 }
