@@ -369,12 +369,17 @@ func runPoolWall(clients, txns, pool int) {
 // independent shard servers, each owning a disjoint warehouse range
 // with its own database, lock manager and runtime — the shared-nothing
 // scale-out rung after pool-wall's single-server connection pool. The
+// mix is the full TPC-C spec mix: remote-warehouse Payments (15%) and
+// remote-supply NewOrders (~10%) ride every point, and on the sharded
+// point the ones that cross a shard boundary run as two-branch 2PC
+// transactions with their own latency/commit class in the report. The
 // N-shard speedup is enforced (>= 1.3x) on parallel hardware (>= 4
 // CPUs, >= 8 sessions, no race detector), the cross-shard invariant
-// aggregator must hold after every point (RunShardScaling exits
-// non-zero otherwise), and the report is always written to
-// BENCH_shard-wall.json so the scale-out trajectory is machine-
-// comparable across PRs.
+// aggregator — including the global c_balance-vs-w_ytd and
+// s_ytd-vs-ol_quantity sums that bind the remote branches — must hold
+// after every point (RunShardScaling exits non-zero otherwise), and
+// the report is always written to BENCH_shard-wall.json so the
+// scale-out trajectory is machine-comparable across PRs.
 func runShardWall(clients, txns, shards int) {
 	if clients < 1 || txns < 1 || shards < 2 {
 		fmt.Fprintln(os.Stderr, "pyxis-bench: -clients/-txns must be >= 1 and -shards >= 2")
@@ -396,9 +401,10 @@ func runShardWall(clients, txns, shards int) {
 	fmt.Printf("budget 1.0: {%s} warehouses=%d\n", part.Describe(), cfg.Warehouses)
 	// Mostly-read mix (as in pool-wall): cheap lastOrder calls keep the
 	// single server wire-bound, which is the serial resource sharding
-	// multiplies; the writes keep the invariant aggregator honest.
+	// multiplies; the writes — remote mix included — keep the invariant
+	// aggregator honest.
 	base := bench.ShardCfg{Clients: clients, Txns: txns, Conns: 1,
-		WriteEvery: 8, PaymentEvery: 3, TCP: true}
+		WriteEvery: 8, PaymentEvery: 3, RemoteMix: true, TCP: true}
 	results, err := bench.RunShardScaling(part, cfg, base, []int{1, shards})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pyxis-bench: shard-wall:", err)
@@ -406,6 +412,32 @@ func runShardWall(clients, txns, shards int) {
 	}
 	fmt.Println(bench.ShardScalingReport(results))
 	last := results[len(results)-1]
+	fmt.Printf("remote mix @%d shards: remote(pay=%d/%d no=%d/%d) 2pc(txns=%d commits=%d aborts=%d) lat(local mean=%.3fms p95=%.3fms | dist mean=%.3fms p95=%.3fms)\n",
+		last.Shards, last.RemotePayments, last.Payments, last.RemoteNewOrders, last.NewOrders,
+		last.DistTxns, last.DistCommits, last.DistAborts,
+		last.LocalMeanMs, last.LocalP95Ms, last.DistMeanMs, last.DistP95Ms)
+	// The spec remote rates must survive the drive: >= 1% remote
+	// Payments (spec rolls 15%) and >= 5% remote NewOrders (spec ~10%),
+	// gated on enough samples per class for the rate to be meaningful,
+	// plus at least one genuinely cross-shard 2PC commit on the sharded
+	// point.
+	if last.Payments >= 30 {
+		if rate := float64(last.RemotePayments) / float64(last.Payments); rate < 0.01 {
+			fmt.Fprintf(os.Stderr, "pyxis-bench: shard-wall: remote Payment rate %.1f%% below the 1%% spec floor\n", rate*100)
+			os.Exit(1)
+		}
+	}
+	if last.NewOrders >= 30 {
+		if rate := float64(last.RemoteNewOrders) / float64(last.NewOrders); rate < 0.05 {
+			fmt.Fprintf(os.Stderr, "pyxis-bench: shard-wall: remote NewOrder rate %.1f%% below 5%% (spec ~10%%)\n", rate*100)
+			os.Exit(1)
+		}
+	}
+	if last.Shards >= 2 && last.RemotePayments+last.RemoteNewOrders >= 10 && last.DistCommits == 0 {
+		fmt.Fprintf(os.Stderr, "pyxis-bench: shard-wall: %d remote transactions but no cross-shard 2PC commit\n",
+			last.RemotePayments+last.RemoteNewOrders)
+		os.Exit(1)
+	}
 	// Clients spread over WAREHOUSES (not shards), so full shard
 	// coverage is only guaranteed once every warehouse has a client.
 	if clients >= cfg.Warehouses {

@@ -196,10 +196,18 @@ func main() {
 	// transactions — shedding there would abort work the server chose
 	// to accept, and a client needing one slot on each port could
 	// otherwise starve against a shared cap.
+	//
+	// The database port also plays 2PC participant for cross-shard
+	// transactions. The participant is ONE per server, shared by every
+	// accepted connection: a coordinator's commit/abort frame may
+	// arrive on a different connection than the prepare (app-side
+	// pools stripe sessions across connections), and a prepared
+	// transaction must be resolvable from any of them.
+	part2pc := dbapi.NewParticipant(0, nil)
 	dbMuxCfg := muxCfg
 	dbMuxCfg.Admission = nil
 	dbSrv, err := rpc.NewMuxServerConfig(*dbAddr, func() rpc.SessionHandlers {
-		return dbapi.MuxHandlers(db)
+		return dbapi.MuxHandlersTxn(db, part2pc)
 	}, dbMuxCfg)
 	if err != nil {
 		fatal(err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -25,10 +26,13 @@ import (
 // separate mux servers; NOTHING shared between shards. Every client
 // session routes to its home warehouse's shard at open time
 // (runtime.ShardMap + ShardedClient over an rpc.ShardedPool) and
-// stays there, so the workload is cross-shard-transaction-free by
-// construction — TPC-C is warehouse-partitionable, which is exactly
-// why the paper's benchmark is the right vehicle to prove multi-server
-// speedup.
+// stays there. With RemoteMix off the workload is cross-shard-free by
+// construction; with it on, the TPC-C spec's remote-warehouse rolls
+// (15% of Payments, ~10% of NewOrders) point transactions at other
+// warehouses — when the remote warehouse lives on another shard the
+// transaction runs as two branches over two shards' wires and commits
+// atomically through the client's 2PC coordinator
+// (runtime.Coordinator + dbapi.Participant).
 //
 // The 1-shard point IS the old single-server deployment, so the sweep
 // directly prices everything a single server serializes: its one wire
@@ -53,6 +57,13 @@ type ShardCfg struct {
 	WriteEvery int
 	// PaymentEvery makes every k-th write a Payment (0 disables).
 	PaymentEvery int
+	// RemoteMix enables the TPC-C remote-warehouse rolls (spec §2.4.1.5
+	// and §2.5.1.2): 15% of Payments debit a customer resident at
+	// another warehouse, ~10% of NewOrders draw stock from a remote
+	// supply warehouse. A remote warehouse owned by another shard makes
+	// the transaction distributed: its branches run over both shards'
+	// database wires and commit through two-phase commit.
+	RemoteMix bool
 	// TCP runs the wires over real loopback TCP mux servers instead of
 	// in-process pipes.
 	TCP bool
@@ -74,6 +85,24 @@ type ShardResult struct {
 	Tput      float64
 	MeanMs    float64
 	P95Ms     float64
+	// Remote-mix accounting (all zero when RemoteMix is off).
+	// RemotePayments/RemoteNewOrders count transactions whose remote
+	// roll fired, whether or not the remote warehouse crossed a shard
+	// boundary; DistTxns counts the ones that did cross and therefore
+	// ran as two 2PC branches, split into DistCommits and DistAborts
+	// (intentional TPC-C rollbacks of a distributed NewOrder).
+	RemotePayments  int
+	RemoteNewOrders int
+	DistTxns        int
+	DistCommits     int
+	DistAborts      int
+	// Per-class latency: Local covers every call that stayed on one
+	// shard (reads included), Dist covers the cross-shard 2PC
+	// transactions. DistMeanMs prices the extra prepare round trip.
+	LocalMeanMs float64
+	LocalP95Ms  float64
+	DistMeanMs  float64
+	DistP95Ms   float64
 	// SessionsPerShard is how many client sessions each shard served —
 	// the routing audit (a broken ShardMap piles everything on shard 0).
 	SessionsPerShard []int
@@ -120,6 +149,20 @@ func RunShardTPCC(part *pyxis.Partition, c TPCCConfig, cfg ShardCfg) (*ShardResu
 		return runtime.NewSessionManager(dbPeers[shard], func() dbapi.Conn { return dbapi.NewLocal(dbs[shard]) })
 	}
 
+	// The router + 2PC coordinator exist before any server: each
+	// shard's single 2PC participant (shared by every connection to
+	// that shard — commit frames may arrive on a different connection
+	// than the prepare) resolves in-doubt transactions against the
+	// coordinator's decision log.
+	sc := runtime.NewShardedClient(smap)
+	parts := make([]*dbapi.Participant, cfg.Shards)
+	for i := range parts {
+		parts[i] = dbapi.NewParticipant(0, sc.TwoPC.Outcome)
+	}
+	newDBHandlers := func(shard int) rpc.SessionHandlers {
+		return dbapi.MuxHandlersTxn(dbs[shard], parts[shard])
+	}
+
 	var ctlPool, dbPool *rpc.ShardedPool
 	var err error
 	if cfg.TCP {
@@ -132,7 +175,7 @@ func RunShardTPCC(part *pyxis.Partition, c TPCCConfig, cfg ShardCfg) (*ShardResu
 				return nil, nil, err
 			}
 			defer ctlSrv.Close()
-			dbSrv, err := rpc.NewMuxServer("127.0.0.1:0", func() rpc.SessionHandlers { return dbapi.MuxHandlers(dbs[shard]) })
+			dbSrv, err := rpc.NewMuxServer("127.0.0.1:0", func() rpc.SessionHandlers { return newDBHandlers(shard) })
 			if err != nil {
 				return nil, nil, err
 			}
@@ -159,23 +202,25 @@ func RunShardTPCC(part *pyxis.Partition, c TPCCConfig, cfg ShardCfg) (*ShardResu
 			return nil, nil, err
 		}
 		defer ctlPool.Close()
-		if dbPool, err = rpc.NewShardedPool(cfg.Shards, cfg.Conns, pipeTo(func(shard int) rpc.SessionHandlers {
-			return dbapi.MuxHandlers(dbs[shard])
-		})); err != nil {
+		if dbPool, err = rpc.NewShardedPool(cfg.Shards, cfg.Conns, pipeTo(newDBHandlers)); err != nil {
 			return nil, nil, err
 		}
 		defer dbPool.Close()
 	}
 
-	sc := runtime.NewShardedClient(smap)
 	type sessionOut struct {
-		lats      []float64
-		newOrders int
-		payments  int
-		reads     int
-		deadlocks int
-		shard     int
-		err       error
+		lats            []float64
+		distLats        []float64
+		newOrders       int
+		payments        int
+		reads           int
+		deadlocks       int
+		remotePayments  int
+		remoteNewOrders int
+		distCommits     int
+		distAborts      int
+		shard           int
+		err             error
 	}
 	outs := make([]sessionOut, cfg.Clients)
 	var wg sync.WaitGroup
@@ -201,7 +246,8 @@ func RunShardTPCC(part *pyxis.Partition, c TPCCConfig, cfg ShardCfg) (*ShardResu
 				return
 			}
 			lo, hi := smap.WarehouseRange(shard)
-			sess := appPeer.NewSession(dbapi.NewClient(dbT))
+			homeConn := dbapi.NewClient(dbT)
+			sess := appPeer.NewSession(homeConn)
 			client := runtime.NewClient(sess, ctlT)
 			defer client.Close()
 			oid, err := client.NewObject("TPCC")
@@ -209,17 +255,96 @@ func RunShardTPCC(part *pyxis.Partition, c TPCCConfig, cfg ShardCfg) (*ShardResu
 				out.err = err
 				return
 			}
+			// Lazily-opened branch sessions on the other shards, one per
+			// shard for the session's lifetime — a remote-warehouse
+			// transaction runs its second branch over the remote shard's
+			// own wire.
+			remSess := make(map[int]*rpc.MuxSession)
+			remConn := make(map[int]dbapi.Conn)
+			branchOn := func(sh int) (*rpc.MuxSession, dbapi.Conn, error) {
+				if s, ok := remSess[sh]; ok {
+					return s, remConn[sh], nil
+				}
+				s, err := dbPool.Session(sh)
+				if err != nil {
+					return nil, nil, err
+				}
+				remSess[sh] = s
+				remConn[sh] = dbapi.NewClient(s)
+				return s, remConn[sh], nil
+			}
 			for k := 0; k < cfg.Txns; k++ {
 				seq := int64(i)*1_000_003 + int64(k)
 				wid, did, cid, olcnt, seed, rb := c.txnParamsRange(seq, lo, hi)
 				isWrite := cfg.WriteEvery <= 1 || k%cfg.WriteEvery == 0
 				isPayment := isWrite && cfg.PaymentEvery > 0 && k%cfg.PaymentEvery == 0
+				payRemote, noRemote, remW := false, false, int64(0)
+				if cfg.RemoteMix && isWrite {
+					payRemote, noRemote, remW = c.remoteRoll(seq, wid)
+				}
+				isRemote := (isPayment && payRemote) || (isWrite && !isPayment && noRemote)
 				t0 := time.Now()
 				var err error
+				distributed, distCommitted := false, false
 				for attempt := 0; ; attempt++ {
+					distributed, distCommitted = false, false
 					switch {
 					case !isWrite:
 						_, err = client.CallEntry("TPCC.lastOrder", oid)
+					case isRemote:
+						err = func() error {
+							branchSess, branchConn := dbT, dbapi.Conn(homeConn)
+							if rsh := smap.Shard(remW); rsh != shard {
+								var berr error
+								branchSess, branchConn, berr = branchOn(rsh)
+								if berr != nil {
+									return berr
+								}
+								distributed = true
+							}
+							if err := homeConn.Begin(); err != nil {
+								return err
+							}
+							if distributed {
+								if err := branchConn.Begin(); err != nil {
+									rollbackQuiet(homeConn)
+									return err
+								}
+							}
+							abortBoth := func(err error) error {
+								rollbackQuiet(homeConn)
+								if distributed {
+									rollbackQuiet(branchConn)
+								}
+								return err
+							}
+							if isPayment {
+								amount := float64(seq%97 + 1)
+								if err := c.paymentRemoteStmts(homeConn, branchConn, wid, did, remW, did, cid, amount); err != nil {
+									return abortBoth(err)
+								}
+							} else {
+								if _, err := c.newOrderRemoteStmts(homeConn, branchConn, wid, did, cid, olcnt, seed, remW); err != nil {
+									return abortBoth(err)
+								}
+								if rb {
+									// The intentional TPC-C rollback: nothing
+									// prepared yet, so both branches abort
+									// unilaterally — trivially atomic.
+									return abortBoth(nil)
+								}
+							}
+							if !distributed {
+								return homeConn.Commit()
+							}
+							if err := sc.TwoPC.Commit(sc.TwoPC.NewGID(), dbT, branchSess); err != nil {
+								// Both branches are aborted (or converge to
+								// abort via presumed abort) — no cleanup owed.
+								return err
+							}
+							distCommitted = true
+							return nil
+						}()
 					case isPayment:
 						amount := float64(seq%97 + 1)
 						_, err = client.CallEntry("TPCC.payment", oid,
@@ -232,21 +357,40 @@ func RunShardTPCC(part *pyxis.Partition, c TPCCConfig, cfg ShardCfg) (*ShardResu
 					if err == nil {
 						break
 					}
-					if isDeadlockErr(err) && attempt < cfg.MaxRetries {
+					// A 2PC abort (ErrTxnAborted) retries like a deadlock
+					// victim: the usual cause is a branch losing its
+					// transaction to deadlock resolution before prepare.
+					if (isDeadlockErr(err) || errors.Is(err, runtime.ErrTxnAborted)) && attempt < cfg.MaxRetries {
 						out.deadlocks++
 						continue
 					}
 					out.err = fmt.Errorf("session %d (shard %d) txn %d: %w", i, shard, k, err)
 					return
 				}
-				out.lats = append(out.lats, float64(time.Since(t0).Microseconds())/1e3)
+				lat := float64(time.Since(t0).Microseconds()) / 1e3
+				if distributed {
+					out.distLats = append(out.distLats, lat)
+					if distCommitted {
+						out.distCommits++
+					} else {
+						out.distAborts++
+					}
+				} else {
+					out.lats = append(out.lats, lat)
+				}
 				switch {
 				case !isWrite:
 					out.reads++
 				case isPayment:
 					out.payments++
+					if isRemote {
+						out.remotePayments++
+					}
 				default:
 					out.newOrders++
+					if isRemote {
+						out.remoteNewOrders++
+					}
 				}
 			}
 		}(i)
@@ -256,22 +400,32 @@ func RunShardTPCC(part *pyxis.Partition, c TPCCConfig, cfg ShardCfg) (*ShardResu
 
 	res := &ShardResult{Shards: cfg.Shards, Clients: cfg.Clients, Elapsed: elapsed,
 		SessionsPerShard: make([]int, cfg.Shards)}
-	var all []float64
+	var local, dist []float64
 	for i := range outs {
 		if outs[i].err != nil {
 			return nil, nil, outs[i].err
 		}
-		all = append(all, outs[i].lats...)
+		local = append(local, outs[i].lats...)
+		dist = append(dist, outs[i].distLats...)
 		res.NewOrders += outs[i].newOrders
 		res.Payments += outs[i].payments
 		res.Reads += outs[i].reads
 		res.Deadlocks += outs[i].deadlocks
+		res.RemotePayments += outs[i].remotePayments
+		res.RemoteNewOrders += outs[i].remoteNewOrders
+		res.DistCommits += outs[i].distCommits
+		res.DistAborts += outs[i].distAborts
 		res.SessionsPerShard[outs[i].shard]++
 	}
+	res.DistTxns = res.DistCommits + res.DistAborts
+	all := append(append([]float64(nil), local...), dist...)
 	res.TotalTxns = len(all)
 	res.Tput = float64(len(all)) / elapsed.Seconds()
 	agg := Summarize(all)
 	res.MeanMs, res.P95Ms = agg.MeanMs, agg.P95Ms
+	la, da := Summarize(local), Summarize(dist)
+	res.LocalMeanMs, res.LocalP95Ms = la.MeanMs, la.P95Ms
+	res.DistMeanMs, res.DistP95Ms = da.MeanMs, da.P95Ms
 	return res, dbs, nil
 }
 
@@ -300,7 +454,7 @@ func CheckShardInvariants(dbs []*sqldb.DB, c TPCCConfig, m runtime.ShardMap) []s
 		return rs.Rows[0][0], nil
 	}
 	var totalWarehouses, totalOrders, totalNewOrders, totalNextSum, totalDistricts int64
-	var sumWYTD, sumDYTD float64
+	var sumWYTD, sumDYTD, sumCBal, sumSYTD, sumOLQty float64
 	for shard, db := range dbs {
 		lo, hi := m.WarehouseRange(shard)
 		for _, v := range CheckTPCCInvariantsRange(db, c, int(lo), int(hi)) {
@@ -326,12 +480,18 @@ func CheckShardInvariants(dbs []*sqldb.DB, c TPCCConfig, m runtime.ShardMap) []s
 		newOrders, err4 := queryOne(s, "SELECT COUNT(*) FROM new_order")
 		nextSum, err5 := queryOne(s, "SELECT SUM(d_next_o_id) FROM district")
 		districts, err6 := queryOne(s, "SELECT COUNT(*) FROM district")
-		for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+		cbal, err7 := queryOne(s, "SELECT SUM(c_balance) FROM customer")
+		sytd, err8 := queryOne(s, "SELECT SUM(s_ytd) FROM stock")
+		olqty, err9 := queryOne(s, "SELECT SUM(ol_quantity) FROM order_line")
+		errs := []error{err1, err2, err3, err4, err5, err6, err7, err8, err9}
+		bad := false
+		for _, err := range errs {
 			if err != nil {
 				violations = append(violations, fmt.Sprintf("shard %d: global sums: %v", shard, err))
+				bad = true
 			}
 		}
-		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil {
+		if bad {
 			continue
 		}
 		sumWYTD += wytd.AsFloat()
@@ -340,6 +500,9 @@ func CheckShardInvariants(dbs []*sqldb.DB, c TPCCConfig, m runtime.ShardMap) []s
 		totalNewOrders += newOrders.I
 		totalNextSum += int64(nextSum.AsFloat())
 		totalDistricts += districts.I
+		sumCBal += cbal.AsFloat()
+		sumSYTD += sytd.AsFloat()
+		sumOLQty += olqty.AsFloat()
 	}
 	if totalWarehouses != int64(c.Warehouses) {
 		violations = append(violations,
@@ -356,6 +519,21 @@ func CheckShardInvariants(dbs []*sqldb.DB, c TPCCConfig, m runtime.ShardMap) []s
 	if wantOrders := totalNextSum - totalDistricts; totalOrders != wantOrders || totalNewOrders != wantOrders {
 		violations = append(violations,
 			fmt.Sprintf("global: %d orders / %d new_order rows, counters say %d", totalOrders, totalNewOrders, wantOrders))
+	}
+	// The remote-mix cross-shard invariants. A remote Payment books its
+	// YTD on the home shard but debits the customer on another, and a
+	// remote NewOrder books its order lines at home while its stock YTD
+	// lands on the supply shard — so neither side reconciles per shard;
+	// only the global sums do. A 2PC branch committed without its
+	// sibling (lost or double-booked remote update) shifts these by a
+	// whole payment amount or line quantity.
+	if diff := math.Abs(sumCBal + sumWYTD); diff > 1e-6*math.Max(1, math.Abs(sumWYTD)) {
+		violations = append(violations,
+			fmt.Sprintf("global: sum(c_balance)=%v != -sum(w_ytd)=%v (half-committed remote Payment)", sumCBal, -sumWYTD))
+	}
+	if diff := math.Abs(sumSYTD - sumOLQty); diff > 1e-6*math.Max(1, sumOLQty) {
+		violations = append(violations,
+			fmt.Sprintf("global: sum(s_ytd)=%v != sum(ol_quantity)=%v (half-committed remote NewOrder)", sumSYTD, sumOLQty))
 	}
 	return violations
 }
@@ -407,7 +585,13 @@ func ShardScalingReport(results []*ShardResult) string {
 
 // String renders the result as one table row block.
 func (r *ShardResult) String() string {
-	return fmt.Sprintf("shards=%d clients=%d txns=%d (no=%d pay=%d read=%d dl-retries=%d) elapsed=%v tput=%.0f txn/s lat(mean=%.3fms p95=%.3fms) sessions/shard=%v",
+	s := fmt.Sprintf("shards=%d clients=%d txns=%d (no=%d pay=%d read=%d dl-retries=%d) elapsed=%v tput=%.0f txn/s lat(mean=%.3fms p95=%.3fms) sessions/shard=%v",
 		r.Shards, r.Clients, r.TotalTxns, r.NewOrders, r.Payments, r.Reads, r.Deadlocks,
 		r.Elapsed.Round(time.Millisecond), r.Tput, r.MeanMs, r.P95Ms, r.SessionsPerShard)
+	if r.RemotePayments+r.RemoteNewOrders > 0 {
+		s += fmt.Sprintf(" remote(pay=%d no=%d) 2pc(txns=%d commits=%d aborts=%d) lat(local mean=%.3fms p95=%.3fms | dist mean=%.3fms p95=%.3fms)",
+			r.RemotePayments, r.RemoteNewOrders, r.DistTxns, r.DistCommits, r.DistAborts,
+			r.LocalMeanMs, r.LocalP95Ms, r.DistMeanMs, r.DistP95Ms)
+	}
+	return s
 }

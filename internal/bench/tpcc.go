@@ -205,6 +205,99 @@ func (c TPCCConfig) paymentNative(conn dbapi.Conn, wid, did, cid int64, amount f
 	return total, nil
 }
 
+// paymentRemoteStmts issues the remote-Payment statements on ALREADY
+// OPEN transaction branches: the YTD totals book at the home
+// warehouse on home, the customer debit at the customer's resident
+// warehouse on cust. The two conns are the same when the customer's
+// warehouse lives on the home shard; when they differ the caller owns
+// atomicity — commit both branches through the 2PC coordinator or
+// roll both back.
+func (c TPCCConfig) paymentRemoteStmts(home, cust dbapi.Conn, wid, did, cwid, cdid, ccid int64, amount float64) error {
+	if _, err := home.Exec("UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?",
+		val.DoubleV(amount), val.IntV(wid)); err != nil {
+		return err
+	}
+	if _, err := home.Exec("UPDATE district SET d_ytd = d_ytd + ? WHERE d_w_id = ? AND d_id = ?",
+		val.DoubleV(amount), val.IntV(wid), val.IntV(did)); err != nil {
+		return err
+	}
+	if _, err := cust.Exec("UPDATE customer SET c_balance = c_balance - ? WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+		val.DoubleV(amount), val.IntV(cwid), val.IntV(cdid), val.IntV(ccid)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// newOrderRemoteStmts issues the remote-supply NewOrder statements on
+// ALREADY OPEN transaction branches: the order bookkeeping (district
+// counter, orders, new_order, order_line) stays at the home warehouse
+// on home, while every line's stock draws from supply warehouse swid
+// on supply (the item catalog is replicated per shard, so the price
+// lookup rides the supply branch). Commit/abort is the caller's — via
+// 2PC when the supply warehouse lives on another shard.
+func (c TPCCConfig) newOrderRemoteStmts(home, supply dbapi.Conn, wid, did, cid, olcnt, seed, swid int64) (float64, error) {
+	wt, err := home.Query("SELECT w_tax FROM warehouse WHERE w_id = ?", val.IntV(wid))
+	if err != nil {
+		return 0, err
+	}
+	wtax := wt.Rows[0][0].F
+	dt, err := home.Query("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?",
+		val.IntV(wid), val.IntV(did))
+	if err != nil {
+		return 0, err
+	}
+	dtax := dt.Rows[0][0].F
+	oid := dt.Rows[0][1].I
+	if _, err := home.Exec("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?",
+		val.IntV(wid), val.IntV(did)); err != nil {
+		return 0, err
+	}
+	ct, err := home.Query("SELECT c_discount FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+		val.IntV(wid), val.IntV(did), val.IntV(cid))
+	if err != nil {
+		return 0, err
+	}
+	disc := ct.Rows[0][0].F
+	if _, err := home.Exec("INSERT INTO orders VALUES (?, ?, ?, ?, ?)",
+		val.IntV(wid), val.IntV(did), val.IntV(oid), val.IntV(cid), val.IntV(olcnt)); err != nil {
+		return 0, err
+	}
+	if _, err := home.Exec("INSERT INTO new_order VALUES (?, ?, ?)",
+		val.IntV(wid), val.IntV(did), val.IntV(oid)); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	rnd := seed
+	for ol := int64(1); ol <= olcnt; ol++ {
+		rnd = lcg(rnd)
+		iid := rnd%int64(c.Items) + 1
+		qty := rnd%10 + 1
+		ist, err := supply.Query("SELECT i_price, s_quantity FROM item, stock WHERE i_id = ? AND s_w_id = ? AND s_i_id = ?",
+			val.IntV(iid), val.IntV(swid), val.IntV(iid))
+		if err != nil {
+			return 0, err
+		}
+		price := ist.Rows[0][0].F
+		squant := ist.Rows[0][1].I
+		newq := squant - qty
+		if newq < 10 {
+			newq += 91
+		}
+		if _, err := supply.Exec("UPDATE stock SET s_quantity = ?, s_ytd = s_ytd + ?, s_order_cnt = s_order_cnt + 1 WHERE s_w_id = ? AND s_i_id = ?",
+			val.IntV(newq), val.IntV(qty), val.IntV(swid), val.IntV(iid)); err != nil {
+			return 0, err
+		}
+		amount := price * float64(qty)
+		total += amount
+		if _, err := home.Exec("INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?, ?)",
+			val.IntV(wid), val.IntV(did), val.IntV(oid), val.IntV(ol), val.IntV(iid),
+			val.IntV(qty), val.DoubleV(amount)); err != nil {
+			return 0, err
+		}
+	}
+	return total * (1.0 + wtax + dtax) * (1.0 - disc), nil
+}
+
 // lcg matches the PyxJ transaction's item-selection generator.
 func lcg(rnd int64) int64 {
 	rnd = (rnd*1103515245 + 12345) % 100000
@@ -230,14 +323,40 @@ func (c TPCCConfig) txnParams(k int64) (wid, did, cid, olcnt, seed int64, rollba
 	return
 }
 
-// txnParamsRange is txnParams with the warehouse remapped into the
-// inclusive range [loW, hiW] — the sharded drivers keep every
-// transaction of a session inside its home shard's warehouse range
-// (cross-shard transactions are a ROADMAP follow-up, not a thing the
-// runtime can do).
+// txnParamsRange is txnParams with the HOME warehouse remapped into
+// the inclusive range [loW, hiW] — the sharded drivers pin every
+// session's home warehouse inside its shard's range. Remote-warehouse
+// rolls (remoteRoll) may still point a transaction at another shard's
+// warehouse; those run as distributed transactions through the 2PC
+// coordinator.
 func (c TPCCConfig) txnParamsRange(k, loW, hiW int64) (wid, did, cid, olcnt, seed int64, rollback bool) {
 	wid, did, cid, olcnt, seed, rollback = c.txnParams(k)
 	wid = loW + (wid-1)%(hiW-loW+1)
+	return
+}
+
+// remoteRoll derives the TPC-C remote-warehouse decisions for txn k
+// against home warehouse wid: 15% of Payments pay for a customer who
+// resides at another warehouse (§2.5.1.2), and ~10% of NewOrders draw
+// their stock from a remote supply warehouse (§2.4.1.5 rolls 1% per
+// order line; over 5-15 lines that is ~10% of orders, which we roll
+// once per transaction and apply to every line). The remote warehouse
+// is uniform over the other warehouses; with a single warehouse there
+// is nothing remote to pick.
+func (c TPCCConfig) remoteRoll(k, wid int64) (payRemote, noRemote bool, remW int64) {
+	if c.Warehouses < 2 {
+		return false, false, 0
+	}
+	h := k*1300637 + 104987
+	if h < 0 {
+		h = -h
+	}
+	payRemote = (h/17)%100 < 15
+	noRemote = (h/131)%100 < 10
+	remW = h%int64(c.Warehouses-1) + 1
+	if remW >= wid {
+		remW++
+	}
 	return
 }
 

@@ -331,15 +331,52 @@ func NewHandler(db *sqldb.DB) rpc.Handler {
 // MuxHandlers serves the database wire protocol on a multiplexed
 // connection: each mux session gets its own sqldb session (and so its
 // own transaction context); a session left with an open transaction is
-// rolled back on close so its locks never outlive it.
+// rolled back on close so its locks never outlive it. (A transaction
+// in the 2PC prepared state is detached from its session and is NOT
+// rolled back by close — only the coordinator's decision or the
+// participant's in-doubt deadline resolves it.)
+//
+// Each call creates a private Participant, which is enough for tests
+// and single-connection setups; servers use MuxHandlersTxn so commit
+// and abort frames arriving on a different connection than the prepare
+// still find the transaction.
 func MuxHandlers(db *sqldb.DB) rpc.SessionHandlers {
-	return &muxHandlers{db: db, sessions: map[uint32]*sqldb.Session{}}
+	return MuxHandlersTxn(db, NewParticipant(0, nil))
+}
+
+// MuxHandlersTxn is MuxHandlers with an explicit (typically
+// server-shared) 2PC participant.
+func MuxHandlersTxn(db *sqldb.DB, part *Participant) rpc.SessionHandlers {
+	return &muxHandlers{db: db, part: part, sessions: map[uint32]*sqldb.Session{}}
 }
 
 type muxHandlers struct {
 	db       *sqldb.DB
+	part     *Participant
 	mu       sync.Mutex
 	sessions map[uint32]*sqldb.Session
+}
+
+// TxnCtl implements rpc.TxnParticipant: prepare binds to the live
+// session's open transaction, everything else is keyed by gid alone.
+func (h *muxHandlers) TxnCtl(sid uint32, op rpc.TxnOp, gid uint64) (rpc.TxnState, error) {
+	switch op {
+	case rpc.TxnPrepare:
+		h.mu.Lock()
+		sess := h.sessions[sid]
+		h.mu.Unlock()
+		if sess == nil {
+			return rpc.TxnStateUnknown, fmt.Errorf("dbapi: prepare for unknown session %d", sid)
+		}
+		return h.part.Prepare(sess, gid)
+	case rpc.TxnCommit:
+		return h.part.Finish(gid, true)
+	case rpc.TxnAbort:
+		return h.part.Finish(gid, false)
+	case rpc.TxnStatus:
+		return h.part.Status(gid), nil
+	}
+	return rpc.TxnStateUnknown, fmt.Errorf("dbapi: unknown txn op %d", op)
 }
 
 func (h *muxHandlers) Open(sid uint32) rpc.Handler {

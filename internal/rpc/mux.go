@@ -50,6 +50,15 @@ const (
 	// surface the typed ErrOverloaded sentinel: overload is retryable
 	// back-off territory, not an application failure.
 	muxReplyShed
+	// muxTxnCtl carries a two-phase-commit control operation
+	// (prepare/commit/abort/status) from a coordinator to a participant
+	// shard; body = [op u8][gid u64]. See txn.go. Routed through the
+	// session worker when the session is live (ordered with its calls),
+	// handled inline otherwise — commit/abort/status are keyed by global
+	// transaction ID and outlive the session that prepared them.
+	muxTxnCtl
+	// muxReplyTxn answers muxTxnCtl; body = [state u8] (a TxnState).
+	muxReplyTxn
 )
 
 // muxFlagLoad marks a reply frame whose body starts with an encoded
@@ -552,6 +561,9 @@ func ServeMuxConn(conn io.ReadWriteCloser, handlers SessionHandlers) {
 
 // ServeMuxConnConfig is ServeMuxConn with an explicit configuration.
 func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg MuxServeConfig) {
+	// 2PC is an optional capability of the connection's handlers; a nil
+	// participant answers txn-ctl frames with a typed error reply.
+	tp, _ := handlers.(TxnParticipant)
 	var (
 		wmu      sync.Mutex
 		wg       sync.WaitGroup
@@ -628,11 +640,18 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 						}
 					}()
 					for req := range sw.ch {
-						resp, herr := h(req.body)
-						out := muxFrame{sid: req.sid, rid: req.rid, kind: muxReplyOK, body: resp}
-						if herr != nil {
-							out.kind = muxReplyErr
-							out.body = []byte(herr.Error())
+						var out muxFrame
+						if req.kind == muxTxnCtl {
+							// Txn control rides the session's worker so it
+							// stays ordered with the calls ahead of it.
+							out = txnCtlReply(tp, req)
+						} else {
+							resp, herr := h(req.body)
+							out = muxFrame{sid: req.sid, rid: req.rid, kind: muxReplyOK, body: resp}
+							if herr != nil {
+								out.kind = muxReplyErr
+								out.body = []byte(herr.Error())
+							}
 						}
 						attachLoad(&out, cfg.Load, len(sw.ch))
 						wmu.Lock()
@@ -670,6 +689,33 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 				if !shed(f, fmt.Sprintf("session %d queue overflow (max %d outstanding calls)", f.sid, SessionQueueDepth), len(sw.ch)) {
 					return
 				}
+			}
+		case muxTxnCtl:
+			// 2PC control. No admission gate and no retired-sid check:
+			// commit/abort/status are keyed by the global transaction ID
+			// and must get through even after the preparing session closed
+			// (that is exactly the in-doubt recovery path), and shedding a
+			// decision frame under load would only widen the in-doubt
+			// window it is trying to close. A live session's frames route
+			// through its worker for ordering; otherwise handle inline —
+			// the ops are quick map lookups, never lock waits.
+			if sw := sessions[f.sid]; sw != nil {
+				select {
+				case sw.ch <- f:
+				default:
+					if !shed(f, fmt.Sprintf("session %d queue overflow (max %d outstanding calls)", f.sid, SessionQueueDepth), len(sw.ch)) {
+						return
+					}
+				}
+				continue
+			}
+			out := txnCtlReply(tp, f)
+			attachLoad(&out, cfg.Load, 0)
+			wmu.Lock()
+			werr := writeMuxFrame(conn, out)
+			wmu.Unlock()
+			if werr != nil {
+				return
 			}
 		case muxCloseSess:
 			if sw := sessions[f.sid]; sw != nil {

@@ -1,0 +1,208 @@
+package rpc
+
+// Two-phase-commit control frames. A coordinator (runtime.Coordinator)
+// drives prepare/commit/abort against each participant shard over the
+// shard's existing mux connection — no side channel, no extra dial —
+// as typed muxTxnCtl frames carrying a one-byte op and the 64-bit
+// global transaction ID. The participant half (dbapi.Participant)
+// plugs in server-side via the TxnParticipant interface, which a
+// connection's SessionHandlers may optionally implement.
+//
+// The protocol is presumed abort: the coordinator records a commit
+// decision before sending any phase-2 frame and records nothing for
+// aborts, so a participant that finds no decision when it re-queries —
+// or a coordinator asked about an unknown gid — presumes abort. That
+// makes every failure mode safe by default: a prepare that never
+// arrives, a coordinator that dies before deciding, or a commit frame
+// lost on a dead connection all converge to abort or to the recorded
+// commit, never to a split outcome.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// TxnOp is a 2PC control operation.
+type TxnOp uint8
+
+const (
+	// TxnPrepare asks the participant to move the session's open
+	// transaction into the prepared (in-doubt) state under gid.
+	TxnPrepare TxnOp = 1 + iota
+	// TxnCommit / TxnAbort deliver the coordinator's decision for gid.
+	TxnCommit
+	TxnAbort
+	// TxnStatus queries the participant's state for gid (recovery aid).
+	TxnStatus
+)
+
+func (op TxnOp) String() string {
+	switch op {
+	case TxnPrepare:
+		return "prepare"
+	case TxnCommit:
+		return "commit"
+	case TxnAbort:
+		return "abort"
+	case TxnStatus:
+		return "status"
+	}
+	return fmt.Sprintf("txn-op(%d)", uint8(op))
+}
+
+// TxnState is a participant's view of one global transaction.
+type TxnState uint8
+
+const (
+	TxnStateUnknown TxnState = iota
+	TxnStatePrepared
+	TxnStateCommitted
+	TxnStateAborted
+)
+
+func (st TxnState) String() string {
+	switch st {
+	case TxnStatePrepared:
+		return "prepared"
+	case TxnStateCommitted:
+		return "committed"
+	case TxnStateAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// ErrTxnDeadline reports that a 2PC control call did not complete
+// within its per-participant deadline. The coordinator treats it like
+// a dead participant: abort the global transaction (a participant that
+// did prepare resolves via its own in-doubt deadline + re-query).
+var ErrTxnDeadline = errors.New("rpc: txn control deadline exceeded")
+
+// DefaultTxnDeadline bounds a 2PC control call when the caller passes
+// no explicit timeout.
+const DefaultTxnDeadline = 5 * time.Second
+
+// TxnParticipant is the optional server-side 2PC hook: when a
+// connection's SessionHandlers also implement it, muxTxnCtl frames are
+// dispatched here. Prepare is addressed to a live session (sid);
+// commit/abort/status are keyed by gid alone and may arrive on any
+// session — including after the preparing session closed or on a new
+// connection entirely. Implementations must be safe for concurrent use
+// (frames arrive from every connection's demux loop and workers).
+type TxnParticipant interface {
+	TxnCtl(sid uint32, op TxnOp, gid uint64) (TxnState, error)
+}
+
+// TxnCtl issues one 2PC control operation for gid on this session's
+// connection and returns the participant's resulting state. timeout
+// bounds the whole exchange (<= 0 means DefaultTxnDeadline); on expiry
+// the call returns ErrTxnDeadline. A dead or poisoned connection
+// returns an error matching ErrPoolPoisoned so coordinators can treat
+// "shard down" uniformly with the pool's own signal.
+func (s *MuxSession) TxnCtl(op TxnOp, gid uint64, timeout time.Duration) (TxnState, error) {
+	if s.closed.Load() {
+		return TxnStateUnknown, fmt.Errorf("rpc: session %d closed", s.sid)
+	}
+	if timeout <= 0 {
+		timeout = DefaultTxnDeadline
+	}
+	return s.c.txnCall(s.sid, s.nextRID.Add(1), op, gid, timeout)
+}
+
+// txnCall is MuxClient.call for txn-ctl frames: same pending-map
+// plumbing, but with a deadline (a 2PC coordinator must never wedge on
+// a stalled participant) and dead-connection errors typed as
+// ErrPoolPoisoned.
+func (c *MuxClient) txnCall(sid, rid uint32, op TxnOp, gid uint64, timeout time.Duration) (TxnState, error) {
+	var body [9]byte
+	body[0] = byte(op)
+	binary.LittleEndian.PutUint64(body[1:], gid)
+
+	ch := make(chan muxFrame, 1)
+	key := muxKey(sid, rid)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return TxnStateUnknown, fmt.Errorf("rpc: txn %s on dead connection: %w: %v", op, ErrPoolPoisoned, err)
+	}
+	c.pending[key] = ch
+	c.mu.Unlock()
+	c.outstanding.Add(1)
+	defer c.outstanding.Add(-1)
+
+	c.wmu.Lock()
+	err := writeMuxFrame(c.conn, muxFrame{sid: sid, rid: rid, kind: muxTxnCtl, body: body[:]})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, key)
+		c.mu.Unlock()
+		return TxnStateUnknown, fmt.Errorf("rpc: txn %s write failed: %w: %v", op, ErrPoolPoisoned, err)
+	}
+	c.calls.Add(1)
+	c.bytesSent.Add(int64(len(body)) + muxHeaderLen + 4)
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = errors.New("rpc: mux client closed")
+			}
+			return TxnStateUnknown, fmt.Errorf("rpc: txn %s reply lost: %w: %v", op, ErrPoolPoisoned, err)
+		}
+		switch f.kind {
+		case muxReplyTxn:
+			if len(f.body) != 1 {
+				return TxnStateUnknown, fmt.Errorf("rpc: malformed txn reply (%d bytes)", len(f.body))
+			}
+			return TxnState(f.body[0]), nil
+		case muxReplyErr:
+			return TxnStateUnknown, fmt.Errorf("rpc: remote txn error: %s", string(f.body))
+		case muxReplyShed:
+			return TxnStateUnknown, fmt.Errorf("rpc: %s: %w", string(f.body), ErrOverloaded)
+		}
+		return TxnStateUnknown, fmt.Errorf("rpc: malformed mux reply kind %d", f.kind)
+	case <-timer.C:
+		// Un-register so a straggling reply is dropped instead of leaking
+		// a pending slot; a reply racing the delete lands in the buffered
+		// channel and is garbage-collected with it.
+		c.mu.Lock()
+		delete(c.pending, key)
+		c.mu.Unlock()
+		return TxnStateUnknown, fmt.Errorf("rpc: txn %s for gid %d timed out after %v: %w", op, gid, timeout, ErrTxnDeadline)
+	}
+}
+
+// txnCtlReply executes one muxTxnCtl frame against the connection's
+// participant (nil when the handlers don't implement TxnParticipant)
+// and builds the reply frame. Called from the demux loop or a session
+// worker; the participant must be concurrency-safe.
+func txnCtlReply(tp TxnParticipant, f muxFrame) muxFrame {
+	out := muxFrame{sid: f.sid, rid: f.rid, kind: muxReplyErr}
+	if tp == nil {
+		out.body = []byte("rpc: peer does not support 2pc")
+		return out
+	}
+	if len(f.body) < 9 {
+		out.body = []byte(fmt.Sprintf("rpc: malformed txn-ctl frame (%d bytes)", len(f.body)))
+		return out
+	}
+	op := TxnOp(f.body[0])
+	gid := binary.LittleEndian.Uint64(f.body[1:9])
+	st, err := tp.TxnCtl(f.sid, op, gid)
+	if err != nil {
+		out.body = []byte(err.Error())
+		return out
+	}
+	out.kind = muxReplyTxn
+	out.body = []byte{byte(st)}
+	return out
+}

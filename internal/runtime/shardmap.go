@@ -7,12 +7,13 @@ package runtime
 // one.
 //
 // The mapping is deliberately dumb and static — contiguous warehouse
-// ranges for TPC-C-shaped keys, a hash for everything else — because
-// the paper's runtime (and ours) keeps a session's transactions on one
-// server: TPC-C is warehouse-partitionable, so a session whose home
-// warehouse lands on shard i never needs rows shard j owns.
-// Cross-shard transactions and range rebalancing are deliberately out
-// of scope (ROADMAP follow-ups).
+// ranges for TPC-C-shaped keys, a hash for everything else. Sessions
+// stay pinned to their home shard, but transactions are no longer
+// confined to it: a transaction that must touch rows another shard
+// owns (TPC-C's remote Payment / remote NewOrder lines) opens a branch
+// session on that shard and commits both branches atomically through
+// the client's 2PC Coordinator (twopc.go). Range rebalancing remains a
+// ROADMAP follow-up.
 
 import (
 	"fmt"
@@ -123,14 +124,21 @@ func ParseShardSlot(spec string) (shard, shards int, err error) {
 type ShardedClient struct {
 	Map ShardMap
 
+	// TwoPC commits transactions that span shards: per-shard branches
+	// run on ordinary sessions, then Commit(gid, branches...) drives
+	// prepare/commit over each branch's mux connection. Each shard's
+	// dbapi.Participant should resolve in-doubt transactions against
+	// TwoPC.Outcome.
+	TwoPC *Coordinator
+
 	switchers []*Switcher
 }
 
 // NewShardedClient builds a client router over m with one
 // default-configured Switcher per shard (callers tune thresholds via
-// Switcher(i)).
+// Switcher(i)) and a default-deadline 2PC coordinator.
 func NewShardedClient(m ShardMap) *ShardedClient {
-	c := &ShardedClient{Map: m, switchers: make([]*Switcher, m.NumShards())}
+	c := &ShardedClient{Map: m, TwoPC: NewCoordinator(0), switchers: make([]*Switcher, m.NumShards())}
 	for i := range c.switchers {
 		c.switchers[i] = NewSwitcher()
 	}

@@ -1,7 +1,6 @@
 package runtime
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -124,6 +123,10 @@ func (sn *Session) decodeStack(r *rpc.Reader) ([]*Frame, error) {
 		for i := 0; i < n; i++ {
 			idx := int(r.Uvarint())
 			if r.Err() != nil || idx < 0 || idx >= len(prog.MethodList) {
+				// Frames already decoded came from the session frame pool;
+				// a truncated or corrupt transfer must hand them back, or
+				// every faulted transfer shrinks the pool for good.
+				sn.freeStack(stack)
 				return nil, fmt.Errorf("runtime: transfer references unknown method index %d", idx)
 			}
 			fr := sn.newFrame(prog.MethodList[idx])
@@ -135,6 +138,8 @@ func (sn *Session) decodeStack(r *rpc.Reader) ([]*Frame, error) {
 				r.Byte()
 			}
 			if r.Err() != nil {
+				sn.freeFrame(fr)
+				sn.freeStack(stack)
 				return nil, r.Err()
 			}
 			for s := 0; s < fr.Method.NSlots; s++ {
@@ -144,7 +149,11 @@ func (sn *Session) decodeStack(r *rpc.Reader) ([]*Frame, error) {
 			}
 			stack = append(stack, fr)
 		}
-		return stack, r.Err()
+		if err := r.Err(); err != nil {
+			sn.freeStack(stack)
+			return nil, err
+		}
+		return stack, nil
 	default:
 		return nil, fmt.Errorf("runtime: unknown stack codec version %d", v)
 	}
@@ -249,10 +258,21 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 	}
 	stack := []*Frame{fr}
 	b := m.Entry
+	// fail abandons the entry mid-flight: whatever transaction it opened
+	// on the APP-side connection must be rolled back here — the caller
+	// only ever sees the error and retries (or gives up) from the top,
+	// and an abandoned transaction would pin its row locks until the
+	// connection died. Best effort: with no open transaction the
+	// rollback is a harmless ErrNoTransaction, and after an engine-side
+	// deadlock abort the transaction is already gone.
+	fail := func(err error) (val.Value, error) {
+		_ = sn.DB.Rollback()
+		return val.Value{}, err
+	}
 	for {
 		next, done, ret, outStack, err := sn.Run(b, stack)
 		if err != nil {
-			return val.Value{}, err
+			return fail(err)
 		}
 		if done {
 			return ret, nil
@@ -271,19 +291,12 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 		}
 		resp, err := c.Remote.Call(req)
 		if err != nil {
-			if errors.Is(err, rpc.ErrOverloaded) {
-				// The server refused the transfer (admission shed or
-				// queue overflow). Every shed-retry path re-runs the
-				// entry from the top, so any transaction this entry
-				// already opened on the APP-side connection must be
-				// rolled back now: a retry would otherwise hit "already
-				// in a transaction", and the abandoned transaction's
-				// row locks would block admitted sessions until the
-				// connection died. Best effort — with no open
-				// transaction the rollback is a harmless error.
-				_ = c.Sess.DB.Rollback()
-			}
-			return val.Value{}, fmt.Errorf("runtime: control transfer failed: %w", err)
+			// Transfer failed — admission shed, connection loss, remote
+			// decode error, anything. All of them abandon the entry, so
+			// all of them roll back (not just ErrOverloaded: a conn-loss
+			// exit that kept the transaction open would hold its row
+			// locks until the APP-side database connection itself died).
+			return fail(fmt.Errorf("runtime: control transfer failed: %w", err))
 		}
 		peer.Metrics.BytesRecv.Add(int64(len(resp)))
 		r := &rpc.Reader{Buf: resp}
@@ -291,23 +304,25 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 		if respDone {
 			retv := r.Val()
 			if err := applySync(r, sn.Heap, peer.Prog.Classes); err != nil {
-				return val.Value{}, err
+				return fail(err)
 			}
 			if err := r.Err(); err != nil {
-				return val.Value{}, err
+				return fail(err)
 			}
 			return retv, nil
 		}
 		b = compile.BlockID(int32(r.U32()))
 		stack, err = sn.decodeStack(r)
 		if err != nil {
-			return val.Value{}, err
+			return fail(err)
 		}
 		if err := applySync(r, sn.Heap, peer.Prog.Classes); err != nil {
-			return val.Value{}, err
+			sn.freeStack(stack)
+			return fail(err)
 		}
 		if err := r.Err(); err != nil {
-			return val.Value{}, err
+			sn.freeStack(stack)
+			return fail(err)
 		}
 	}
 }
@@ -318,6 +333,11 @@ func (c *Client) invoke(m *compile.MethodInfo, this val.OID, args []val.Value) (
 func Handler(sn *Session) rpc.Handler {
 	peer := sn.Peer
 	return func(req []byte) ([]byte, error) {
+		// Count the request on entry, like the client counts responses on
+		// receipt: malformed or failed transfers moved their bytes over
+		// the wire all the same, and a metric that skips them undercounts
+		// exactly when fault injection is watching.
+		peer.Metrics.BytesRecv.Add(int64(len(req)))
 		r := &rpc.Reader{Buf: req}
 		b := compile.BlockID(r.I64())
 		stack, err := sn.decodeStack(r)
@@ -325,12 +345,13 @@ func Handler(sn *Session) rpc.Handler {
 			return nil, err
 		}
 		if err := applySync(r, sn.Heap, peer.Prog.Classes); err != nil {
+			sn.freeStack(stack)
 			return nil, err
 		}
 		if err := r.Err(); err != nil {
+			sn.freeStack(stack)
 			return nil, err
 		}
-		peer.Metrics.BytesRecv.Add(int64(len(req)))
 
 		next, done, ret, outStack, err := sn.Run(b, stack)
 		if err != nil {

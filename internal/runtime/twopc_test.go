@@ -1,0 +1,276 @@
+package runtime
+
+// Two-phase-commit tests: the coordinator/participant protocol over
+// real mux connections (net.Pipe), including the fault-injection paths
+// — a coordinator that never decides (presumed abort), a participant
+// killed between prepare and commit (recovery by re-querying the
+// decision log), and a shard that is dead at prepare time.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"pyxis/internal/dbapi"
+	"pyxis/internal/rpc"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+// twopcShard is one participant "shard": its own database, its own
+// 2PC participant, served over its own mux connection.
+type twopcShard struct {
+	db   *sqldb.DB
+	part *dbapi.Participant
+	cli  *rpc.MuxClient
+	sess *rpc.MuxSession
+	conn *dbapi.Client
+}
+
+func newTwopcShard(t *testing.T, deadline time.Duration, resolver dbapi.Resolver) *twopcShard {
+	t.Helper()
+	db := sqldb.Open()
+	s := db.NewSession()
+	if _, err := s.Exec("CREATE TABLE acct (k INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 4; k++ {
+		if _, err := s.Exec("INSERT INTO acct VALUES (?, 100)", val.IntV(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	part := dbapi.NewParticipant(deadline, resolver)
+	srvConn, cliConn := net.Pipe()
+	go func() {
+		rpc.ServeMuxConn(srvConn, dbapi.MuxHandlersTxn(db, part))
+		_ = srvConn.Close()
+	}()
+	cli := rpc.NewMuxClient(cliConn)
+	t.Cleanup(func() { _ = cli.Close() })
+	sess := cli.Session()
+	return &twopcShard{db: db, part: part, cli: cli, sess: sess, conn: dbapi.NewClient(sess)}
+}
+
+// acct reads acct[k] through a fresh local session (not the wire).
+func (sh *twopcShard) acct(t *testing.T, k int64) int64 {
+	t.Helper()
+	rs, err := sh.db.NewSession().Query("SELECT v FROM acct WHERE k = ?", val.IntV(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs.Rows[0][0].I
+}
+
+// openBranch starts a transaction branch on the shard's wire session.
+func (sh *twopcShard) openBranch(t *testing.T, k, delta int64) {
+	t.Helper()
+	if err := sh.conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.conn.Exec("UPDATE acct SET v = v + ? WHERE k = ?", val.IntV(delta), val.IntV(k)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustSoon runs f on a goroutine and fails the test if it neither
+// succeeds nor errors within 10s — the signature of leaked locks
+// wedging a statement forever.
+func mustSoon(t *testing.T, what string, f func() error) {
+	t.Helper()
+	ch := make(chan error, 1)
+	go func() { ch <- f() }()
+	select {
+	case err := <-ch:
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s: timed out (locks leaked?)", what)
+	}
+}
+
+// TestTwoPCCrossShardCommit: the happy path. Two branches on two
+// shards, one coordinator commit; both apply, locks release, duplicate
+// decision frames stay idempotent, and the sessions survive for the
+// next transaction.
+func TestTwoPCCrossShardCommit(t *testing.T) {
+	co := NewCoordinator(2 * time.Second)
+	a := newTwopcShard(t, 5*time.Second, co.Outcome)
+	b := newTwopcShard(t, 5*time.Second, co.Outcome)
+	a.openBranch(t, 1, -10)
+	b.openBranch(t, 1, +10)
+
+	gid := co.NewGID()
+	if err := co.Commit(gid, a.sess, b.sess); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.acct(t, 1); got != 90 {
+		t.Errorf("shard a: v = %d, want 90", got)
+	}
+	if got := b.acct(t, 1); got != 110 {
+		t.Errorf("shard b: v = %d, want 110", got)
+	}
+	// Locks are gone: a conflicting writer proceeds immediately.
+	mustSoon(t, "post-commit writer", func() error {
+		_, err := a.db.NewSession().Exec("UPDATE acct SET v = v + 1 WHERE k = 1")
+		return err
+	})
+	// A duplicate commit frame (coordinator retry) is answered
+	// idempotently from the outcome log.
+	if st, err := a.sess.TxnCtl(rpc.TxnCommit, gid, time.Second); err != nil || st != rpc.TxnStateCommitted {
+		t.Errorf("duplicate commit: state=%s err=%v, want committed/nil", st, err)
+	}
+	// The branch sessions are reusable after 2PC.
+	if err := a.conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.conn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if commits, aborts, _ := co.Stats(); commits != 1 || aborts != 0 {
+		t.Errorf("coordinator stats: %d commits, %d aborts, want 1, 0", commits, aborts)
+	}
+}
+
+// TestTwoPCPrepareVetoAbortsPrepared: a participant with nothing to
+// prepare vetoes the commit; the branch that did prepare is aborted
+// and its update undone, and the decision log reads abort.
+func TestTwoPCPrepareVetoAbortsPrepared(t *testing.T) {
+	co := NewCoordinator(2 * time.Second)
+	a := newTwopcShard(t, 5*time.Second, co.Outcome)
+	b := newTwopcShard(t, 5*time.Second, co.Outcome)
+	a.openBranch(t, 2, -100)
+	// b never opened a transaction: its prepare vote is "no".
+
+	gid := co.NewGID()
+	err := co.Commit(gid, a.sess, b.sess)
+	if !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("Commit = %v, want ErrTxnAborted", err)
+	}
+	mustSoon(t, "read after abort", func() error {
+		if got := a.acct(t, 2); got != 100 {
+			return fmt.Errorf("shard a: v = %d, want 100 (branch undone)", got)
+		}
+		return nil
+	})
+	if commit, known := co.Outcome(gid); known && commit {
+		t.Error("decision log records commit for an aborted transaction")
+	}
+	if st, err := a.sess.TxnCtl(rpc.TxnStatus, gid, time.Second); err != nil || st != rpc.TxnStateAborted {
+		t.Errorf("status on a: %s, %v, want aborted", st, err)
+	}
+}
+
+// TestTwoPCPresumedAbortOnLostCoordinator: the coordinator prepares a
+// branch and then vanishes without deciding. The participant's
+// in-doubt deadline fires, the re-query finds no decision record, and
+// presumed abort releases the locks with the update undone. A commit
+// frame arriving after that is refused — the split outcome it would
+// create is exactly what presumed abort exists to prevent.
+func TestTwoPCPresumedAbortOnLostCoordinator(t *testing.T) {
+	co := NewCoordinator(2 * time.Second)
+	a := newTwopcShard(t, 150*time.Millisecond, co.Outcome)
+	a.openBranch(t, 3, -100)
+
+	gid := co.NewGID()
+	if st, err := a.sess.TxnCtl(rpc.TxnPrepare, gid, time.Second); err != nil || st != rpc.TxnStatePrepared {
+		t.Fatalf("prepare: %s, %v", st, err)
+	}
+	// No Decide, no phase 2 — the coordinator is gone. The conflicting
+	// writer below parks on the prepared transaction's X lock until the
+	// in-doubt deadline resolves it by presumption.
+	mustSoon(t, "writer blocked on in-doubt txn", func() error {
+		_, err := a.db.NewSession().Exec("UPDATE acct SET v = v + 1 WHERE k = 3")
+		return err
+	})
+	if got := a.acct(t, 3); got != 101 {
+		t.Errorf("v = %d, want 101 (prepared update undone by presumed abort, then +1)", got)
+	}
+	if st, err := a.sess.TxnCtl(rpc.TxnStatus, gid, time.Second); err != nil || st != rpc.TxnStateAborted {
+		t.Errorf("status: %s, %v, want aborted", st, err)
+	}
+	if _, err := a.sess.TxnCtl(rpc.TxnCommit, gid, time.Second); err == nil {
+		t.Error("commit after presumed abort must be refused, got nil")
+	}
+	if _, _, _, inDoubt := a.part.Stats(); inDoubt != 1 {
+		t.Errorf("participant inDoubt = %d, want 1", inDoubt)
+	}
+}
+
+// TestTwoPCRemoteParticipantKilledBetweenPrepareAndCommit is the
+// fault-injection acceptance case: both participants prepare, the
+// decision is recorded, one participant's connection dies before its
+// commit frame arrives. Its in-doubt deadline re-queries the
+// coordinator's decision log and commits late — both shards end
+// consistent, nothing lost, nothing double-applied.
+func TestTwoPCRemoteParticipantKilledBetweenPrepareAndCommit(t *testing.T) {
+	co := NewCoordinator(2 * time.Second)
+	a := newTwopcShard(t, 5*time.Second, co.Outcome)
+	b := newTwopcShard(t, 200*time.Millisecond, co.Outcome)
+	a.openBranch(t, 4, -25)
+	b.openBranch(t, 4, +25)
+
+	gid := co.NewGID()
+	// Phase 1 by hand so the kill lands exactly between the phases.
+	for i, sh := range []*twopcShard{a, b} {
+		if st, err := sh.sess.TxnCtl(rpc.TxnPrepare, gid, time.Second); err != nil || st != rpc.TxnStatePrepared {
+			t.Fatalf("prepare on %d: %s, %v", i, st, err)
+		}
+	}
+	co.Decide(gid, true) // the commit point
+	if st, err := a.sess.TxnCtl(rpc.TxnCommit, gid, time.Second); err != nil || st != rpc.TxnStateCommitted {
+		t.Fatalf("commit on a: %s, %v", st, err)
+	}
+	// Kill b's connection with its commit frame undelivered. The
+	// server-side teardown rolls back open sessions — but the prepared
+	// transaction is detached from its session, so it survives the
+	// teardown still holding its locks.
+	_ = b.cli.Close()
+
+	mustSoon(t, "b recovers the commit via re-query", func() error {
+		rs, err := b.db.NewSession().Query("SELECT v FROM acct WHERE k = 4")
+		if err != nil {
+			return err
+		}
+		if got := rs.Rows[0][0].I; got != 125 {
+			return fmt.Errorf("shard b: v = %d, want 125 (recovered commit)", got)
+		}
+		return nil
+	})
+	if got := a.acct(t, 4); got != 75 {
+		t.Errorf("shard a: v = %d, want 75", got)
+	}
+	if _, commits, _, inDoubt := b.part.Stats(); commits != 1 || inDoubt != 1 {
+		t.Errorf("b stats: commits=%d inDoubt=%d, want 1, 1", commits, inDoubt)
+	}
+}
+
+// TestTwoPCDeadShardPoisonedAtPrepare: a shard that is already dead
+// when prepare is sent is classified as ErrPoolPoisoned (the pool's
+// own dead-connection signal), the transaction aborts, and the live
+// shard's branch is undone.
+func TestTwoPCDeadShardPoisonedAtPrepare(t *testing.T) {
+	co := NewCoordinator(2 * time.Second)
+	a := newTwopcShard(t, 5*time.Second, co.Outcome)
+	b := newTwopcShard(t, 5*time.Second, co.Outcome)
+	a.openBranch(t, 1, -5)
+	b.openBranch(t, 1, +5)
+	_ = b.cli.Close() // shard b dies before phase 1
+
+	gid := co.NewGID()
+	err := co.Commit(gid, a.sess, b.sess)
+	if !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("Commit = %v, want ErrTxnAborted", err)
+	}
+	if !errors.Is(err, rpc.ErrPoolPoisoned) {
+		t.Errorf("Commit error %v should match ErrPoolPoisoned (dead shard)", err)
+	}
+	mustSoon(t, "read after dead-shard abort", func() error {
+		if got := a.acct(t, 1); got != 100 {
+			return fmt.Errorf("shard a: v = %d, want 100", got)
+		}
+		return nil
+	})
+}

@@ -248,6 +248,11 @@ type Txn struct {
 	// owning goroutine under the stripe+graph mutexes; read only by the
 	// owning goroutine). Lets abort skip the cancelWaits stripe sweep.
 	everWaited bool
+	// prepared: txn is in the 2PC in-doubt window (see twopc.go). It
+	// holds its locks past the statement boundary and never requests new
+	// ones, so it can never appear in a waits-for cycle — deadlock
+	// victims are always the requester, never a prepared txn.
+	prepared bool
 }
 
 type freedSlot struct {

@@ -39,6 +39,10 @@ func TestLockManagerConcurrency(t *testing.T) {
 		{"ConflictingWritersSerialize", testConflictingWritersSerialize},
 		{"ForcedDeadlockResolves", testForcedDeadlockResolves},
 		{"CrossTableDeadlockResolves", testCrossTableDeadlockResolves},
+		{"QueuedUpgradeGrantedOnRelease", testQueuedUpgradeGrantedOnRelease},
+		{"SoleHolderUpgradeJumpsNonEmptyQueue", testSoleHolderUpgradeJumpsNonEmptyQueue},
+		{"PreparedTxnPinsLocks", testPreparedTxnPinsLocks},
+		{"PreparedTxnRefusesDeadlockAbort", testPreparedTxnRefusesDeadlockAbort},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -146,6 +150,187 @@ func testCrossTableDeadlockResolves(t *testing.T, db *DB) {
 	forceDeadlock(t, db,
 		[2]string{"UPDATE a SET v = v + 1 WHERE k = 6", "UPDATE b SET v = v + 1 WHERE k = 6"},
 		[2]string{"UPDATE b SET v = v + 1 WHERE k = 6", "UPDATE a SET v = v + 1 WHERE k = 6"})
+}
+
+// testQueuedUpgradeGrantedOnRelease drives the lock manager directly
+// at the grantWaiters upgrade branch: t1 and t2 both hold S, t1 queues
+// for the S→X upgrade (not sole holder, so it must wait), and when t2
+// releases, grantWaiters must find t1 already in holders and raise its
+// mode in place — without re-appending the key to t1's lock list.
+func testQueuedUpgradeGrantedOnRelease(t *testing.T, db *DB) {
+	lm := db.lm
+	key := lockKey{table: "a", slot: 1, h: fnv32("a")}
+	t1, t2 := db.newTxn(), db.newTxn()
+
+	for _, txn := range []*Txn{t1, t2} {
+		if ok, err := lm.acquire(txn, key, LockS, nil); !ok || err != nil {
+			t.Fatalf("S acquire: ok=%v err=%v", ok, err)
+		}
+	}
+	granted := make(chan struct{})
+	ok, err := lm.acquire(t1, key, LockX, func() { close(granted) })
+	if ok || err != nil {
+		t.Fatalf("upgrade with two S holders: ok=%v err=%v, want queued wait", ok, err)
+	}
+	select {
+	case <-granted:
+		t.Fatal("upgrade granted while a conflicting S holder remains")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	lm.releaseAll(t2)
+	select {
+	case <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued upgrade never granted after the other holder released")
+	}
+	st := lm.stripeFor(key)
+	st.mu.Lock()
+	mode := st.locks[key].holders[t1]
+	st.mu.Unlock()
+	if mode != LockX {
+		t.Errorf("granted mode = %v, want X", mode)
+	}
+	if len(t1.locks) != 1 {
+		t.Errorf("t1 lock list has %d entries, want 1 (upgrade must not duplicate the key)", len(t1.locks))
+	}
+	lm.releaseAll(t1)
+}
+
+// testSoleHolderUpgradeJumpsNonEmptyQueue: t1 is the sole S holder
+// with a writer already queued for X; t1's S→X upgrade is granted
+// immediately past the queue (the queued X could never run under t1's
+// S anyway), and the queued writer gets the lock only after t1
+// releases.
+func testSoleHolderUpgradeJumpsNonEmptyQueue(t *testing.T, db *DB) {
+	lm := db.lm
+	key := lockKey{table: "b", slot: 2, h: fnv32("b")}
+	t1, t2 := db.newTxn(), db.newTxn()
+
+	if ok, err := lm.acquire(t1, key, LockS, nil); !ok || err != nil {
+		t.Fatalf("S acquire: ok=%v err=%v", ok, err)
+	}
+	writerGranted := make(chan struct{})
+	if ok, err := lm.acquire(t2, key, LockX, func() { close(writerGranted) }); ok || err != nil {
+		t.Fatalf("writer X against S holder: ok=%v err=%v, want queued wait", ok, err)
+	}
+
+	ok, err := lm.acquire(t1, key, LockX, nil)
+	if !ok || err != nil {
+		t.Fatalf("sole-holder upgrade with non-empty queue: ok=%v err=%v, want immediate grant", ok, err)
+	}
+	select {
+	case <-writerGranted:
+		t.Fatal("queued writer granted while upgraded holder still holds X")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	lm.releaseAll(t1)
+	select {
+	case <-writerGranted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued writer never granted after upgraded holder released")
+	}
+	lm.releaseAll(t2)
+}
+
+// testPreparedTxnPinsLocks: after Prepare2PC the session has no
+// transaction (Rollback refuses with ErrNoTransaction) but the
+// prepared transaction's X locks stay pinned — a conflicting writer
+// queues until the coordinator's decision resolves the handle. Abort
+// then restores the before-image, and the handle is idempotent.
+func testPreparedTxnPinsLocks(t *testing.T, db *DB) {
+	s1 := db.NewSession()
+	if err := s1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s1, "UPDATE a SET v = 42 WHERE k = 1")
+	pt, err := s1.Prepare2PC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Rollback(); !errors.Is(err, ErrNoTransaction) {
+		t.Fatalf("Rollback after prepare = %v, want ErrNoTransaction (unilateral abort refused)", err)
+	}
+
+	writerDone := make(chan error, 1)
+	go func() {
+		_, err := db.NewSession().Exec("UPDATE a SET v = v + 1 WHERE k = 1")
+		writerDone <- err
+	}()
+	waitForWaiters(t, db, 1)
+	select {
+	case err := <-writerDone:
+		t.Fatalf("writer finished (%v) while prepared txn should pin the lock", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	if err := pt.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer after prepared abort: %v", err)
+	}
+	rs := mustQuery(t, s1, "SELECT v FROM a WHERE k = 1")
+	if rs.Rows[0][0].I != 1 {
+		t.Errorf("v = %v, want 1 (undo of prepared update, then writer's +1)", rs.Rows[0][0])
+	}
+	if err := pt.Abort(); err != nil {
+		t.Errorf("duplicate Abort = %v, want nil (idempotent)", err)
+	}
+	if err := pt.Commit(); !errors.Is(err, ErrTxnResolved) {
+		t.Errorf("Commit after Abort = %v, want ErrTxnResolved", err)
+	}
+}
+
+// testPreparedTxnRefusesDeadlockAbort: a prepared transaction never
+// requests locks, so it can never sit in a waits-for cycle — deadlock
+// resolution among live transactions must pick one of *them* as victim
+// and leave the prepared txn's locks untouched. With a prepared X on
+// b[1] pinned, a forced deadlock on other rows resolves normally, a
+// writer on b[1] stays queued throughout, and the coordinator's commit
+// finally publishes the prepared write.
+func testPreparedTxnRefusesDeadlockAbort(t *testing.T, db *DB) {
+	s1 := db.NewSession()
+	if err := s1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s1, "UPDATE b SET v = 9 WHERE k = 1")
+	pt, err := s1.Prepare2PC()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writerDone := make(chan error, 1)
+	go func() {
+		_, err := db.NewSession().Exec("UPDATE b SET v = v + 1 WHERE k = 1")
+		writerDone <- err
+	}()
+	waitForWaiters(t, db, 1)
+
+	forceDeadlock(t, db,
+		[2]string{"UPDATE a SET v = v + 1 WHERE k = 4", "UPDATE a SET v = v + 1 WHERE k = 5"},
+		[2]string{"UPDATE a SET v = v + 1 WHERE k = 5", "UPDATE a SET v = v + 1 WHERE k = 4"})
+
+	if done, _ := pt.Resolved(); done {
+		t.Fatal("prepared txn resolved by deadlock machinery; only the coordinator may finish it")
+	}
+	select {
+	case err := <-writerDone:
+		t.Fatalf("queued writer finished (%v) while the prepared txn should still pin b[1]", err)
+	default:
+	}
+
+	if err := pt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer after prepared commit: %v", err)
+	}
+	rs := mustQuery(t, s1, "SELECT v FROM b WHERE k = 1")
+	if rs.Rows[0][0].I != 10 {
+		t.Errorf("v = %v, want 10 (prepared write 9 committed, then writer's +1)", rs.Rows[0][0])
+	}
 }
 
 // forceDeadlock runs two transactions whose two statements cross, with

@@ -1,0 +1,94 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file adds the participant half of two-phase commit to the
+// engine. The lock manager already holds strict-2PL locks to commit
+// point, so "prepare" needs no new locking machinery: it pins the
+// transaction's locks past the statement boundary by detaching the
+// transaction from its session into a PreparedTxn handle that only the
+// coordinator's decision can resolve. The session is left without a
+// transaction, which makes refusal of unilateral abort structural:
+// every teardown path that rolls back an abandoned session finds no
+// open transaction, and the prepared transaction's locks stay held
+// until Commit or Abort arrives (or the dbapi participant's in-doubt
+// deadline resolves it).
+
+// ErrTxnResolved reports a 2PC resolution that conflicts with the
+// outcome the prepared transaction already reached (e.g. a commit
+// decision delivered after the in-doubt deadline presumed abort).
+var ErrTxnResolved = errors.New("sqldb: prepared transaction already resolved")
+
+// PreparedTxn is a transaction in the in-doubt window of two-phase
+// commit: prepared (all statements applied, all locks held) but not
+// yet committed or aborted. Unlike a Session it is safe for concurrent
+// use — the coordinator's decision and a participant's in-doubt
+// deadline may race to resolve it, and exactly one wins.
+type PreparedTxn struct {
+	db *DB
+
+	mu        sync.Mutex
+	txn       *Txn // nil once resolved
+	committed bool // outcome, valid once txn == nil
+}
+
+// Prepare2PC enters the prepared state: the session's open transaction
+// is detached into the returned handle, keeping every lock it holds
+// ("locks held + prepared record" — the write set is in memory, so
+// there is no log to force). The session itself is left with no
+// transaction: statements on it start a fresh one, and Rollback
+// returns ErrNoTransaction rather than aborting the prepared
+// transaction — only the coordinator's decision (or the participant's
+// in-doubt resolution) can finish it.
+func (s *Session) Prepare2PC() (*PreparedTxn, error) {
+	if s.txn == nil {
+		return nil, ErrNoTransaction
+	}
+	t := s.txn
+	t.prepared = true
+	s.txn = nil
+	return &PreparedTxn{db: s.db, txn: t}, nil
+}
+
+// Commit applies the coordinator's commit decision. Idempotent: a
+// duplicate commit of an already-committed transaction returns nil; a
+// commit after the transaction was aborted (presumed abort won the
+// race) returns ErrTxnResolved.
+func (p *PreparedTxn) Commit() error { return p.resolve(true) }
+
+// Abort applies an abort decision (coordinator-ordered or presumed).
+// Idempotent like Commit; aborting an already-committed transaction
+// returns ErrTxnResolved.
+func (p *PreparedTxn) Abort() error { return p.resolve(false) }
+
+// Resolved reports whether the transaction has been finished, and how.
+func (p *PreparedTxn) Resolved() (done, committed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txn == nil, p.committed
+}
+
+func (p *PreparedTxn) resolve(commit bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.txn == nil {
+		if p.committed == commit {
+			return nil
+		}
+		return fmt.Errorf("%w (committed=%v)", ErrTxnResolved, p.committed)
+	}
+	t := p.txn
+	p.txn = nil
+	p.committed = commit
+	t.prepared = false
+	if commit {
+		p.db.commit(t)
+	} else {
+		p.db.rollback(t)
+	}
+	return nil
+}
