@@ -25,16 +25,28 @@ import (
 var jsonOut bool
 
 // saveJSON writes one experiment's data when -json is set.
-func saveJSON(experiment string, data any) {
+func saveJSON(experiment string, data any, gatesSkipped ...string) {
 	if !jsonOut {
 		return
 	}
-	path, err := bench.SaveReport("", experiment, data)
+	path, err := bench.SaveReport("", experiment, data, gatesSkipped...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pyxis-bench: %s: %v\n", experiment, err)
 		os.Exit(1)
 	}
 	fmt.Printf("(wrote %s)\n", path)
+}
+
+// gateSkips renders the standard skipped-gate entry for a wall-clock
+// speedup gate that did not run because the host cannot show parallel
+// speedup (see the enforce conditions at each call site).
+func gateSkips(enforce bool, gate string, clients int) []string {
+	if enforce {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"%s: needs >= 4 CPUs, >= 8 sessions, no race detector; have %d CPUs, %d sessions, race=%v",
+		gate, goruntime.GOMAXPROCS(0), clients, bench.RaceEnabled())}
 }
 
 func main() {
@@ -360,7 +372,8 @@ func runPoolWall(clients, txns, pool int) {
 		}
 		os.Exit(1)
 	}
-	saveJSON("pool-wall", map[string]any{"scaling": scaling, "saturation": sat})
+	saveJSON("pool-wall", map[string]any{"scaling": scaling, "saturation": sat},
+		gateSkips(enforce, "pool-wall speedup >= 1.3x", clients)...)
 	fmt.Println()
 }
 
@@ -465,7 +478,8 @@ func runShardWall(clients, txns, shards int) {
 	}
 	// Unlike the -json-gated experiments, shard-wall always writes its
 	// report: the scale-out number is the PR's acceptance artifact.
-	path, err := bench.SaveReport("", "shard-wall", results)
+	path, err := bench.SaveReport("", "shard-wall", results,
+		gateSkips(enforce, "shard-wall speedup >= 1.3x", clients)...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pyxis-bench: shard-wall:", err)
 		os.Exit(1)
@@ -528,7 +542,8 @@ func runInterpVsVM(clients, txns int) {
 	}
 	// Like shard-wall, the report is the PR's acceptance artifact: always
 	// written, not -json-gated.
-	path, err := bench.SaveReport("", "interp-vs-vm", points)
+	path, err := bench.SaveReport("", "interp-vs-vm", points,
+		gateSkips(enforce, "interp-vs-vm speedup >= 1.15x", clients)...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pyxis-bench: interp-vs-vm:", err)
 		os.Exit(1)

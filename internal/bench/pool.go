@@ -558,6 +558,14 @@ func RunPoolSaturation(part *pyxis.Partition, c TPCCConfig, cfg PoolSatCfg) (*Po
 	res.Tput = float64(len(all)) / elapsed.Seconds()
 	agg := Summarize(all)
 	res.MeanMs, res.P95Ms = agg.MeanMs, agg.P95Ms
+	// Admission slots release asynchronously: the server worker frees a
+	// session's slot only after the handler drained (mux close path),
+	// which can land after the client's Close returns. Wait for the
+	// controller to converge so the snapshot reflects the settled state.
+	deadline := time.Now().Add(2 * time.Second)
+	for adm.Stats().Sessions != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 	res.Admission = adm.Stats()
 	return res, db, nil
 }

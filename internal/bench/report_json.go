@@ -21,7 +21,13 @@ type BenchReport struct {
 	GoMaxProcs int       `json:"gomaxprocs"`
 	NumCPU     int       `json:"num_cpu"`
 	Race       bool      `json:"race"`
-	Data       any       `json:"data"`
+	// GatesSkipped lists every wall-clock acceptance gate the run
+	// self-skipped (too few CPUs, too few sessions, race detector on),
+	// one human-readable entry per gate. Always present — an empty list
+	// is the machine-readable statement that every gate was enforced,
+	// so CI can reject reports that silently dodged their gates.
+	GatesSkipped []string `json:"gates_skipped"`
+	Data         any      `json:"data"`
 }
 
 // RaceEnabled reports whether this build is race-detector-instrumented
@@ -31,14 +37,20 @@ func RaceEnabled() bool { return raceEnabled }
 
 // SaveReport writes data as BENCH_<experiment>.json under dir (""
 // means the current directory) and returns the path written.
-func SaveReport(dir, experiment string, data any) (string, error) {
+// gatesSkipped names the wall-clock gates this run did not enforce;
+// pass nothing when every gate ran.
+func SaveReport(dir, experiment string, data any, gatesSkipped ...string) (string, error) {
+	if gatesSkipped == nil {
+		gatesSkipped = []string{} // marshal as [], never null
+	}
 	rep := BenchReport{
-		Experiment: experiment,
-		Generated:  time.Now().UTC(),
-		GoMaxProcs: goruntime.GOMAXPROCS(0),
-		NumCPU:     goruntime.NumCPU(),
-		Race:       raceEnabled,
-		Data:       data,
+		Experiment:   experiment,
+		Generated:    time.Now().UTC(),
+		GoMaxProcs:   goruntime.GOMAXPROCS(0),
+		NumCPU:       goruntime.NumCPU(),
+		Race:         raceEnabled,
+		GatesSkipped: gatesSkipped,
+		Data:         data,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AtomicField enforces all-or-nothing atomicity per struct field: a
+// field that is ever accessed through sync/atomic (atomic.AddInt64(&s.n),
+// atomic.LoadUint32(&s.gen), ...) must never be read or written
+// plainly anywhere in the package, and a field of an atomic.Int64-style
+// type must only be touched through its methods (or have its address
+// taken) — copying it smuggles out a torn, unsynchronized snapshot.
+//
+// One deliberate false-positive suppression is built in: plain access
+// through a VALUE base is exempt. The repo's snapshot idiom copies
+// counters out under atomic loads into a plain struct returned by
+// value (rpc.Transport.Stats) and the copy's fields are then read
+// freely; only access that can alias the shared object — a base
+// reached through a pointer — is flagged. Intentional exceptions
+// (e.g. reads inside a constructor before the object escapes) carry a
+// //pyxlint:allow atomicfield directive.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "fields accessed via sync/atomic (or of atomic.X type) must never be " +
+		"read/written non-atomically through a shared pointer",
+	Run: runAtomicField,
+}
+
+// atomicFuncNames is the sync/atomic function surface that takes
+// &struct.field.
+var atomicFuncNames = buildAtomicFuncNames()
+
+func buildAtomicFuncNames() map[string]bool {
+	m := map[string]bool{}
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			m[op+ty] = true
+		}
+	}
+	return m
+}
+
+// atomicTypeNames is the method-based atomic wrapper surface.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Phase 1: collect the atomically-accessed field set.
+	atomicVia := map[types.Object]ast.Node{} // field object -> one atomic call site
+	inAtomicArg := map[*ast.SelectorExpr]bool{}
+	atomicTyped := map[types.Object]bool{}
+
+	for _, f := range pass.Files {
+		atomicName := ImportName(f, "sync/atomic")
+		if atomicName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !atomicFuncNames[sel.Sel.Name] {
+					return true
+				}
+				if x, ok := sel.X.(*ast.Ident); !ok || x.Name != atomicName {
+					return true
+				}
+				if len(n.Args) == 0 {
+					return true
+				}
+				addr, ok := n.Args[0].(*ast.UnaryExpr)
+				if !ok {
+					return true
+				}
+				fieldSel, ok := addr.X.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				inAtomicArg[fieldSel] = true
+				if selection, ok := pass.Info.Selections[fieldSel]; ok && selection.Kind() == types.FieldVal {
+					if _, seen := atomicVia[selection.Obj()]; !seen {
+						atomicVia[selection.Obj()] = n
+					}
+				}
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					if !isAtomicWrapperType(fld.Type, atomicName) {
+						continue
+					}
+					for _, name := range fld.Names {
+						if obj := pass.Info.Defs[name]; obj != nil {
+							atomicTyped[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVia) == 0 && len(atomicTyped) == 0 {
+		return nil
+	}
+
+	// Phase 2: find plain accesses, with a parent stack so method
+	// calls and address-taking on atomic-typed fields stay legal.
+	type finding struct {
+		pos   ast.Node
+		field types.Object
+		via   ast.Node // nil for atomic-typed fields
+	}
+	var findings []finding
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicArg[sel] {
+				return
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return
+			}
+			obj := selection.Obj()
+			if via, hot := atomicVia[obj]; hot {
+				if baseThroughPointer(pass, sel) {
+					findings = append(findings, finding{pos: sel, field: obj, via: via})
+				}
+				return
+			}
+			if atomicTyped[obj] {
+				parent := parentNode(stack)
+				switch p := parent.(type) {
+				case *ast.SelectorExpr:
+					if p.X == sel {
+						return // s.f.Load() — method access
+					}
+				case *ast.UnaryExpr:
+					return // &s.f — passing the atomic by pointer
+				}
+				findings = append(findings, finding{pos: sel, field: obj})
+			}
+		})
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos.Pos() < findings[j].pos.Pos() })
+	for _, fi := range findings {
+		if fi.via != nil {
+			pass.Reportf(fi.pos.Pos(),
+				"non-atomic access to field %s, which is accessed with sync/atomic at %s — mixed access is a data race",
+				fi.field.Name(), pass.Fset.Position(fi.via.Pos()))
+		} else {
+			pass.Reportf(fi.pos.Pos(),
+				"atomic-typed field %s used without calling a method on it — copying an atomic value is a data race",
+				fi.field.Name())
+		}
+	}
+	return nil
+}
+
+// isAtomicWrapperType matches atomic.Int64 and atomic.Pointer[T]
+// style type expressions by the import's local name.
+func isAtomicWrapperType(t ast.Expr, atomicName string) bool {
+	if ix, ok := t.(*ast.IndexExpr); ok { // atomic.Pointer[T]
+		t = ix.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || !atomicTypeNames[sel.Sel.Name] {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == atomicName
+}
+
+// baseThroughPointer reports whether the selector's base chain passes
+// through a pointer — i.e. the access can alias the shared object
+// rather than a local by-value snapshot.
+func baseThroughPointer(pass *Pass, sel *ast.SelectorExpr) bool {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Indirect() {
+		return true
+	}
+	e := sel.X
+	for {
+		if tv, ok := pass.Info.Types[e]; ok && tv.Type != nil {
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				return true
+			}
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if s, ok := pass.Info.Selections[x]; ok && s.Indirect() {
+				return true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			return true
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				return false
+			}
+			_, isPtr := obj.Type().Underlying().(*types.Pointer)
+			return isPtr
+		default:
+			return false
+		}
+	}
+}
+
+// parentNode returns the innermost enclosing node (the stack's last
+// entry is the node itself).
+func parentNode(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// inspectWithStack is ast.Inspect with an ancestor stack.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(n, stack)
+		return true
+	})
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture runner is analysistest in miniature: each analyzer owns
+// a package under testdata/src/<name>/ whose sources carry
+// `// want "regexp"` comments on the lines where a diagnostic must
+// appear. The runner fails on any unexpected diagnostic and on any
+// unmatched want — so every fixture proves both a true positive (the
+// analyzer bites) and a suppression (the //pyxlint:allow cases and
+// built-in exemptions stay silent).
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type wantDiag struct {
+	key string // base-filename:line
+	re  *regexp.Regexp
+	hit bool
+}
+
+func collectWants(t *testing.T, dir string) []*wantDiag {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*wantDiag
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[1], err)
+				}
+				wants = append(wants, &wantDiag{
+					key: fmt.Sprintf("%s:%d", e.Name(), i+1),
+					re:  re,
+				})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no wants — it proves nothing", dir)
+	}
+	return wants
+}
+
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	wants := collectWants(t, dir)
+	diags, err := Check(dir, CheckOptions{IncludeTests: true, Analyzers: []*Analyzer{a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.key == key && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("no diagnostic at %s matching %q", w.key, w.re)
+		}
+	}
+}
+
+func TestLatchOrderFixture(t *testing.T)     { runFixture(t, LatchOrder, "latchorder") }
+func TestReleaseOnErrorFixture(t *testing.T) { runFixture(t, ReleaseOnError, "releaseonerror") }
+func TestAtomicFieldFixture(t *testing.T)    { runFixture(t, AtomicField, "atomicfield") }
+func TestSentinelErrFixture(t *testing.T)    { runFixture(t, SentinelErr, "sentinelerr") }
+
+// TestRosterComplete pins the roster: a new analyzer must ship with a
+// fixture directory before it can join Analyzers().
+func TestRosterComplete(t *testing.T) {
+	for _, a := range Analyzers() {
+		if _, err := os.Stat(filepath.Join("testdata", "src", a.Name)); err != nil {
+			t.Errorf("analyzer %s has no fixture package: %v", a.Name, err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the intra-procedural control-flow graph the
+// releaseonerror analyzer walks: one node per statement, with
+// condition/init expressions attached to the node that evaluates them
+// and explicit successor edges through if/for/range/switch/select/
+// branch statements. It is the Go-source sibling of
+// internal/analysis/cfg.go, which builds the same structure over PyxJ
+// statements for the partitioner.
+//
+// The builder is deliberately conservative: control flow it cannot
+// model exactly (goto, fallthrough into computed targets) marks the
+// graph unusable and the analyzer skips the whole function rather
+// than reporting on an approximate graph.
+
+// flowNode is one statement's node. scan lists the syntax evaluated
+// AT this node (the statement itself for simple statements; only the
+// init/cond parts for compound ones, whose bodies get their own
+// nodes).
+type flowNode struct {
+	scan  []ast.Node
+	stmt  ast.Stmt        // the originating statement (simple statements only)
+	ret   *ast.ReturnStmt // non-nil when this node is a return
+	succs []*flowNode
+}
+
+// flowGraph is one function body's graph.
+type flowGraph struct {
+	entry  *flowNode
+	defers []*ast.CallExpr // calls registered by defer statements anywhere in the body
+	ok     bool            // false: unsupported control flow, callers must skip
+}
+
+type flowBuilder struct {
+	g            *flowGraph
+	breaks       []*flowNode // innermost-last break targets (loops, switches, selects)
+	continues    []*flowNode // innermost-last continue targets (loops)
+	labels       map[string][2]*flowNode
+	pendingLabel string
+	fall         *flowNode // fallthrough target inside a switch clause
+}
+
+// buildFlow constructs the graph for body.
+func buildFlow(body *ast.BlockStmt) *flowGraph {
+	b := &flowBuilder{g: &flowGraph{ok: true}, labels: map[string][2]*flowNode{}}
+	exit := &flowNode{}
+	b.g.entry = b.stmts(body.List, exit)
+	return b.g
+}
+
+func (b *flowBuilder) node(stmt ast.Stmt, next *flowNode, scan ...ast.Node) *flowNode {
+	n := &flowNode{stmt: stmt}
+	for _, s := range scan {
+		if s != nil {
+			n.scan = append(n.scan, s)
+		}
+	}
+	if next != nil {
+		n.succs = []*flowNode{next}
+	}
+	return n
+}
+
+func (b *flowBuilder) stmts(list []ast.Stmt, next *flowNode) *flowNode {
+	for i := len(list) - 1; i >= 0; i-- {
+		next = b.stmt(list[i], next)
+	}
+	return next
+}
+
+func (b *flowBuilder) stmt(s ast.Stmt, next *flowNode) *flowNode {
+	switch s := s.(type) {
+	case nil:
+		return next
+
+	case *ast.BlockStmt:
+		return b.stmts(s.List, next)
+
+	case *ast.ReturnStmt:
+		n := b.node(s, nil, s)
+		n.ret = s
+		return n
+
+	case *ast.IfStmt:
+		elseEntry := next
+		if s.Else != nil {
+			elseEntry = b.stmt(s.Else, next)
+		}
+		thenEntry := b.stmts(s.Body.List, next)
+		n := b.node(nil, nil, s.Init, s.Cond)
+		n.succs = []*flowNode{thenEntry, elseEntry}
+		return n
+
+	case *ast.ForStmt:
+		loop := b.node(nil, nil, s.Cond)
+		post := loop
+		if s.Post != nil {
+			post = b.node(s.Post, loop, s.Post)
+		}
+		b.enterLoop(next, post)
+		bodyEntry := b.stmts(s.Body.List, post)
+		b.leave()
+		// Conservative: always include the exit edge, even for `for {}`
+		// — extra paths only over-approximate reachability.
+		loop.succs = []*flowNode{bodyEntry, next}
+		if s.Init != nil {
+			return b.node(s.Init, loop, s.Init)
+		}
+		return loop
+
+	case *ast.RangeStmt:
+		loop := b.node(nil, nil, s.X)
+		b.enterLoop(next, loop)
+		bodyEntry := b.stmts(s.Body.List, loop)
+		b.leave()
+		loop.succs = []*flowNode{bodyEntry, next}
+		return loop
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(s.Init, s.Tag, s.Body.List, next, true)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(s.Init, nil, s.Body.List, next, false)
+
+	case *ast.SelectStmt:
+		b.enterSwitch(next)
+		n := b.node(nil, nil)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			bodyEntry := b.stmts(cc.Body, next)
+			head := b.node(nil, bodyEntry, cc.Comm)
+			n.succs = append(n.succs, head)
+		}
+		if len(n.succs) == 0 {
+			n.succs = []*flowNode{next}
+		}
+		b.leave()
+		return n
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		return b.stmt(s.Stmt, next)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s.Label, 0, b.breaks); t != nil {
+				return b.node(s, t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s.Label, 1, b.continues); t != nil {
+				return b.node(s, t)
+			}
+		case token.FALLTHROUGH:
+			if b.fall != nil {
+				return b.node(s, b.fall)
+			}
+		}
+		b.g.ok = false // goto, or an unresolved label
+		return b.node(s, nil)
+
+	case *ast.DeferStmt:
+		b.g.defers = append(b.g.defers, s.Call)
+		return b.node(s, next, s)
+
+	default:
+		// Simple statements: assignments, expressions, declarations,
+		// sends, inc/dec, go.
+		return b.node(s, next, s)
+	}
+}
+
+// switchStmt builds expression and type switches. Clause bodies flow
+// to next (implicit break); a trailing fallthrough flows to the next
+// clause's body.
+func (b *flowBuilder) switchStmt(init ast.Stmt, tag ast.Expr, clauses []ast.Stmt, next *flowNode, allowFall bool) *flowNode {
+	b.enterSwitch(next)
+	n := b.node(nil, nil, init, tag)
+	hasDefault := false
+	var nextBody *flowNode
+	for i := len(clauses) - 1; i >= 0; i-- {
+		cc := clauses[i].(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		savedFall := b.fall
+		if allowFall {
+			b.fall = nextBody
+		}
+		bodyEntry := b.stmts(cc.Body, next)
+		b.fall = savedFall
+		scan := make([]ast.Node, len(cc.List))
+		for j, e := range cc.List {
+			scan[j] = e
+		}
+		head := b.node(nil, bodyEntry, scan...)
+		n.succs = append([]*flowNode{head}, n.succs...)
+		nextBody = bodyEntry
+	}
+	if !hasDefault || len(n.succs) == 0 {
+		n.succs = append(n.succs, next)
+	}
+	b.leave()
+	return n
+}
+
+// enterLoop pushes break/continue targets; a pending label binds to
+// them.
+func (b *flowBuilder) enterLoop(brk, cont *flowNode) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = [2]*flowNode{brk, cont}
+		b.pendingLabel = ""
+	}
+}
+
+// enterSwitch pushes only a break target (continue skips switches).
+func (b *flowBuilder) enterSwitch(brk *flowNode) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, nil)
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = [2]*flowNode{brk, nil}
+		b.pendingLabel = ""
+	}
+}
+
+func (b *flowBuilder) leave() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// branchTarget resolves a break/continue target: labeled from the
+// label table, unlabeled from the innermost non-nil stack entry.
+func (b *flowBuilder) branchTarget(label *ast.Ident, which int, stack []*flowNode) *flowNode {
+	if label != nil {
+		return b.labels[label.Name][which]
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != nil {
+			return stack[i]
+		}
+	}
+	return nil
+}

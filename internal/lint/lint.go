@@ -1,0 +1,180 @@
+// Package lint turns the project's static-analysis machinery inward:
+// where internal/analysis runs CFG/def-use/effect passes over PyxJ
+// programs to partition them, this package runs go/analysis-style
+// passes over the runtime's own Go source to machine-check the
+// concurrency invariants that PRs 2-7 each re-audited by hand.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, diagnostics, analysistest-style fixtures, a vet -vettool
+// driver) but is built purely on the standard library's go/ast and
+// go/types, because the build environment vendors no external
+// modules. The trade-off is documented per analyzer: passes use full
+// type information when the driver can supply it (go vet -vettool
+// mode, where export data for every import is available) and degrade
+// to the same tolerant own-package resolution the old
+// sqldb latch-audit test used when it cannot (standalone and in-test
+// runs), with syntactic fallbacks for cross-package references.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, the multichecker
+	// roster and //pyxlint:allow directives.
+	Name string
+	// Doc is the one-paragraph description printed by the roster.
+	Doc string
+	// Run executes the pass, reporting findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run with a single package's syntax and
+// (possibly partial) type information.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers
+// whose invariants only bind production code (latchorder: tests poke
+// table structure deliberately under controlled setup) skip such
+// positions.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ImportName returns the local name under which file imports path, or
+// "" when it does not. It is the syntactic anchor the analyzers use
+// for stdlib packages (fmt, errors, sync, sync/atomic) so they work
+// even when the type checker could not resolve imports.
+func ImportName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		return p[strings.LastIndex(p, "/")+1:]
+	}
+	return ""
+}
+
+// Analyzers returns the full roster, in the order the multichecker
+// runs them.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{LatchOrder, ReleaseOnError, AtomicField, SentinelErr}
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// allowDirective matches suppression comments:
+//
+//	//pyxlint:allow <analyzer> -- <reason>
+//
+// A diagnostic is suppressed when such a comment (naming its analyzer,
+// with a non-empty reason) sits on the diagnostic's line or the line
+// directly above it — the same "no exemption without a written story"
+// contract as the latch audit's allowlist.
+var allowDirective = regexp.MustCompile(`^//pyxlint:allow\s+([a-z]+)\s+--\s+\S`)
+
+// suppressedLines collects, per analyzer name, the set of file:line
+// positions covered by //pyxlint:allow directives in the files.
+func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	sup := map[string]map[string]bool{}
+	add := func(name, file string, line int) {
+		if sup[name] == nil {
+			sup[name] = map[string]bool{}
+		}
+		sup[name][fmt.Sprintf("%s:%d", file, line)] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// The directive covers its own line and the next one, so
+				// it works both trailing a statement and on its own line
+				// above one.
+				add(m[1], pos.Filename, pos.Line)
+				add(m[1], pos.Filename, pos.Line+1)
+			}
+		}
+	}
+	return sup
+}
+
+// runAnalyzers executes the analyzers over one loaded package and
+// returns the diagnostics that survive //pyxlint:allow suppression.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+
+	sup := suppressedLines(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer: a, Fset: fset, Files: files,
+			Pkg: pkg, Info: info, diags: &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range diags {
+			if sup[a.Name][fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+// Fixture for the atomicfield analyzer: one mixed plain/atomic
+// counter, one copied atomic-typed field, the value-base snapshot
+// exemption and a directive-suppressed constructor read.
+package fixa
+
+import "sync/atomic"
+
+type stats struct {
+	calls int64
+}
+
+type server struct {
+	st  stats
+	gen atomic.Int64
+}
+
+func (s *server) bump() {
+	atomic.AddInt64(&s.st.calls, 1)
+}
+
+// badRead mixes a plain read into the atomic field through a pointer
+// base.
+func badRead(s *server) int64 {
+	return s.st.calls // want "non-atomic access to field calls"
+}
+
+// badCopy copies the atomic-typed field instead of calling a method.
+func badCopy(s *server) int64 {
+	g := s.gen // want "atomic-typed field gen"
+	return g.Load()
+}
+
+// goodMethod and goodAddr are the legal atomic-typed accesses.
+func goodMethod(s *server) int64 { return s.gen.Load() }
+
+func goodAddr(s *server) *atomic.Int64 { return &s.gen }
+
+// snapshot copies the counters out under atomic loads; readers of the
+// by-value copy are exempt (the rpc.Transport.Stats idiom).
+func (s *server) snapshot() stats {
+	return stats{calls: atomic.LoadInt64(&s.st.calls)}
+}
+
+func useSnapshot(s *server) int64 {
+	cp := s.snapshot()
+	return cp.calls // value base: exempt, no diagnostic
+}
+
+// fresh reads the counter plainly before the object escapes; the
+// directive carries the story.
+func fresh() *server {
+	s := &server{}
+	//pyxlint:allow atomicfield -- object not yet escaped: constructor-local read
+	if s.st.calls != 0 {
+		panic("fresh server")
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+// Fixture for the releaseonerror analyzer: a pooled-frame Session in
+// miniature, with one leaky error path, one defer-cleaned function,
+// one fail-fast-only function and one directive-suppressed
+// intentional leak.
+package runtimefix
+
+import "errors"
+
+var errDegraded = errors.New("degraded")
+
+var degraded bool
+
+type frame struct{ slots []int }
+
+// Session mirrors the runtime session's pooled-frame API.
+type Session struct{ pool []*frame }
+
+func (s *Session) newFrame() (*frame, error) { return &frame{}, nil }
+
+func (s *Session) freeFrame(f *frame) { s.pool = append(s.pool, f) }
+
+// leaky drops the frame on the degraded exit.
+func leaky(s *Session) error {
+	fr, err := s.newFrame() // want "may leak"
+	if err != nil {
+		return err
+	}
+	if degraded {
+		return errDegraded
+	}
+	s.freeFrame(fr)
+	return nil
+}
+
+// deferred is clean: the defer covers every exit.
+func deferred(s *Session) error {
+	fr, err := s.newFrame()
+	if err != nil {
+		return err
+	}
+	defer s.freeFrame(fr)
+	if degraded {
+		return errDegraded
+	}
+	return nil
+}
+
+// failFast is clean: the only early return is the fail-fast guard on
+// the acquire's own error, where the frame is nil.
+func failFast(s *Session) error {
+	fr, err := s.newFrame()
+	if err != nil {
+		return err
+	}
+	s.freeFrame(fr)
+	return nil
+}
+
+// pinned leaks on purpose; the directive carries the story.
+func pinned(s *Session) error {
+	//pyxlint:allow releaseonerror -- frame deliberately pinned for the process lifetime (warm-pool seed)
+	fr, err := s.newFrame()
+	if err != nil {
+		return err
+	}
+	if degraded {
+		return errDegraded
+	}
+	s.freeFrame(fr)
+	return nil
+}

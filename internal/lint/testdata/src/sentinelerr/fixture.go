@@ -1,0 +1,58 @@
+// Fixture for the sentinelerr analyzer: ==/!= comparisons against an
+// errors.New sentinel and a concrete-typed sentinel, a switch-case
+// comparison, a %v wrap, the errors.Is good cases and a
+// directive-suppressed identity check.
+package fixs
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("fixs: gone")
+
+type errTiny struct{}
+
+func (errTiny) Error() string { return "fixs: tiny" }
+
+// ErrTiny is a concrete-typed sentinel (the solver's ErrTooLarge
+// shape) — no errors.New in sight, recognized by type.
+var ErrTiny = errTiny{}
+
+func badEq(err error) bool {
+	return err == ErrGone // want "compared with =="
+}
+
+func badNeqTyped(err error) bool {
+	return err != ErrTiny // want "compared with !="
+}
+
+func badSwitch(err error) int {
+	switch err {
+	case ErrGone: // want "switch case"
+		return 1
+	}
+	return 0
+}
+
+func badWrap(err error) error {
+	if errors.Is(err, ErrGone) {
+		return fmt.Errorf("lookup: %v", ErrGone) // want "formatted with %v"
+	}
+	return nil
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, ErrGone) || errors.Is(err, ErrTiny)
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("lookup: %w", err)
+}
+
+// exact really wants identity: the sentinel was returned unwrapped
+// one frame below, and the directive says so.
+func exact(err error) bool {
+	//pyxlint:allow sentinelerr -- identity check on an unwrapped same-package return
+	return err == ErrGone
+}

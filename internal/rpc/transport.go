@@ -137,9 +137,9 @@ func (c *TCPClient) Call(req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.stats.Calls++
-	c.stats.BytesSent += int64(len(req)) + 4
-	c.stats.BytesRecv += int64(len(resp)) + 4
+	atomic.AddInt64(&c.stats.Calls, 1)
+	atomic.AddInt64(&c.stats.BytesSent, int64(len(req))+4)
+	atomic.AddInt64(&c.stats.BytesRecv, int64(len(resp))+4)
 	if len(resp) > 0 && resp[0] == frameError {
 		return nil, fmt.Errorf("rpc: remote error: %s", string(resp[1:]))
 	}
@@ -152,11 +152,13 @@ func (c *TCPClient) Call(req []byte) ([]byte, error) {
 // Close implements Transport.
 func (c *TCPClient) Close() error { return c.conn.Close() }
 
-// Stats returns traffic counters (callers must not race with Call).
+// Stats returns a snapshot of the traffic counters.
 func (c *TCPClient) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Calls:     atomic.LoadInt64(&c.stats.Calls),
+		BytesSent: atomic.LoadInt64(&c.stats.BytesSent),
+		BytesRecv: atomic.LoadInt64(&c.stats.BytesRecv),
+	}
 }
 
 const (

@@ -1,6 +1,9 @@
 package solver
 
-import "sort"
+import (
+	"errors"
+	"sort"
+)
 
 // BranchBound is an exact solver: depth-first branch and bound over
 // node assignments. The bound is the cut weight already forced by
@@ -156,7 +159,7 @@ func (Auto) Solve(p *Problem) (*Solution, error) {
 	if err == nil {
 		return sol, nil
 	}
-	if err == ErrTooLarge {
+	if errors.Is(err, ErrTooLarge) {
 		return (&MinCutSolver{}).Solve(p)
 	}
 	return nil, err

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -282,7 +283,7 @@ func TestSimplexBasics(t *testing.T) {
 
 	// Unbounded: min -x with no constraints on x.
 	_, _, err = SimplexSolve([]float64{-1}, [][]float64{{0}}, []float64{1}, 0)
-	if err != ErrUnbounded {
+	if !errors.Is(err, ErrUnbounded) {
 		t.Fatalf("want ErrUnbounded, got %v", err)
 	}
 }
@@ -381,7 +382,7 @@ func TestBranchBoundTooLarge(t *testing.T) {
 		p.Pin[i] = PinFree
 	}
 	bb := &BranchBound{MaxNodes: 10}
-	if _, err := bb.Solve(p); err != ErrTooLarge {
+	if _, err := bb.Solve(p); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("want ErrTooLarge, got %v", err)
 	}
 }
