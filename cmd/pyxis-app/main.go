@@ -181,12 +181,25 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			// Home shard picked once, at session open; both wires (and
-			// the dynamic pair below) stay pinned to it.
-			dbT, shard, err := sc.OpenSession(dbMux, int64(i))
-			if err != nil {
-				results[i].err = err
-				return
+			// Home shard picked at session open under the CURRENT map
+			// epoch; both wires (and the dynamic pair below) stay pinned
+			// to it. If a rebalance publishes a newer map between the
+			// pick and the open (epoch bump), the pin is re-validated
+			// and re-homed before any call is issued.
+			var dbT *rpc.MuxSession
+			var shard int
+			for {
+				epoch := sc.MapEpoch()
+				var err error
+				dbT, shard, err = sc.OpenSession(dbMux, int64(i))
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				if sc.MapEpoch() == epoch && sc.VerifyHome(shard, int64(i)) == nil {
+					break
+				}
+				_ = dbT.Close()
 			}
 			ctlT, err := ctlMux.Session(shard)
 			if err != nil {

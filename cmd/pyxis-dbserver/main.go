@@ -41,7 +41,10 @@
 // shard-unaware by design, the -schema script loads only this shard's
 // slice of the data, and a pyxis-app started with matching -db/-ctl
 // address lists routes every session to its home shard by partition
-// key (runtime.ShardMap).
+// key (runtime.ShardMap). The database port also serves the live-
+// rebalancing control plane (fence / adopt / release migration
+// frames), so an external runtime.Migrator can move warehouse ranges
+// between shard processes without restarting them.
 //
 // Usage:
 //
@@ -219,7 +222,11 @@ func main() {
 	}
 	defer ctlSrv.Close()
 
-	fmt.Printf("pyxis-dbserver: db=%s ctl=%s%s dynamic=%v partition={%s}%s%s\n",
+	// The db wire always speaks the migration control plane (the
+	// handlers are the same dbapi mux set the migrator fences through);
+	// say so at startup so an operator wiring up a rebalance knows this
+	// build can be a migration source or destination.
+	fmt.Printf("pyxis-dbserver: db=%s ctl=%s%s dynamic=%v migration=fence/adopt/release partition={%s}%s%s\n",
 		dbSrv.Addr(), ctlSrv.Addr(), shardDesc, *dynamic, part.Describe(), dynDesc, admDesc)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -1,0 +1,409 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pyxis/internal/dbapi"
+	"pyxis/internal/rpc"
+	"pyxis/internal/runtime"
+	"pyxis/internal/sqldb"
+)
+
+// This file measures the live-rebalancing story end to end: a
+// Zipf-skewed TPC-C mix makes one shard hot, the runtime.Advisor
+// notices (imbalance ratio over its trigger), min-cuts the co-access
+// graph into a migration plan, and runtime.Migrator moves the chosen
+// warehouse ranges shard-to-shard over the live database wire —
+// fence, stream, drain, 2PC cutover, epoch-bumped map publish — while
+// the clients keep running. The drivers exercise exactly the three
+// retry classes a live migration exposes:
+//
+//   - ErrRangeFenced: the warehouse is mid-move; back off briefly and
+//     retry (does not count against the deadlock retry budget — the
+//     fence clears when the move commits or its TTL lapses);
+//   - ErrRangeMoved / ErrWrongShard: the move committed; drop the
+//     cached shard session, re-read the (epoch-bumped) map and re-home;
+//   - deadlock / ErrTxnAborted: the usual victim retry.
+//
+// The frozen-map baseline (Advisor off) runs the identical workload
+// without the migration, so the post-rebalance throughput gate has a
+// denominator measured under the same skew.
+
+// RebalanceCfg configures one live-rebalancing TPC-C measurement.
+type RebalanceCfg struct {
+	Clients int // concurrent driver goroutines
+	Txns    int // transactions per client
+	Shards  int // independent shard servers (>= 2 for a migration to exist)
+	Conns   int // pooled connections per shard (default 1)
+	// ZipfS is the warehouse-pick skew exponent (default 1.4): rank 1
+	// (warehouse 1, shard 0) is the hotspot.
+	ZipfS float64
+	// PaymentEvery makes every k-th transaction a Payment; the rest are
+	// NewOrders (default 2).
+	PaymentEvery int
+	// Live runs the advisor->migrator controller at the halfway point;
+	// off = the frozen-map baseline.
+	Live bool
+	// ForceMove skips the advisor and moves the upper half of shard 0's
+	// base range to shard 1 at the halfway point regardless of load —
+	// the deterministic single migration the differential test diffs
+	// against a no-migration run.
+	ForceMove bool
+	// MaxRetries bounds deadlock-victim retries per transaction
+	// (default 50). Fence retries are bounded by FenceTTL, not this.
+	MaxRetries int
+	// FenceTTL is the migration fence's crash-safety TTL (default 10s;
+	// it must comfortably exceed one move's stream time, or writers
+	// wake mid-stream on drained rows).
+	FenceTTL time.Duration
+	// Trigger overrides the advisor's imbalance trigger (default 1.25).
+	Trigger float64
+}
+
+// RebalanceResult aggregates one rebalancing run.
+type RebalanceResult struct {
+	Shards    int
+	Clients   int
+	TotalTxns int
+	NewOrders int
+	Payments  int
+	Deadlocks int
+	// FenceRetries counts transactions that backed off on a fenced
+	// range; Rehomes counts cached-session drops forced by an epoch
+	// bump or a moved-range redirect.
+	FenceRetries int
+	Rehomes      int
+	// Migrations is the number of completed Move calls; MovedWarehouses
+	// lists every warehouse that changed shards; RowsMoved sums the
+	// streamed rows; MigrationMs the fence-to-publish wall time.
+	Migrations      int
+	MovedWarehouses []int64
+	RowsMoved       int
+	MigrationMs     float64
+	// ImbalanceBefore is the advisor's hottest/median ratio at the
+	// trigger point; ImbalanceAfter is the same ratio over the
+	// post-migration observation window under the final map.
+	ImbalanceBefore float64
+	ImbalanceAfter  float64
+	Elapsed         time.Duration
+	Tput            float64 // whole-run txn/s
+	PostTput        float64 // txn/s from migration end (or halfway, frozen) to finish
+	FinalEpoch      uint64
+}
+
+// String renders the result as one table row block.
+func (r *RebalanceResult) String() string {
+	s := fmt.Sprintf("shards=%d clients=%d txns=%d (no=%d pay=%d dl-retries=%d) elapsed=%v tput=%.0f txn/s post-tput=%.0f txn/s imbalance=%.2f",
+		r.Shards, r.Clients, r.TotalTxns, r.NewOrders, r.Payments, r.Deadlocks,
+		r.Elapsed.Round(time.Millisecond), r.Tput, r.PostTput, r.ImbalanceAfter)
+	if r.Migrations > 0 {
+		s += fmt.Sprintf(" migrated=%v (%d rows in %.0fms, %.2f->%.2f, epoch %d) fence-retries=%d rehomes=%d",
+			r.MovedWarehouses, r.RowsMoved, r.MigrationMs, r.ImbalanceBefore, r.ImbalanceAfter,
+			r.FinalEpoch, r.FenceRetries, r.Rehomes)
+	}
+	return s
+}
+
+// TPCCWarehouseKeys maps every warehouse-partitioned TPC-C table to
+// its partition-key column — the table set a migration fences and
+// streams. The item catalog is replicated per shard and deliberately
+// absent.
+func TPCCWarehouseKeys() map[string]string {
+	return map[string]string{
+		"warehouse":  "w_id",
+		"district":   "d_w_id",
+		"customer":   "c_w_id",
+		"orders":     "o_w_id",
+		"new_order":  "no_w_id",
+		"order_line": "ol_w_id",
+		"stock":      "s_w_id",
+	}
+}
+
+// RunRebalance drives cfg.Clients Zipf-skewed TPC-C drivers against
+// cfg.Shards shard servers and (when cfg.Live) lets the advisor
+// trigger a live migration at the halfway point. It returns the
+// result, the per-shard databases and the FINAL shard map, so callers
+// audit CheckShardInvariants against post-move ownership.
+func RunRebalance(c TPCCConfig, cfg RebalanceCfg) (*RebalanceResult, []*sqldb.DB, runtime.ShardMap, error) {
+	var zero runtime.ShardMap
+	if cfg.Clients < 1 || cfg.Txns < 1 {
+		return nil, nil, zero, fmt.Errorf("bench: RunRebalance needs Clients >= 1 and Txns >= 1")
+	}
+	if cfg.Shards < 2 {
+		return nil, nil, zero, fmt.Errorf("bench: RunRebalance needs Shards >= 2 (got %d)", cfg.Shards)
+	}
+	if cfg.Shards > c.Warehouses {
+		return nil, nil, zero, fmt.Errorf("bench: %d shards over %d warehouses would leave empty shards", cfg.Shards, c.Warehouses)
+	}
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 50
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.4
+	}
+	if cfg.PaymentEvery <= 0 {
+		cfg.PaymentEvery = 2
+	}
+	if cfg.FenceTTL <= 0 {
+		cfg.FenceTTL = 10 * time.Second
+	}
+
+	smap := runtime.ShardMap{Shards: cfg.Shards, Warehouses: c.Warehouses}
+	dbs := make([]*sqldb.DB, cfg.Shards)
+	for i := range dbs {
+		lo, hi := smap.WarehouseRange(i)
+		dbs[i] = c.LoadRange(int(lo), int(hi))
+	}
+	sc := runtime.NewShardedClient(smap)
+	parts := make([]*dbapi.Participant, cfg.Shards)
+	for i := range parts {
+		parts[i] = dbapi.NewParticipant(0, sc.TwoPC.Outcome)
+	}
+	dbPool, err := rpc.NewShardedPool(cfg.Shards, cfg.Conns,
+		func(shard, _ int) (io.ReadWriteCloser, error) {
+			srv, cli := net.Pipe()
+			go rpc.ServeMuxConnConfig(srv, dbapi.MuxHandlersTxn(dbs[shard], parts[shard]), rpc.MuxServeConfig{})
+			return cli, nil
+		})
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	defer dbPool.Close()
+
+	adv := runtime.NewAdvisor(c.Warehouses)
+	if cfg.Trigger > 0 {
+		adv.Trigger = cfg.Trigger
+	}
+	mig := &runtime.Migrator{Client: sc, Pool: dbPool, Tables: TPCCWarehouseKeys(), FenceTTL: cfg.FenceTTL}
+
+	res := &RebalanceResult{Shards: cfg.Shards, Clients: cfg.Clients}
+	totalTxns := cfg.Clients * cfg.Txns
+	var done atomic.Int64
+	halfway := make(chan struct{})
+	var halfOnce sync.Once
+
+	// The controller: woken when half the workload has committed, it
+	// reads the advisor, migrates, resets the observation window and
+	// records the post-migration throughput baseline.
+	var postStart time.Time
+	var postStartTxns int64
+	var ctlErr error
+	ctlDone := make(chan struct{})
+	go func() {
+		defer close(ctlDone)
+		<-halfway
+		if cfg.Live || cfg.ForceMove {
+			before, _ := adv.Imbalance(sc.CurrentMap())
+			res.ImbalanceBefore = before
+			var runs [][2]int64
+			from, to := 0, 1
+			if cfg.ForceMove {
+				lo, hi := smap.WarehouseRange(0)
+				runs = [][2]int64{{(lo + hi + 1) / 2, hi}}
+			} else {
+				plan, err := adv.Plan(sc.CurrentMap())
+				if err != nil {
+					ctlErr = err
+					return
+				}
+				if plan != nil {
+					runs, from, to = plan.Runs(), plan.From, plan.To
+				}
+			}
+			for _, r := range runs {
+				var mv *runtime.MoveResult
+				var err error
+				// The drain transaction can lose a deadlock to an
+				// in-flight writer; that aborts the move cleanly (fence
+				// released, both sides rolled back), so retry it.
+				for attempt := 0; attempt < 5; attempt++ {
+					mv, err = mig.Move(from, to, r[0], r[1])
+					if err == nil || !(isDeadlockErr(err) || errors.Is(err, runtime.ErrTxnAborted)) {
+						break
+					}
+				}
+				if err != nil {
+					ctlErr = fmt.Errorf("bench: migrate w[%d,%d]: %w", r[0], r[1], err)
+					return
+				}
+				res.Migrations++
+				res.RowsMoved += mv.Rows
+				res.MigrationMs += float64(mv.Elapsed.Microseconds()) / 1e3
+				for w := r[0]; w <= r[1]; w++ {
+					res.MovedWarehouses = append(res.MovedWarehouses, w)
+				}
+			}
+			// Measure the next window against the new placement only.
+			adv.Reset()
+		}
+		postStart = time.Now()
+		postStartTxns = done.Load()
+	}()
+
+	type driverOut struct {
+		newOrders, payments, deadlocks, fenceRetries, rehomes int
+		err                                                   error
+	}
+	outs := make([]driverOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := &outs[i]
+			rng := rand.New(rand.NewSource(int64(i)*7919 + 17))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(c.Warehouses-1))
+			// Cached per-shard sessions, dropped whole on an epoch bump:
+			// a session opened under a stale map may be homed wrong.
+			conns := map[int]*dbapi.Client{}
+			epoch := sc.MapEpoch()
+			dropConns := func() {
+				for sh, cl := range conns {
+					_ = cl.Close()
+					delete(conns, sh)
+				}
+			}
+			defer dropConns()
+			connOn := func(sh int) (*dbapi.Client, error) {
+				if cl, ok := conns[sh]; ok {
+					return cl, nil
+				}
+				sess, err := dbPool.Session(sh)
+				if err != nil {
+					return nil, err
+				}
+				conns[sh] = dbapi.NewClient(sess)
+				return conns[sh], nil
+			}
+			for k := 0; k < cfg.Txns; k++ {
+				// Re-home at the transaction boundary: an epoch bump means
+				// the map changed under us.
+				if e := sc.MapEpoch(); e != epoch {
+					dropConns()
+					epoch = e
+					out.rehomes++
+				}
+				wid := int64(zipf.Uint64()) + 1
+				seq := int64(i)*1_000_003 + int64(k)
+				_, did, cid, olcnt, seed, rb := c.txnParams(seq)
+				isPayment := k%cfg.PaymentEvery == 0
+				var fenceDeadline time.Time
+				deadlocks := 0
+				for {
+					shard := sc.HomeShard(wid)
+					var err error
+					conn, err := connOn(shard)
+					if err == nil {
+						if isPayment {
+							_, err = c.paymentNative(conn, wid, did, cid, float64(seq%97+1))
+						} else {
+							_, err = c.newOrderNative(conn, wid, did, cid, olcnt, seed, rb)
+						}
+					}
+					if err == nil {
+						break
+					}
+					switch {
+					case errors.Is(err, sqldb.ErrRangeFenced):
+						// Mid-migration: the fence clears on cutover (or
+						// its TTL), so back off without burning the
+						// deadlock budget — but bound the wait so a stuck
+						// fence fails the run instead of hanging it.
+						if fenceDeadline.IsZero() {
+							fenceDeadline = time.Now().Add(cfg.FenceTTL + 5*time.Second)
+						}
+						if time.Now().After(fenceDeadline) {
+							out.err = fmt.Errorf("driver %d txn %d: fence never cleared: %w", i, k, err)
+							return
+						}
+						out.fenceRetries++
+						time.Sleep(500 * time.Microsecond)
+					case errors.Is(err, sqldb.ErrRangeMoved) || errors.Is(err, runtime.ErrWrongShard):
+						// The move committed and this shard tombstoned the
+						// range: drop the cached session and re-route via
+						// the (about-to-be or already) published map.
+						if cl, ok := conns[shard]; ok {
+							_ = cl.Close()
+							delete(conns, shard)
+						}
+						epoch = sc.MapEpoch()
+						out.rehomes++
+						time.Sleep(200 * time.Microsecond)
+					case isDeadlockErr(err) || errors.Is(err, runtime.ErrTxnAborted):
+						deadlocks++
+						out.deadlocks++
+						if deadlocks > cfg.MaxRetries {
+							out.err = fmt.Errorf("driver %d txn %d: retries exhausted: %w", i, k, err)
+							return
+						}
+						// Jittered backoff: the Zipf hotspot concentrates
+						// half the tier's traffic on one warehouse, so
+						// victims that retry instantly re-collide as a
+						// herd (uniform mixes never see this livelock).
+						back := deadlocks
+						if back > 10 {
+							back = 10
+						}
+						time.Sleep(time.Duration(rng.Intn(100)+back*50) * time.Microsecond)
+					default:
+						out.err = fmt.Errorf("driver %d (shard %d) txn %d: %w", i, shard, k, err)
+						return
+					}
+				}
+				if isPayment {
+					out.payments++
+				} else {
+					out.newOrders++
+				}
+				adv.Observe(wid)
+				if n := done.Add(1); n >= int64(totalTxns/2) {
+					halfOnce.Do(func() { close(halfway) })
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// A tiny run may never cross the halfway mark (driver error exits);
+	// unblock the controller either way.
+	halfOnce.Do(func() { close(halfway) })
+	<-ctlDone
+	if ctlErr != nil {
+		return nil, nil, zero, ctlErr
+	}
+
+	final := sc.CurrentMap()
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, nil, zero, outs[i].err
+		}
+		res.NewOrders += outs[i].newOrders
+		res.Payments += outs[i].payments
+		res.Deadlocks += outs[i].deadlocks
+		res.FenceRetries += outs[i].fenceRetries
+		res.Rehomes += outs[i].rehomes
+	}
+	res.TotalTxns = res.NewOrders + res.Payments
+	res.Elapsed = elapsed
+	res.Tput = float64(res.TotalTxns) / elapsed.Seconds()
+	if !postStart.IsZero() {
+		if win := time.Since(postStart).Seconds(); win > 0 {
+			res.PostTput = float64(done.Load()-postStartTxns) / win
+		}
+	}
+	res.ImbalanceAfter = runtime.ImbalanceRatio(adv.ShardLoads(final))
+	res.FinalEpoch = final.Epoch
+	return res, dbs, final, nil
+}

@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"errors"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pyxis/internal/dbapi"
+	"pyxis/internal/rpc"
+	"pyxis/internal/runtime"
+	"pyxis/internal/sqldb"
+	"pyxis/internal/val"
+)
+
+func rebalanceTPCC() TPCCConfig {
+	return TPCCConfig{Warehouses: 8, DistrictsPerW: 2, CustomersPerD: 5,
+		Items: 30, MinLines: 1, MaxLines: 3, RollbackPct: 10}
+}
+
+// TestRebalanceLiveMigration is the end-to-end story: Zipf skew makes
+// shard 0 hot, the advisor plans mid-run, the migrator moves the
+// chosen warehouses over the live wire, and the cross-shard invariants
+// hold under the FINAL (override-carrying) map.
+func TestRebalanceLiveMigration(t *testing.T) {
+	c := rebalanceTPCC()
+	res, dbs, final, err := RunRebalance(c, RebalanceCfg{
+		Clients: 4, Txns: 40, Shards: 2, Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations < 1 {
+		t.Fatalf("skewed live run performed no migration: %v", res)
+	}
+	if final.Epoch == 0 || res.FinalEpoch == 0 {
+		t.Fatalf("migration did not bump the map epoch: %v", res)
+	}
+	for _, w := range res.MovedWarehouses {
+		if final.Shard(w) == 0 {
+			t.Fatalf("moved warehouse %d still maps to shard 0", w)
+		}
+	}
+	if res.ImbalanceAfter >= res.ImbalanceBefore {
+		t.Fatalf("migration did not improve balance: %.2f -> %.2f", res.ImbalanceBefore, res.ImbalanceAfter)
+	}
+	if v := CheckShardInvariants(dbs, c, final); len(v) > 0 {
+		t.Fatalf("post-migration invariants violated: %v", v)
+	}
+}
+
+// TestRebalanceFrozenBaseline pins the control arm: same skew, advisor
+// off, so nothing moves and the epoch stays 0.
+func TestRebalanceFrozenBaseline(t *testing.T) {
+	c := rebalanceTPCC()
+	res, dbs, final, err := RunRebalance(c, RebalanceCfg{
+		Clients: 4, Txns: 30, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 || final.Epoch != 0 || res.Rehomes != 0 {
+		t.Fatalf("frozen run migrated: %v", res)
+	}
+	if v := CheckShardInvariants(dbs, c, final); len(v) > 0 {
+		t.Fatalf("frozen-run invariants violated: %v", v)
+	}
+}
+
+// TestRebalanceDifferential is the migration no-op check: the same
+// deterministic workload with one forced mid-run migration must
+// produce the same global TPC-C sums as the run without it — a
+// migration may move data, never change it.
+func TestRebalanceDifferential(t *testing.T) {
+	c := rebalanceTPCC()
+	cfg := RebalanceCfg{Clients: 4, Txns: 30, Shards: 2}
+	_, plainDBs, plainMap, err := RunRebalance(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ForceMove = true
+	res, movedDBs, movedMap, err := RunRebalance(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations < 1 {
+		t.Fatal("ForceMove run performed no migration")
+	}
+	if v := CheckShardInvariants(plainDBs, c, plainMap); len(v) > 0 {
+		t.Fatalf("plain-run invariants violated: %v", v)
+	}
+	if v := CheckShardInvariants(movedDBs, c, movedMap); len(v) > 0 {
+		t.Fatalf("moved-run invariants violated: %v", v)
+	}
+	pw, po := rebalanceGlobalSums(t, plainDBs)
+	mw, mo := rebalanceGlobalSums(t, movedDBs)
+	if math.Abs(pw-mw) > 1e-6*math.Max(1, math.Abs(pw)) {
+		t.Fatalf("sum(w_ytd) differs with migration: %v vs %v", pw, mw)
+	}
+	if po != mo {
+		t.Fatalf("order count differs with migration: %d vs %d", po, mo)
+	}
+}
+
+// rebalanceGlobalSums folds sum(w_ytd) and the order count over every
+// shard — the quantities a migration must carry across unchanged.
+func rebalanceGlobalSums(t *testing.T, dbs []*sqldb.DB) (wytd float64, orders int64) {
+	t.Helper()
+	for _, db := range dbs {
+		s := db.NewSession()
+		rs, err := s.Query("SELECT SUM(w_ytd) FROM warehouse")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wytd += rs.Rows[0][0].AsFloat()
+		rs, err = s.Query("SELECT COUNT(*) FROM orders")
+		if err != nil {
+			t.Fatal(err)
+		}
+		orders += rs.Rows[0][0].I
+	}
+	return wytd, orders
+}
+
+// rebalanceTier spins up a 2-shard dbapi tier over in-process pipes and
+// hands back everything a migration fault test needs, including the
+// raw server-side conns so a test can sever one shard's wire.
+func rebalanceTier(t *testing.T, c TPCCConfig) (sc *runtime.ShardedClient, pool *rpc.ShardedPool, dbs []*sqldb.DB, srvConns *sync.Map) {
+	t.Helper()
+	smap := runtime.ShardMap{Shards: 2, Warehouses: c.Warehouses}
+	dbs = make([]*sqldb.DB, 2)
+	for i := range dbs {
+		lo, hi := smap.WarehouseRange(i)
+		dbs[i] = c.LoadRange(int(lo), int(hi))
+	}
+	sc = runtime.NewShardedClient(smap)
+	parts := []*dbapi.Participant{
+		dbapi.NewParticipant(0, sc.TwoPC.Outcome),
+		dbapi.NewParticipant(0, sc.TwoPC.Outcome),
+	}
+	srvConns = &sync.Map{} // shard -> []io.Closer of that shard's server pipe ends
+	var mu sync.Mutex
+	pool, err := rpc.NewShardedPool(2, 1, func(shard, _ int) (io.ReadWriteCloser, error) {
+		srv, cli := net.Pipe()
+		mu.Lock()
+		var cs []io.Closer
+		if v, ok := srvConns.Load(shard); ok {
+			cs = v.([]io.Closer)
+		}
+		srvConns.Store(shard, append(cs, srv))
+		mu.Unlock()
+		go rpc.ServeMuxConnConfig(srv, dbapi.MuxHandlersTxn(dbs[shard], parts[shard]), rpc.MuxServeConfig{})
+		return cli, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	return sc, pool, dbs, srvConns
+}
+
+// TestMigrateDestShardDown kills the destination shard's wire the
+// moment the source fence arms — mid-move, before the stream can
+// land. The move must fail, the fence must come down, the epoch must
+// not advance, and the source must keep serving the range it almost
+// lost.
+func TestMigrateDestShardDown(t *testing.T) {
+	c := rebalanceTPCC()
+	sc, pool, dbs, srvConns := rebalanceTier(t, c)
+	mg := &runtime.Migrator{Client: sc, Pool: pool, Tables: TPCCWarehouseKeys()}
+
+	// The killer: sever shard 1's server pipes as soon as the source
+	// fence is armed (which Move does before it ever talks to the
+	// destination).
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		for i := 0; i < 10000; i++ {
+			if armed, _ := dbs[0].FenceArmed(); armed {
+				if v, ok := srvConns.Load(1); ok {
+					for _, conn := range v.([]io.Closer) {
+						_ = conn.Close()
+					}
+				}
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	_, err := mg.Move(0, 1, 3, 4)
+	<-killed
+	if err == nil {
+		t.Fatal("move succeeded with a dead destination")
+	}
+	if errors.Is(err, runtime.ErrWrongShard) {
+		t.Fatalf("dead destination misreported as ownership error: %v", err)
+	}
+	if sc.MapEpoch() != 0 {
+		t.Fatalf("failed move advanced the epoch to %d", sc.MapEpoch())
+	}
+	if armed, _ := dbs[0].FenceArmed(); armed {
+		t.Fatal("fence still armed after the aborted move")
+	}
+	// The source still owns and serves the range it almost lost.
+	sess, err := pool.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dbapi.NewClient(sess)
+	defer conn.Close()
+	if _, err := c.paymentNative(conn, 3, 1, 1, 10); err != nil {
+		t.Fatalf("source stopped serving the unmoved range: %v", err)
+	}
+	if v := CheckShardInvariants(dbs, c, sc.CurrentMap()); len(v) > 0 {
+		t.Fatalf("aborted move broke invariants: %v", v)
+	}
+}
+
+// TestMigrateFenceAbandonTTL is the coordinator-death fault at the
+// wire level: a fence armed over the mux and never released (the
+// coordinator "dies" between FENCE and CUTOVER) must lapse on its TTL
+// and let the source serve again.
+func TestMigrateFenceAbandonTTL(t *testing.T) {
+	c := rebalanceTPCC()
+	_, pool, _, _ := rebalanceTier(t, c)
+
+	sess, err := pool.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordinator := dbapi.NewClient(sess)
+	if _, err := sess.MigCtl(rpc.MigRequest{
+		Op: rpc.MigFence, Lo: 1, Hi: 2, TTL: 50 * time.Millisecond,
+		Tables: TPCCWarehouseKeys()}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator dies: its session goes away without a release.
+	_ = coordinator.Close()
+
+	work, err := pool.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dbapi.NewClient(work)
+	defer conn.Close()
+	// Immediately the range is fenced...
+	if _, err := c.paymentNative(conn, 1, 1, 1, 5); !errors.Is(err, sqldb.ErrRangeFenced) {
+		t.Fatalf("want ErrRangeFenced while fence lives, got %v", err)
+	}
+	// ...and after the TTL it serves again, no release frame required.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := c.paymentNative(conn, 1, 1, 1, 5)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, sqldb.ErrRangeFenced) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fence never lapsed after its TTL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A later migration can re-arm over the lapsed fence.
+	if _, err := work.MigCtl(rpc.MigRequest{
+		Op: rpc.MigFence, Lo: 1, Hi: 1, TTL: time.Second,
+		Tables: TPCCWarehouseKeys()}, 0); err != nil {
+		t.Fatalf("re-arm over lapsed fence: %v", err)
+	}
+	if _, err := c.paymentNative(conn, 1, 1, 1, 5); !errors.Is(err, sqldb.ErrRangeFenced) {
+		t.Fatalf("re-armed fence not enforced, got %v", err)
+	}
+}
+
+// TestRebalanceForcedMoveKeysRelocate pins the data plane: after a
+// forced move, the moved warehouses' rows live on the destination and
+// are tombstoned on the source.
+func TestRebalanceForcedMoveKeysRelocate(t *testing.T) {
+	c := rebalanceTPCC()
+	sc, pool, dbs, _ := rebalanceTier(t, c)
+	mg := &runtime.Migrator{Client: sc, Pool: pool, Tables: TPCCWarehouseKeys()}
+	mv, err := mg.Move(0, 1, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Rows == 0 {
+		t.Fatal("move streamed no rows")
+	}
+	for _, w := range []int64{3, 4} {
+		if home := sc.CurrentMap().Shard(w); home != 1 {
+			t.Fatalf("warehouse %d maps to shard %d after move", w, home)
+		}
+	}
+	// Destination owns the rows.
+	s1 := dbs[1].NewSession()
+	rs, err := s1.Query("SELECT COUNT(*) FROM warehouse WHERE w_id = ?", val.IntV(3))
+	if err != nil || rs.Rows[0][0].I != 1 {
+		t.Fatalf("destination missing moved warehouse: %v %v", rs, err)
+	}
+	// Source redirects with the typed tombstone error.
+	sess, err := pool.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dbapi.NewClient(sess)
+	defer conn.Close()
+	if _, err := c.paymentNative(conn, 3, 1, 1, 5); !errors.Is(err, sqldb.ErrRangeMoved) {
+		t.Fatalf("source did not tombstone the moved range: %v", err)
+	}
+	if v := CheckShardInvariants(dbs, c, sc.CurrentMap()); len(v) > 0 {
+		t.Fatalf("post-move invariants violated: %v", v)
+	}
+}

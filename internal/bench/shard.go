@@ -430,9 +430,11 @@ func RunShardTPCC(part *pyxis.Partition, c TPCCConfig, cfg ShardCfg) (*ShardResu
 }
 
 // CheckShardInvariants is the cross-shard consistency aggregator: it
-// audits each shard's slice with CheckTPCCInvariantsRange, verifies
-// ownership is exactly the disjoint warehouse ranges ShardMap assigns
-// (no warehouse duplicated onto or missing from a shard), and then
+// audits each shard's slice with CheckTPCCInvariantsSet, verifies
+// ownership is exactly the disjoint warehouse sets ShardMap assigns —
+// base ranges plus migration Overrides, so it works on post-rebalance
+// maps too (no warehouse duplicated onto or missing from a shard) —
+// and then
 // reconciles the GLOBAL sums across all shards together — total
 // warehouse YTD = total district YTD, and total order counters =
 // total orders = total new_order rows — so a transaction booked on
@@ -456,22 +458,25 @@ func CheckShardInvariants(dbs []*sqldb.DB, c TPCCConfig, m runtime.ShardMap) []s
 	var totalWarehouses, totalOrders, totalNewOrders, totalNextSum, totalDistricts int64
 	var sumWYTD, sumDYTD, sumCBal, sumSYTD, sumOLQty float64
 	for shard, db := range dbs {
-		lo, hi := m.WarehouseRange(shard)
-		for _, v := range CheckTPCCInvariantsRange(db, c, int(lo), int(hi)) {
+		// Ownership under the FULL map — base ranges plus any migration
+		// Overrides — so the audit follows warehouses that were moved by
+		// live rebalancing instead of flagging them as strays.
+		owned := m.OwnedWarehouses(shard)
+		for _, v := range CheckTPCCInvariantsSet(db, c, owned) {
 			violations = append(violations, fmt.Sprintf("shard %d: %s", shard, v))
 		}
 		s := db.NewSession()
-		// Ownership: the shard holds exactly its assigned range — the
-		// per-range audit above would miss a shard that also carries a
+		// Ownership: the shard holds exactly its assigned warehouses —
+		// the per-set audit above would miss a shard that also carries a
 		// stray copy of a sibling's warehouse.
 		count, err := queryOne(s, "SELECT COUNT(*) FROM warehouse")
 		if err != nil {
 			violations = append(violations, fmt.Sprintf("shard %d: warehouse count: %v", shard, err))
 			continue
 		}
-		if want := hi - lo + 1; count.I != want {
+		if want := int64(len(owned)); count.I != want {
 			violations = append(violations,
-				fmt.Sprintf("shard %d: owns %d warehouses, assigned range [%d,%d] has %d", shard, count.I, lo, hi, want))
+				fmt.Sprintf("shard %d: owns %d warehouses, map assigns it %d", shard, count.I, want))
 		}
 		totalWarehouses += count.I
 		wytd, err1 := queryOne(s, "SELECT SUM(w_ytd) FROM warehouse")

@@ -269,9 +269,21 @@ func CheckTPCCInvariants(db *sqldb.DB, c TPCCConfig) []string {
 // aggregator, since a shard's database holds just its own warehouse
 // range.
 func CheckTPCCInvariantsRange(db *sqldb.DB, c TPCCConfig, loW, hiW int) []string {
+	var ws []int64
+	for w := loW; w <= hiW; w++ {
+		ws = append(ws, int64(w))
+	}
+	return CheckTPCCInvariantsSet(db, c, ws)
+}
+
+// CheckTPCCInvariantsSet is CheckTPCCInvariantsRange over an arbitrary
+// warehouse set — what a shard owns after live rebalancing, where
+// ownership is the base range plus migration Overrides and need not be
+// contiguous.
+func CheckTPCCInvariantsSet(db *sqldb.DB, c TPCCConfig, ws []int64) []string {
 	var violations []string
 	s := db.NewSession()
-	for w := loW; w <= hiW; w++ {
+	for _, w := range ws {
 		wrs, err := s.Query("SELECT w_ytd FROM warehouse WHERE w_id = ?", val.IntV(int64(w)))
 		if err != nil || len(wrs.Rows) != 1 {
 			violations = append(violations, fmt.Sprintf("warehouse %d: %v", w, err))

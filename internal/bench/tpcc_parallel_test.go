@@ -134,11 +134,12 @@ func TestParallelTPCCScaling(t *testing.T) {
 		t.Fatal(err)
 	}
 	const txnsPerClient = 15
+	// Both arms of the sweep are single samples, so both assertions —
+	// the >1.0x speedup on parallel hosts and the 0.4x collapse floor
+	// on serial ones — get retries before they bind; one preempted
+	// 15-txn run on a loaded 1-CPU host can halve a measured tput.
 	assertRatio := runtime.GOMAXPROCS(0) >= 4
-	attempts := 1
-	if assertRatio {
-		attempts = 3
-	}
+	const attempts = 3
 	var ratio float64
 	for attempt := 0; attempt < attempts; attempt++ {
 		var tputs []float64
@@ -154,7 +155,10 @@ func TestParallelTPCCScaling(t *testing.T) {
 			tputs = append(tputs, res.Tput)
 		}
 		ratio = tputs[1] / tputs[0]
-		if !assertRatio || ratio > 1.0 {
+		if assertRatio && ratio > 1.0 {
+			break
+		}
+		if !assertRatio && ratio >= 0.4 {
 			break
 		}
 	}

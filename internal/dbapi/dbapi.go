@@ -291,6 +291,8 @@ var wireErrors = map[string]error{
 	"dup-key":        sqldb.ErrDupKey,
 	"no-transaction": sqldb.ErrNoTransaction,
 	"unprepared":     ErrUnprepared,
+	"range-fenced":   sqldb.ErrRangeFenced,
+	"range-moved":    sqldb.ErrRangeMoved,
 }
 
 func encodeError(err error) string {
@@ -303,6 +305,10 @@ func encodeError(err error) string {
 		return "no-transaction"
 	case errors.Is(err, ErrUnprepared):
 		return "unprepared"
+	case errors.Is(err, sqldb.ErrRangeFenced):
+		return "range-fenced"
+	case errors.Is(err, sqldb.ErrRangeMoved):
+		return "range-moved"
 	}
 	return "! " + err.Error()
 }
@@ -377,6 +383,29 @@ func (h *muxHandlers) TxnCtl(sid uint32, op rpc.TxnOp, gid uint64) (rpc.TxnState
 		return h.part.Status(gid), nil
 	}
 	return rpc.TxnStateUnknown, fmt.Errorf("dbapi: unknown txn op %d", op)
+}
+
+// MigCtl implements rpc.MigParticipant: fence and release address the
+// shard's database as a whole; adopt exempts the addressed live
+// session from the armed fence (it rides that session's worker, so it
+// is ordered with the migrator's own calls).
+func (h *muxHandlers) MigCtl(sid uint32, req rpc.MigRequest) (uint64, error) {
+	switch req.Op {
+	case rpc.MigFence:
+		return h.db.ArmFence(sqldb.FenceSpec{Tables: req.Tables, Lo: req.Lo, Hi: req.Hi}, req.TTL)
+	case rpc.MigRelease:
+		return req.Token, h.db.ReleaseFence(req.Token, req.Moved)
+	case rpc.MigAdopt:
+		h.mu.Lock()
+		sess := h.sessions[sid]
+		h.mu.Unlock()
+		if sess == nil {
+			return 0, fmt.Errorf("dbapi: fence adopt for unknown session %d", sid)
+		}
+		sess.AdoptFence(req.Token)
+		return req.Token, nil
+	}
+	return 0, fmt.Errorf("dbapi: unknown mig op %d", req.Op)
 }
 
 func (h *muxHandlers) Open(sid uint32) rpc.Handler {

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/types"
 	"regexp"
+	"sort"
+	"strings"
 )
 
 // LatchOrder machine-checks the sqldb engine's latch discipline, the
@@ -16,24 +18,30 @@ import (
 //     "latch:" line in its doc comment. Touch structure from a new
 //     function and the analyzer fails until a human writes down which
 //     latch makes it safe.
-//  2. Latch acquisitions inside one function must follow the
-//     hierarchy catalog (catMu) → table latch (latch) → row stripe
+//  2. Latch acquisitions inside one function must follow that
+//     package's hierarchy (latchHierarchies): for sqldb, fence plane
+//     (fenceMu) → catalog (catMu) → table latch (latch) → row stripe
 //     (rowLatch) → lock-manager stripe (mu) → waits-for graph
-//     (graphMu); a lower-ranked acquisition after a higher-ranked one
-//     is an inversion that can deadlock, unless the function is in
-//     LatchOrderAllow with a story explaining why it cannot (e.g. the
-//     earlier latch is provably released first).
+//     (graphMu); for runtime, migration serializer (migMu) → map-epoch
+//     mutex (epochMu). A lower-ranked acquisition after a
+//     higher-ranked one is an inversion that can deadlock, unless the
+//     function is in LatchOrderAllow with a story explaining why it
+//     cannot (e.g. the earlier latch is provably released first).
 //  3. The DB struct must never regain a sync.Mutex field — the engine
-//     stays sharded.
+//     stays sharded (nested lock planes like fenceControl carry their
+//     own mutex and their own rank).
 //
-// The analyzer binds to packages named "sqldb" (the engine and its
-// analysistest fixtures); everywhere else it is a no-op. Test files
-// are exempt from rules 1-2: tests poke structure deliberately under
-// controlled single-session setups, and the race jobs watch them.
+// The analyzer binds to the packages latchHierarchies names (the
+// engine, the shard-routing runtime, and their analysistest
+// fixtures); everywhere else it is a no-op. Rules 1 and 3 and the
+// vacuity/staleness guards are sqldb-structural and stay sqldb-only.
+// Test files are exempt from rules 1-2: tests poke structure
+// deliberately under controlled single-session setups, and the race
+// jobs watch them.
 var LatchOrder = &Analyzer{
 	Name: "latchorder",
-	Doc: "enforce the sqldb latch hierarchy (catalog -> table -> row stripe -> lock stripe -> graph) " +
-		"and the audited-allowlist rule for structural field access",
+	Doc: "enforce per-package latch hierarchies (sqldb: fence -> catalog -> table -> row stripe -> lock stripe -> graph; " +
+		"runtime: migration -> map epoch) and the audited-allowlist rule for structural field access",
 	Run: runLatchOrder,
 }
 
@@ -72,6 +80,11 @@ var LatchAudit = map[string]string{
 	// Transaction finalization.
 	"(*DB).commit":   "exclusive latch on every table with freed slots",
 	"(*DB).rollback": "exclusive latch on every table in the undo log",
+
+	// Migration fence plane (rank above the catalog: never held
+	// together with any table latch).
+	"(*DB).ArmFence":     "fenceMu exclusive; no table latch taken while held",
+	"(*DB).ReleaseFence": "fenceMu exclusive; no table latch taken while held",
 }
 
 // LatchOrderAllow exempts functions from the in-function acquisition
@@ -92,13 +105,27 @@ var latchStructuralFields = map[string]map[string]bool{
 	"DB":    {"tables": true},
 }
 
-// latchRank orders the hierarchy top (lowest) to bottom (highest).
-var latchRank = map[string]int{
-	"catMu":    1,
-	"latch":    2,
-	"rowLatch": 3,
-	"mu":       4,
-	"graphMu":  5,
+// latchHierarchies orders each audited package's latch hierarchy top
+// (lowest rank) to bottom (highest). The fence plane ranks above the
+// catalog: ArmFence/ReleaseFence take fenceMu with no other latch
+// held, and fenceGate's lazy-expiry path takes it before execStmt ever
+// reaches the table latches. In runtime, Migrator.Move holds migMu
+// across a whole move and publishes the successor map (epochMu) while
+// holding it, so a path taking epochMu first could deadlock a
+// concurrent move.
+var latchHierarchies = map[string]map[string]int{
+	"sqldb": {
+		"fenceMu":  1,
+		"catMu":    2,
+		"latch":    3,
+		"rowLatch": 4,
+		"mu":       5,
+		"graphMu":  6,
+	},
+	"runtime": {
+		"migMu":   1,
+		"epochMu": 2,
+	},
 }
 
 // latchStoryDoc matches a "latch:" story line in a function's doc
@@ -106,12 +133,23 @@ var latchRank = map[string]int{
 var latchStoryDoc = regexp.MustCompile(`(?i)\blatch:\s*\S`)
 
 func runLatchOrder(pass *Pass) error {
-	if pass.Pkg == nil || pass.Pkg.Name() != "sqldb" {
+	if pass.Pkg == nil {
 		return nil
 	}
+	ranks := latchHierarchies[pass.Pkg.Name()]
+	if ranks == nil {
+		return nil
+	}
+	order := hierarchyString(ranks)
+	// Rules 1 and 3 and the vacuity/staleness guards inspect sqldb's
+	// structural types; other audited packages get rule 2 only.
+	structural := pass.Pkg.Name() == "sqldb"
 
 	// Rule 3 first: it applies to test and non-test files alike.
 	for _, f := range pass.Files {
+		if !structural {
+			break
+		}
 		syncName := ImportName(f, "sync")
 		if syncName == "" {
 			continue
@@ -154,6 +192,9 @@ func runLatchOrder(pass *Pass) error {
 
 			// Rule 1: structural access sites need a latch story.
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if !structural {
+					return false
+				}
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
 					return true
@@ -189,14 +230,14 @@ func runLatchOrder(pass *Pass) error {
 				if !ok {
 					return true
 				}
-				rank := latchRank[field]
+				rank := ranks[field]
 				if rank == 0 {
 					return true
 				}
 				if rank < maxRank {
 					pass.Reportf(n.Pos(),
-						"%s acquires %s (rank %d) after %s (rank %d) — latch order is catMu -> latch -> rowLatch -> mu -> graphMu",
-						fn, field, rank, maxName, maxRank)
+						"%s acquires %s (rank %d) after %s (rank %d) — latch order is %s",
+						fn, field, rank, maxName, maxRank, order)
 					return true
 				}
 				if rank > maxRank {
@@ -211,7 +252,7 @@ func runLatchOrder(pass *Pass) error {
 	// declares the guarded types but the (tolerant) type check resolved
 	// no field selections at all, the audit would pass while seeing
 	// nothing.
-	if guardedSomewhere(pass) && resolved == 0 {
+	if structural && guardedSomewhere(pass) && resolved == 0 {
 		pass.Reportf(pass.Files[0].Pos(),
 			"latch audit is vacuous: package declares guarded types but no field selection resolved — type check broke")
 	}
@@ -236,6 +277,17 @@ func runLatchOrder(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// hierarchyString renders a package's hierarchy as "a -> b -> c" in
+// rank order — the fix-it hint the inversion diagnostic carries.
+func hierarchyString(ranks map[string]int) string {
+	names := make([]string, 0, len(ranks))
+	for name := range ranks {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return ranks[names[i]] < ranks[names[j]] })
+	return strings.Join(names, " -> ")
 }
 
 // latchAcquireField returns the latch field name when n is a

@@ -62,6 +62,14 @@ var releaseAcquires = []acquireSpec{
 		method: "Prepare2PC", recv: "Session", kind: "prepared 2PC transaction",
 		releases: map[string]bool{"Commit": true, "Abort": true, "Rollback": true},
 	},
+	{
+		// A live-rebalancing write-fence blocks every writer (and
+		// reader) of the moving warehouse range until its token is
+		// released or its TTL lapses; a leaked token means the range
+		// stays dark for the full TTL.
+		method: "ArmFence", recv: "DB", kind: "armed migration write-fence",
+		releases: map[string]bool{"ReleaseFence": true},
+	},
 }
 
 func runReleaseOnError(pass *Pass) error {

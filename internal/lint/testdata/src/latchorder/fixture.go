@@ -5,10 +5,18 @@ package sqldb
 
 import "sync"
 
-// DB mirrors the engine's catalog shape.
+// DB mirrors the engine's catalog shape. The fence plane lives in a
+// nested struct, like the engine's fenceControl — a direct sync.Mutex
+// field would trip the sharded-engine rule.
 type DB struct {
 	catMu  sync.RWMutex
 	tables map[string]*Table
+	fence  fenceControl
+}
+
+// fenceControl mirrors the engine's migration-fence plane.
+type fenceControl struct {
+	fenceMu sync.Mutex
 }
 
 // Table mirrors the engine's table shape (rows is a guarded
@@ -36,9 +44,19 @@ func (db *DB) blessed(name string) *Table {
 // the catalog latch.
 func (db *DB) inverted(t *Table) {
 	t.latch.Lock()
-	db.catMu.Lock() // want "acquires catMu .rank 1. after latch"
+	db.catMu.Lock() // want "acquires catMu .rank 2. after latch"
 	db.catMu.Unlock()
 	t.latch.Unlock()
+}
+
+// fencedBackwards arms the fence plane below the catalog latch: the
+// fence ranks ABOVE everything (ArmFence must never wait on a latch a
+// fenced statement might hold).
+func (db *DB) fencedBackwards() {
+	db.catMu.Lock()
+	db.fence.fenceMu.Lock() // want "acquires fenceMu .rank 1. after catMu"
+	db.fence.fenceMu.Unlock()
+	db.catMu.Unlock()
 }
 
 // probe is the suppression case: same shape as rogue, but the

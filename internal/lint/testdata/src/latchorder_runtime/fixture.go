@@ -1,0 +1,38 @@
+// Fixture for the latchorder analyzer's runtime hierarchy: the
+// migration serializer (migMu) ranks above the map-epoch mutex
+// (epochMu), because Migrator.Move holds migMu across a whole move
+// and publishes the successor map — which takes epochMu — while still
+// holding it. A path that takes them the other way around can
+// deadlock a concurrent move. The structural rules (LatchAudit,
+// DB-field, vacuity) are sqldb-only and must stay silent here.
+package runtime
+
+import "sync"
+
+// Migrator mirrors the runtime's move serializer.
+type Migrator struct {
+	migMu sync.Mutex
+}
+
+// ShardedClient mirrors the runtime's epoch-publishing router.
+type ShardedClient struct {
+	epochMu sync.Mutex
+}
+
+// moveThenPublish follows the hierarchy: the move lock first, the
+// epoch mutex inside it — the shape Migrator.Move actually has.
+func moveThenPublish(m *Migrator, c *ShardedClient) {
+	m.migMu.Lock()
+	c.epochMu.Lock()
+	c.epochMu.Unlock()
+	m.migMu.Unlock()
+}
+
+// publishThenMove inverts it: holding the epoch mutex while starting
+// a move deadlocks against a concurrent Move's publish.
+func publishThenMove(m *Migrator, c *ShardedClient) {
+	c.epochMu.Lock()
+	m.migMu.Lock() // want "acquires migMu .rank 1. after epochMu"
+	m.migMu.Unlock()
+	c.epochMu.Unlock()
+}

@@ -56,6 +56,42 @@ func failFast(s *Session) error {
 	return nil
 }
 
+// DB mirrors the engine's migration-fence API: ArmFence blocks every
+// writer of a warehouse range until the token is released (or the TTL
+// lapses — which is exactly what a leaked token condemns writers to
+// wait out).
+type DB struct{ armed bool }
+
+func (db *DB) ArmFence(lo, hi int64) (uint64, error) { db.armed = true; return 1, nil }
+
+func (db *DB) ReleaseFence(token uint64, moved bool) error { db.armed = false; return nil }
+
+// fenceLeaky arms the fence, then bails on the degraded exit without
+// releasing: the moving range stays dark for the whole TTL.
+func fenceLeaky(db *DB) error {
+	token, err := db.ArmFence(1, 4) // want "may leak"
+	if err != nil {
+		return err
+	}
+	if degraded {
+		return errDegraded
+	}
+	return db.ReleaseFence(token, true)
+}
+
+// fenceClean releases on both exits.
+func fenceClean(db *DB) error {
+	token, err := db.ArmFence(1, 4)
+	if err != nil {
+		return err
+	}
+	if degraded {
+		_ = db.ReleaseFence(token, false)
+		return errDegraded
+	}
+	return db.ReleaseFence(token, true)
+}
+
 // pinned leaks on purpose; the directive carries the story.
 func pinned(s *Session) error {
 	//pyxlint:allow releaseonerror -- frame deliberately pinned for the process lifetime (warm-pool seed)

@@ -59,6 +59,11 @@ const (
 	muxTxnCtl
 	// muxReplyTxn answers muxTxnCtl; body = [state u8] (a TxnState).
 	muxReplyTxn
+	// muxMigCtl carries a range-migration control operation
+	// (fence/adopt/release; see migrate.go for the body layout).
+	muxMigCtl
+	// muxReplyMig answers muxMigCtl; body = [token u64].
+	muxReplyMig
 )
 
 // muxFlagLoad marks a reply frame whose body starts with an encoded
@@ -561,9 +566,11 @@ func ServeMuxConn(conn io.ReadWriteCloser, handlers SessionHandlers) {
 
 // ServeMuxConnConfig is ServeMuxConn with an explicit configuration.
 func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg MuxServeConfig) {
-	// 2PC is an optional capability of the connection's handlers; a nil
-	// participant answers txn-ctl frames with a typed error reply.
+	// 2PC and range migration are optional capabilities of the
+	// connection's handlers; a nil participant answers the control
+	// frames with a typed error reply.
 	tp, _ := handlers.(TxnParticipant)
+	mp, _ := handlers.(MigParticipant)
 	var (
 		wmu      sync.Mutex
 		wg       sync.WaitGroup
@@ -645,6 +652,12 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 							// Txn control rides the session's worker so it
 							// stays ordered with the calls ahead of it.
 							out = txnCtlReply(tp, req)
+						} else if req.kind == muxMigCtl {
+							// Migration control likewise: an ADOPT must land
+							// after the calls that opened the session's
+							// transaction and before the drain that relies
+							// on the exemption.
+							out = migCtlReply(mp, req)
 						} else {
 							resp, herr := h(req.body)
 							out = muxFrame{sid: req.sid, rid: req.rid, kind: muxReplyOK, body: resp}
@@ -710,6 +723,29 @@ func ServeMuxConnConfig(conn io.ReadWriteCloser, handlers SessionHandlers, cfg M
 				continue
 			}
 			out := txnCtlReply(tp, f)
+			attachLoad(&out, cfg.Load, 0)
+			wmu.Lock()
+			werr := writeMuxFrame(conn, out)
+			wmu.Unlock()
+			if werr != nil {
+				return
+			}
+		case muxMigCtl:
+			// Migration control: same routing rules as txn-ctl —
+			// fence/release are database-wide and must get through even
+			// with no live session, while a live session's frames ride
+			// its worker so ADOPT stays ordered with the drain.
+			if sw := sessions[f.sid]; sw != nil {
+				select {
+				case sw.ch <- f:
+				default:
+					if !shed(f, fmt.Sprintf("session %d queue overflow (max %d outstanding calls)", f.sid, SessionQueueDepth), len(sw.ch)) {
+						return
+					}
+				}
+				continue
+			}
+			out := migCtlReply(mp, f)
 			attachLoad(&out, cfg.Load, 0)
 			wmu.Lock()
 			werr := writeMuxFrame(conn, out)

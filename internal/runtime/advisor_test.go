@@ -1,0 +1,181 @@
+package runtime
+
+import (
+	"testing"
+)
+
+// feedSkew drives the advisor with a deterministic skewed trace:
+// warehouse 1 is the hotspot, its range-mates are warm, everything
+// else is cold.
+func feedSkew(a *Advisor, hot int64, hotN, warmN, coldN int, warehouses int64) {
+	for i := 0; i < hotN; i++ {
+		a.Observe(hot)
+	}
+	for w := int64(1); w <= warehouses; w++ {
+		if w == hot {
+			continue
+		}
+		n := coldN
+		if w <= warehouses/2 {
+			n = warmN
+		}
+		for i := 0; i < n; i++ {
+			a.Observe(w)
+		}
+	}
+}
+
+func TestAdvisorBalancedNoPlan(t *testing.T) {
+	m := ShardMap{Shards: 2, Warehouses: 8}
+	a := NewAdvisor(8)
+	for w := int64(1); w <= 8; w++ {
+		for i := 0; i < 100; i++ {
+			a.Observe(w)
+		}
+	}
+	if r, _ := a.Imbalance(m); r > 1.01 {
+		t.Fatalf("uniform load reports imbalance %.2f", r)
+	}
+	plan, err := a.Plan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		t.Fatalf("balanced tier produced a plan: %v", plan)
+	}
+}
+
+// TestAdvisorShedsHottestFirst: with shard 0 hot, the plan moves load
+// from shard 0 to shard 1, sheds the hottest movable warehouses first,
+// and lands the post-move imbalance under the 1.5 gate — all within
+// the half-gap budget (it must not just swap the skew over).
+func TestAdvisorShedsHottestFirst(t *testing.T) {
+	m := ShardMap{Shards: 2, Warehouses: 8} // shard 0 owns 1..4
+	a := NewAdvisor(8)
+	feedSkew(a, 1, 1000, 380, 100, 8)
+
+	before, loads := a.Imbalance(m)
+	if before < 1.5 {
+		t.Fatalf("test trace not skewed enough: imbalance %.2f (loads %v)", before, loads)
+	}
+	plan, err := a.Plan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("skewed tier produced no plan")
+	}
+	if plan.From != 0 || plan.To != 1 {
+		t.Fatalf("plan direction %d->%d, want 0->1", plan.From, plan.To)
+	}
+	for _, w := range plan.Warehouses {
+		if m.Shard(w) != 0 {
+			t.Fatalf("plan moves warehouse %d the donor does not own", w)
+		}
+	}
+	budget := (loads[0] - loads[1]) / 2
+	if plan.MovedLoad > budget+1e-9 {
+		t.Fatalf("plan sheds %.0f, over the half-gap budget %.0f", plan.MovedLoad, budget)
+	}
+	// Simulate the move and re-measure: the gate the bench enforces.
+	next := m
+	for _, w := range plan.Warehouses {
+		next = next.WithMove(w, w, plan.To)
+	}
+	after := ImbalanceRatio(a.ShardLoads(next))
+	if after > 1.5 {
+		t.Fatalf("post-plan imbalance %.2f > 1.5 (moved %v)", after, plan.Warehouses)
+	}
+	if after >= before {
+		t.Fatalf("plan did not improve balance: %.2f -> %.2f", before, after)
+	}
+}
+
+// TestAdvisorIndivisibleHotspot: when one warehouse carries more load
+// than the budget allows and nothing else is worth moving, the advisor
+// must answer "no move" rather than swap the hotspot to the other
+// side.
+func TestAdvisorIndivisibleHotspot(t *testing.T) {
+	m := ShardMap{Shards: 2, Warehouses: 4} // shard 0 owns 1..2
+	a := NewAdvisor(4)
+	for i := 0; i < 1000; i++ {
+		a.Observe(1)
+	}
+	// Everything else dead cold: the only candidate exceeds the budget
+	// (half the gap = 500 < 1000).
+	plan, err := a.Plan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil && plan.MovedLoad > 500+1e-9 {
+		t.Fatalf("advisor moved the indivisible hotspot: %v", plan)
+	}
+}
+
+// TestAdvisorCoAccessBias: two warehouses that always appear in the
+// same transaction should move together (or stay together) when the
+// solver can afford it.
+func TestAdvisorCoAccessBias(t *testing.T) {
+	m := ShardMap{Shards: 2, Warehouses: 8}
+	a := NewAdvisor(8)
+	// Warehouses 3 and 4 are moderately hot and always co-accessed;
+	// 1 is hot alone.
+	for i := 0; i < 600; i++ {
+		a.Observe(1)
+	}
+	for i := 0; i < 400; i++ {
+		a.Observe(3, 4)
+	}
+	for w := int64(5); w <= 8; w++ {
+		for i := 0; i < 50; i++ {
+			a.Observe(w)
+		}
+	}
+	plan, err := a.Plan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("no plan for skewed co-access trace")
+	}
+	moved := map[int64]bool{}
+	for _, w := range plan.Warehouses {
+		moved[w] = true
+	}
+	if moved[3] != moved[4] {
+		t.Fatalf("co-accessed pair split across shards: moved=%v", plan.Warehouses)
+	}
+}
+
+func TestMigrationPlanRuns(t *testing.T) {
+	p := &MigrationPlan{Warehouses: []int64{1, 2, 3, 5, 7, 8}}
+	runs := p.Runs()
+	want := [][2]int64{{1, 3}, {5, 5}, {7, 8}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs %v, want %v", runs, want)
+		}
+	}
+	if got := (&MigrationPlan{}).Runs(); got != nil {
+		t.Fatalf("empty plan runs %v, want nil", got)
+	}
+}
+
+func TestAdvisorResetClearsWindow(t *testing.T) {
+	a := NewAdvisor(4)
+	a.Observe(1, 2)
+	a.Observe(1)
+	if a.Count(1) != 2 || a.Count(2) != 1 {
+		t.Fatalf("counts %d/%d, want 2/1", a.Count(1), a.Count(2))
+	}
+	a.Reset()
+	if a.Count(1) != 0 || a.Count(2) != 0 {
+		t.Fatal("reset did not clear counts")
+	}
+	if r := ImbalanceRatio(a.ShardLoads(ShardMap{Shards: 2, Warehouses: 4})); r != 1 {
+		t.Fatalf("empty window imbalance %.2f, want 1", r)
+	}
+}

@@ -73,6 +73,11 @@ type DB struct {
 
 	nextTxn atomic.Int64
 	stats   statsCounters
+
+	// fence is the live-migration fence plane (see fence.go): at most
+	// one armed range fence plus the moved-out tombstones. Statements
+	// consult it with two atomic loads before taking any latch.
+	fence fenceControl
 }
 
 // Open creates an empty database.
@@ -300,6 +305,10 @@ type Session struct {
 	// so a parked transaction never blocks unrelated statements.
 	held  []*Table
 	heldX bool
+
+	// fenceTok, when non-zero, exempts this session from the armed
+	// migration fence carrying the same token (see AdoptFence).
+	fenceTok uint64
 }
 
 // NewSession creates a session on db.
@@ -616,6 +625,9 @@ func (s *Session) QueryParsed(st SQLStmt, args ...val.Value) (*ResultSet, error)
 	if err != nil {
 		return nil, err
 	}
+	if err := s.fenceGate(sel, args); err != nil {
+		return nil, err
+	}
 	txn, auto := s.currentTxn()
 	s.latch(false, tables...)
 	rs, err := s.execSelect(txn, sel, tables, aliases, args)
@@ -667,6 +679,9 @@ func (s *Session) finishAuto(txn *Txn, auto bool, err error) {
 }
 
 func (s *Session) execStmt(st SQLStmt, args []val.Value) (int, error) {
+	if err := s.fenceGate(st, args); err != nil {
+		return 0, err
+	}
 	switch t := st.(type) {
 	case *CreateTableStmt:
 		return 0, s.db.createTable(t)
