@@ -1,6 +1,7 @@
 // Command pyxis-lint is the project's static-analysis multichecker:
-// four go/analysis-style passes that machine-check the runtime's own
-// concurrency invariants (see internal/lint).
+// six go/analysis-style passes that machine-check the runtime's own
+// concurrency invariants — and the health of their own suppression
+// machinery (see internal/lint).
 //
 // It runs two ways:
 //

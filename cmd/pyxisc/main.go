@@ -13,6 +13,13 @@
 //	pyxisc -src order.pyxj -budget 0.5 -pyxil
 //	pyxisc -src order.pyxj -dot > graph.dot
 //	pyxisc -src order.pyxj -budget 0,0.5,1 -report
+//	pyxisc -src order.pyxj -budget 0,0.5,1 -verify
+//
+// -verify runs the independent program verifier (internal/verify)
+// over each budget's compiled blocks, pre- and post-fusion, printing
+// every diagnostic with the offending block disassembled; any finding
+// exits nonzero. CI runs it over every example program as a blocking
+// step.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"pyxis/internal/interp"
 	"pyxis/internal/sqldb"
 	"pyxis/internal/val"
+	"pyxis/internal/verify"
 )
 
 func main() {
@@ -40,6 +48,7 @@ func main() {
 		showFuse = flag.Bool("dump-fused", false, "print the fused superblock program per budget (with fusion statistics)")
 		showRpt  = flag.Bool("report", true, "print the partition report per budget")
 		showProf = flag.Bool("profile", false, "print the collected profile")
+		doVerify = flag.Bool("verify", false, "run the independent verifier over each budget's blocks, pre- and post-fusion; exit nonzero on any finding")
 	)
 	flag.Parse()
 	if *srcPath == "" {
@@ -137,7 +146,37 @@ func main() {
 			stats := compile.Fuse(fused)
 			fmt.Printf("--- fused superblocks (budget %.2f, %s) ---\n%s", frac, stats, fused.Disassemble())
 		}
+		if *doVerify {
+			// Recompile with the in-compile verification hook disabled so
+			// findings are COLLECTED and printed with block context rather
+			// than aborting inside Compile.
+			raw, err := compile.Compile(part.PyxIL, compile.NoVerify())
+			if err != nil {
+				fatal(err)
+			}
+			bad := reportDiags(raw, verify.Diagnostics(raw), frac, "pre-fusion")
+			compile.Fuse(raw)
+			bad = reportDiags(raw, verify.Diagnostics(raw), frac, "post-fusion") || bad
+			if bad {
+				os.Exit(1)
+			}
+			fmt.Printf("budget %.2f: verify pre-fusion+post-fusion: OK (%d blocks)\n", frac, len(raw.Blocks))
+		}
 	}
+}
+
+// reportDiags prints verifier findings with the offending block
+// disassembled for context, returning whether any were found.
+func reportDiags(p *compile.Program, diags []verify.Diag, frac float64, phase string) bool {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "pyxisc: budget %.2f: verify %s: %s\n", frac, phase, d)
+		if d.Block != compile.NoBlock {
+			for _, line := range strings.Split(strings.TrimRight(p.DisassembleBlock(d.Block), "\n"), "\n") {
+				fmt.Fprintf(os.Stderr, "    %s\n", line)
+			}
+		}
+	}
+	return len(diags) > 0
 }
 
 func fatal(err error) {

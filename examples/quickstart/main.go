@@ -5,6 +5,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"os"
@@ -16,67 +17,15 @@ import (
 	"pyxis/internal/val"
 )
 
-const orderSrc = `
-class Order {
-    int id;
-    double[] realCosts;
-    double totalCost;
+// The program and its schema live in standalone files so the same
+// source the example deploys is also fed to pyxisc in CI — including
+// `pyxisc -verify`, which checks every budget's compiled blocks.
+//
+//go:embed order.pyxj
+var orderSrc string
 
-    Order(int id) {
-        this.id = id;
-    }
-
-    entry double placeOrder(int cid, double dct) {
-        totalCost = 0;
-        computeTotalCost(dct);
-        updateAccount(cid, totalCost);
-        return totalCost;
-    }
-
-    void computeTotalCost(double dct) {
-        int i = 0;
-        double[] costs = getCosts();
-        realCosts = new double[costs.length];
-        for (double itemCost : costs) {
-            double realCost;
-            realCost = itemCost * dct;
-            totalCost += realCost;
-            realCosts[i] = realCost;
-            insertNewLineItem(id, i, realCost);
-            i++;
-        }
-    }
-
-    double[] getCosts() {
-        table t = db.query("SELECT cost FROM line_items WHERE order_id = ? ORDER BY num", id);
-        double[] costs = new double[t.rows()];
-        for (int r = 0; r < t.rows(); r++) {
-            costs[r] = t.getDouble(r, 0);
-        }
-        return costs;
-    }
-
-    void insertNewLineItem(int oid, double num, double cost) {
-        db.update("INSERT INTO new_line_items VALUES (?, ?, ?)", oid, num, cost);
-    }
-
-    void updateAccount(int cid, double total) {
-        db.update("UPDATE accounts SET balance = balance - ? WHERE cid = ?", total, cid);
-    }
-}
-`
-
-const schema = `
-CREATE TABLE line_items (order_id INT, num INT, cost DOUBLE, PRIMARY KEY (order_id, num));
-CREATE TABLE new_line_items (order_id INT, num INT, cost DOUBLE, PRIMARY KEY (order_id, num));
-CREATE TABLE accounts (cid INT PRIMARY KEY, balance DOUBLE);
-INSERT INTO accounts VALUES (3, 1000.0);
-INSERT INTO line_items VALUES (7, 0, 10.0);
-INSERT INTO line_items VALUES (7, 1, 11.0);
-INSERT INTO line_items VALUES (7, 2, 12.0);
-INSERT INTO line_items VALUES (7, 3, 13.0);
-INSERT INTO line_items VALUES (7, 4, 14.0)
-`
+//go:embed order.sql
+var schema string
 
 func freshDB() *sqldb.DB {
 	db := sqldb.Open()

@@ -1,0 +1,9 @@
+CREATE TABLE line_items (order_id INT, num INT, cost DOUBLE, PRIMARY KEY (order_id, num));
+CREATE TABLE new_line_items (order_id INT, num INT, cost DOUBLE, PRIMARY KEY (order_id, num));
+CREATE TABLE accounts (cid INT PRIMARY KEY, balance DOUBLE);
+INSERT INTO accounts VALUES (3, 1000.0);
+INSERT INTO line_items VALUES (7, 0, 10.0);
+INSERT INTO line_items VALUES (7, 1, 11.0);
+INSERT INTO line_items VALUES (7, 2, 12.0);
+INSERT INTO line_items VALUES (7, 3, 13.0);
+INSERT INTO line_items VALUES (7, 4, 14.0)

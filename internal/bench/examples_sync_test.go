@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExampleFilesMatchBenchSources pins examples/neworder/tpcc.pyxj
+// and tpcc.sql to the TPCCSource/tpccDDL constants the benchmarks
+// compile. CI feeds the files to `pyxisc -verify`, so a drift would
+// mean CI verifies a different program than the benchmarks run.
+func TestExampleFilesMatchBenchSources(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "neworder")
+
+	pyxj, err := os.ReadFile(filepath.Join(dir, "tpcc.pyxj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.TrimSpace(string(pyxj)), strings.TrimSpace(TPCCSource); got != want {
+		t.Errorf("examples/neworder/tpcc.pyxj is out of sync with bench.TPCCSource — regenerate it from the constant")
+	}
+
+	sql, err := os.ReadFile(filepath.Join(dir, "tpcc.sql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stmts []string
+	for _, s := range strings.Split(string(sql), ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			stmts = append(stmts, s)
+		}
+	}
+	if len(stmts) != len(tpccDDL) {
+		t.Fatalf("examples/neworder/tpcc.sql has %d statements; tpccDDL has %d", len(stmts), len(tpccDDL))
+	}
+	for i, want := range tpccDDL {
+		if stmts[i] != want {
+			t.Errorf("tpcc.sql statement %d out of sync:\n  file: %s\n  code: %s", i, stmts[i], want)
+		}
+	}
+}

@@ -9,8 +9,31 @@ import (
 	"pyxis/internal/val"
 )
 
+// Option configures Compile.
+type Option func(*compileOpts)
+
+type compileOpts struct{ noVerify bool }
+
+// NoVerify disables the post-compile verifier for one compilation.
+// pyxis.System.NoVerify threads through here; benches that compile in
+// a hot loop are the intended users.
+func NoVerify() Option { return func(o *compileOpts) { o.noVerify = true } }
+
+// verifier is the registered whole-program checker. internal/verify
+// installs itself here from init — a direct import would cycle, since
+// the verifier is written against this package's types.
+var verifier func(*Program) error
+
+// RegisterVerifier installs the checker Compile runs by default on
+// every compiled program (unless NoVerify is passed).
+func RegisterVerifier(fn func(*Program) error) { verifier = fn }
+
 // Compile lowers a PyxIL program into execution blocks.
-func Compile(p *pyxil.Program) (*Program, error) {
+func Compile(p *pyxil.Program, opts ...Option) (*Program, error) {
+	var o compileOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	c := &compiler{
 		px:     p,
 		prog:   &Program{Classes: map[string]*ClassInfo{}, Methods: map[string]*MethodInfo{}},
@@ -58,6 +81,11 @@ func Compile(p *pyxil.Program) (*Program, error) {
 			if err := c.compileMethod(m); err != nil {
 				return nil, err
 			}
+		}
+	}
+	if !o.noVerify && verifier != nil {
+		if err := verifier(c.prog); err != nil {
+			return nil, fmt.Errorf("compile: %w", err)
 		}
 	}
 	return c.prog, nil

@@ -234,43 +234,69 @@ func (p *Program) Disassemble() string {
 		fmt.Fprintf(&b, "stmt #%d: %q\n", i, sql)
 	}
 	for _, blk := range p.Blocks {
-		fmt.Fprintf(&b, "b%d [%s]:", blk.ID, blk.Loc)
-		if blk.LiveIn != nil {
-			b.WriteString(" live-in={")
-			sep := ""
-			for s := 0; s < len(blk.LiveIn)*64; s++ {
-				if blk.LiveAt(s) {
-					fmt.Fprintf(&b, "%s%d", sep, s)
-					sep = ","
-				}
-			}
-			b.WriteString("}")
-		}
-		b.WriteString("\n")
-		for _, in := range blk.Code {
-			fmt.Fprintf(&b, "  %s", opNames[in.Op])
-			fmt.Fprintf(&b, " A=%d B=%d C=%d", in.A, in.B, in.C)
-			if in.Field != nil {
-				fmt.Fprintf(&b, " field=%s.%s", in.Field.Class.Name, in.Field.Name)
-			}
-			if in.SQL != "" {
-				fmt.Fprintf(&b, " sql=#%d:%q", in.SQLID, in.SQL)
-			}
-			if len(in.Args) > 0 {
-				fmt.Fprintf(&b, " args=%v", in.Args)
-			}
-			b.WriteString("\n")
-		}
-		switch blk.Term.Kind {
-		case TGoto:
-			fmt.Fprintf(&b, "  goto b%d\n", blk.Term.Target)
-		case TIf:
-			fmt.Fprintf(&b, "  if s%d then b%d else b%d\n", blk.Term.Cond, blk.Term.Then, blk.Term.Else)
-		case TCall:
-			fmt.Fprintf(&b, "  call %s args=%v ret=s%d cont=b%d\n", blk.Term.Method.QName, blk.Term.Args, blk.Term.RetSlot, blk.Term.Cont)
-		case TRet:
-			fmt.Fprintf(&b, "  ret s%d\n", blk.Term.Val)
-		}
+		p.disasmBlock(&b, blk)
 	}
 	return b.String()
+}
+
+// DisassembleBlock renders a single block — the context line the
+// verifier's diagnostics print so a finding reads without the full
+// program dump.
+func (p *Program) DisassembleBlock(id BlockID) string {
+	if id < 0 || int(id) >= len(p.Blocks) {
+		return fmt.Sprintf("b%d <out of range>\n", id)
+	}
+	var b strings.Builder
+	p.disasmBlock(&b, p.Blocks[id])
+	return b.String()
+}
+
+func (p *Program) disasmBlock(b *strings.Builder, blk *Block) {
+	fmt.Fprintf(b, "b%d [%s]:", blk.ID, blk.Loc)
+	if blk.LiveIn != nil {
+		b.WriteString(" live-in={")
+		sep := ""
+		for s := 0; s < len(blk.LiveIn)*64; s++ {
+			if blk.LiveAt(s) {
+				fmt.Fprintf(b, "%s%d", sep, s)
+				sep = ","
+			}
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("\n")
+	for _, in := range blk.Code {
+		fmt.Fprintf(b, "  %s", opNames[in.Op])
+		fmt.Fprintf(b, " A=%d B=%d C=%d", in.A, in.B, in.C)
+		if in.Field != nil {
+			fmt.Fprintf(b, " field=%s.%s", in.Field.Class.Name, in.Field.Name)
+		}
+		if in.SQL != "" || in.Op == OpDBQuery || in.Op == OpDBExec {
+			// The prepared wire executes SQLTable[SQLID], not the copy on
+			// the instruction — print the table's text (and flag any
+			// divergence, which the verifier rejects as corruption).
+			switch {
+			case int(in.SQLID) >= 0 && int(in.SQLID) < len(p.SQLTable) && p.SQLTable[in.SQLID] == in.SQL:
+				fmt.Fprintf(b, " sql=#%d:%q", in.SQLID, p.SQLTable[in.SQLID])
+			case int(in.SQLID) >= 0 && int(in.SQLID) < len(p.SQLTable):
+				fmt.Fprintf(b, " sql=#%d:%q (instr carries %q — MISMATCH)", in.SQLID, p.SQLTable[in.SQLID], in.SQL)
+			default:
+				fmt.Fprintf(b, " sql=#%d:%q (id unresolved in SQLTable)", in.SQLID, in.SQL)
+			}
+		}
+		if len(in.Args) > 0 {
+			fmt.Fprintf(b, " args=%v", in.Args)
+		}
+		b.WriteString("\n")
+	}
+	switch blk.Term.Kind {
+	case TGoto:
+		fmt.Fprintf(b, "  goto b%d\n", blk.Term.Target)
+	case TIf:
+		fmt.Fprintf(b, "  if s%d then b%d else b%d\n", blk.Term.Cond, blk.Term.Then, blk.Term.Else)
+	case TCall:
+		fmt.Fprintf(b, "  call %s args=%v ret=s%d cont=b%d\n", blk.Term.Method.QName, blk.Term.Args, blk.Term.RetSlot, blk.Term.Cont)
+	case TRet:
+		fmt.Fprintf(b, "  ret s%d\n", blk.Term.Val)
+	}
 }

@@ -92,6 +92,8 @@ func TestLatchOrderFixture(t *testing.T)     { runFixture(t, LatchOrder, "latcho
 func TestReleaseOnErrorFixture(t *testing.T) { runFixture(t, ReleaseOnError, "releaseonerror") }
 func TestAtomicFieldFixture(t *testing.T)    { runFixture(t, AtomicField, "atomicfield") }
 func TestSentinelErrFixture(t *testing.T)    { runFixture(t, SentinelErr, "sentinelerr") }
+func TestBlockingCallFixture(t *testing.T)   { runFixture(t, BlockingCall, "blockingcall") }
+func TestStaleAllowFixture(t *testing.T)     { runFixture(t, StaleAllow, "staleallow") }
 
 // TestRosterComplete pins the roster: a new analyzer must ship with a
 // fixture directory before it can join Analyzers().

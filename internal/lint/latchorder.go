@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 	"sort"
@@ -91,8 +92,11 @@ var LatchAudit = map[string]string{
 // order rule, each with the story for why the apparent inversion is
 // safe.
 var LatchOrderAllow = map[string]string{
-	"acquireLock": "suspends every statement latch (suspendLatches) before parking on the lock stripe; " +
-		"the later latch reacquisition happens with no stripe mutex held",
+	// A bare "acquireLock" entry used to sit here for the lock-wait
+	// path; staleallow caught it as dead — the real function is the
+	// method (*Session).acquireLock, which suspends every statement
+	// latch before parking, so the ordered scan finds nothing to
+	// exempt there in the first place.
 	"(*lockManager).releaseAll": "graphMu is taken and released to drop the waits-for edges BEFORE the " +
 		"stripe sweep starts; graphMu and a stripe mu are never held together",
 	"(*lockManager).cancelWaits": "graphMu is taken and released to drop the waits-for edges BEFORE the " +
@@ -224,27 +228,11 @@ func runLatchOrder(pass *Pass) error {
 			if _, exempt := LatchOrderAllow[fn]; exempt {
 				continue
 			}
-			maxRank, maxName := 0, ""
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				field, ok := latchAcquireField(n)
-				if !ok {
-					return true
-				}
-				rank := ranks[field]
-				if rank == 0 {
-					return true
-				}
-				if rank < maxRank {
-					pass.Reportf(n.Pos(),
-						"%s acquires %s (rank %d) after %s (rank %d) — latch order is %s",
-						fn, field, rank, maxName, maxRank, order)
-					return true
-				}
-				if rank > maxRank {
-					maxRank, maxName = rank, field
-				}
-				return true
-			})
+			for _, viol := range latchOrderViolations(fd, ranks) {
+				pass.Reportf(viol.pos,
+					"%s acquires %s (rank %d) after %s (rank %d) — latch order is %s",
+					fn, viol.field, viol.rank, viol.prevField, viol.prevRank, order)
+			}
 		}
 	}
 
@@ -290,17 +278,72 @@ func hierarchyString(ranks map[string]int) string {
 	return strings.Join(names, " -> ")
 }
 
-// latchAcquireField returns the latch field name when n is a
-// call of the form X.<field>.Lock() / X.<field>.RLock(), possibly
-// through an index expression (rowLatch[i], stripes[i].mu).
-func latchAcquireField(n ast.Node) (string, bool) {
-	call, ok := n.(*ast.CallExpr)
-	if !ok {
-		return "", false
+// latchOrderViolation is one rule-2 inversion found by the
+// exemption-blind scan. runLatchOrder reports them for functions
+// outside LatchOrderAllow; staleallow re-runs the scan for functions
+// INSIDE it to prove each entry still exempts something.
+type latchOrderViolation struct {
+	pos              token.Pos
+	field, prevField string
+	rank, prevRank   int
+}
+
+// latchOrderViolations scans one function body for hierarchy
+// inversions: a lower-ranked acquisition in source order after a
+// higher-ranked one.
+func latchOrderViolations(fd *ast.FuncDecl, ranks map[string]int) []latchOrderViolation {
+	var out []latchOrderViolation
+	maxRank, maxName := 0, ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		field, kind, ok := latchLockCall(n)
+		if !ok || kind != latchAcquire {
+			return true
+		}
+		rank := ranks[field]
+		if rank == 0 {
+			return true
+		}
+		if rank < maxRank {
+			out = append(out, latchOrderViolation{
+				pos: n.Pos(), field: field, rank: rank,
+				prevField: maxName, prevRank: maxRank,
+			})
+			return true
+		}
+		if rank > maxRank {
+			maxRank, maxName = rank, field
+		}
+		return true
+	})
+	return out
+}
+
+// latchLockCall kinds.
+const (
+	latchAcquire = iota
+	latchRelease
+)
+
+// latchLockCall classifies n as a latch acquisition or release when it
+// is a call of the form X.<field>.Lock() / RLock() / Unlock() /
+// RUnlock(), possibly through an index expression (rowLatch[i],
+// stripes[i].mu), returning the latch field name.
+func latchLockCall(n ast.Node) (field string, kind int, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-		return "", false
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = latchAcquire
+	case "Unlock", "RUnlock":
+		kind = latchRelease
+	default:
+		return "", 0, false
 	}
 	base := sel.X
 	for {
@@ -310,11 +353,11 @@ func latchAcquireField(n ast.Node) (string, bool) {
 		case *ast.ParenExpr:
 			base = b.X
 		case *ast.SelectorExpr:
-			return b.Sel.Name, true
+			return b.Sel.Name, kind, true
 		case *ast.Ident:
-			return b.Name, true
+			return b.Name, kind, true
 		default:
-			return "", false
+			return "", 0, false
 		}
 	}
 }

@@ -101,7 +101,7 @@ func ImportName(file *ast.File, path string) string {
 // Analyzers returns the full roster, in the order the multichecker
 // runs them.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LatchOrder, ReleaseOnError, AtomicField, SentinelErr}
+	return []*Analyzer{LatchOrder, ReleaseOnError, AtomicField, SentinelErr, BlockingCall, StaleAllow}
 }
 
 // Lookup returns the analyzer with the given name, or nil.

@@ -64,6 +64,9 @@ func Check(dir string, opts CheckOptions) ([]Diagnostic, error) {
 		if out[i].Pos.Line != out[j].Pos.Line {
 			return out[i].Pos.Line < out[j].Pos.Line
 		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
 	return out, nil

@@ -1,0 +1,39 @@
+// Fixture for the staleallow analyzer's directive audit: a live
+// directive (sentinelerr really fires on the next line), a stale one
+// (nothing to suppress), one naming an analyzer that does not exist,
+// and the self-referential case the audit refuses to let a directive
+// excuse.
+package fixd
+
+import "errors"
+
+var ErrGone = errors.New("fixd: gone")
+
+// exact carries a LIVE directive: the raw sentinelerr run reports the
+// identity comparison on the covered line, so the directive stands.
+func exact(err error) bool {
+	//pyxlint:allow sentinelerr -- identity check on an unwrapped same-package return
+	return err == ErrGone
+}
+
+// relic kept its directive after the comparison it excused was
+// rewritten to errors.Is — the directive now suppresses nothing and
+// would silently swallow the next real finding on that line.
+func relic(err error) bool {
+	//pyxlint:allow sentinelerr -- relic story from a deleted comparison // want "stale //pyxlint:allow: sentinelerr reports nothing"
+	return errors.Is(err, ErrGone)
+}
+
+// typo names a pass that was never in the roster.
+func typo(err error) bool {
+	//pyxlint:allow sentinalerr -- misspelled analyzer name // want "unknown analyzer .sentinalerr."
+	return errors.Is(err, ErrGone)
+}
+
+// meta tries to suppress the staleness audit itself; the audit skips
+// such directives (deleting the stale exemption is always the fix),
+// so this is neither honored nor reported.
+func meta(err error) bool {
+	//pyxlint:allow staleallow -- the audit cannot be self-certified
+	return errors.Is(err, ErrGone)
+}

@@ -1,0 +1,32 @@
+// Fixture for the staleallow analyzer's LatchOrderAllow audit, shaped
+// like the engine's lock manager. releaseAll still shows the
+// graphMu-then-stripe acquisition its allowlist entry excuses, so that
+// entry is live; cancelWaits is gone entirely, so its entry names a
+// function that no longer exists — reported at the package clause,
+// where a missing function has no better anchor.
+package sqldb // want "LatchOrderAllow entry ...lockManager..cancelWaits. names a function that no longer exists"
+
+import "sync"
+
+type lockStripe struct {
+	mu sync.Mutex
+}
+
+type lockManager struct {
+	graphMu sync.Mutex
+	stripes [4]lockStripe
+}
+
+// releaseAll mirrors the real shape the allowlist excuses: the
+// waits-for graph edges are dropped under graphMu BEFORE the stripe
+// sweep, so the rank-6-then-rank-5 order can never deadlock — but the
+// source-order scan still sees the inversion, which is exactly what
+// keeps the entry non-stale.
+func (lm *lockManager) releaseAll() {
+	lm.graphMu.Lock()
+	lm.graphMu.Unlock()
+	for i := range lm.stripes {
+		lm.stripes[i].mu.Lock()
+		lm.stripes[i].mu.Unlock()
+	}
+}

@@ -8,7 +8,6 @@ import (
 
 	"pyxis/internal/compile"
 	"pyxis/internal/pdg"
-	"pyxis/internal/source"
 	"pyxis/internal/sqldb"
 	"pyxis/internal/val"
 )
@@ -93,33 +92,6 @@ func diffSchedule(class string, entries []string, rng *rand.Rand, n int) []diffC
 	return calls
 }
 
-// randomAssign returns a compileWith assignment that places each field
-// and each statement of every method on a seeded coin flip.
-func randomAssign(seed int64) func(g *pdg.Graph, place pdg.Placement) {
-	return func(g *pdg.Graph, place pdg.Placement) {
-		rng := rand.New(rand.NewSource(seed))
-		prog := g.Prog
-		for id := range prog.Fields {
-			if rng.Intn(2) == 0 {
-				place[id] = pdg.DB
-			}
-		}
-		for _, cl := range prog.Classes {
-			for _, m := range cl.Methods {
-				if rng.Intn(2) == 0 {
-					place[m.EntryID] = pdg.DB
-				}
-				source.WalkMethodStmts(m, func(s source.Stmt) bool {
-					if rng.Intn(2) == 0 {
-						place[s.ID()] = pdg.DB
-					}
-					return true
-				})
-			}
-		}
-	}
-}
-
 // runSchedule drives calls against a fresh deployment of compiled and
 // returns the observable trace plus the control-transfer count.
 func runSchedule(t *testing.T, compiled *compile.Program, legacy bool, class string, calls []diffCall) (trace string, transfers int64) {
@@ -157,8 +129,8 @@ func TestDifferentialRandomPlacements(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/seed%d", p.name, seed), func(t *testing.T) {
 				// Compile the same random placement twice so Fuse (which
 				// rewrites in place) gets its own copy.
-				unfused := compileWith(t, p.src, randomAssign(seed))
-				fused := compileWith(t, p.src, randomAssign(seed))
+				unfused := compileWith(t, p.src, pdg.RandomAssign(seed))
+				fused := compileWith(t, p.src, pdg.RandomAssign(seed))
 				stats := compile.Fuse(fused)
 				if len(fused.Blocks) > len(unfused.Blocks) {
 					t.Fatalf("fusion grew the program: %d -> %d blocks", len(unfused.Blocks), len(fused.Blocks))

@@ -1,0 +1,40 @@
+package verify
+
+import (
+	"testing"
+
+	"pyxis/internal/compile"
+	"pyxis/internal/pdg"
+)
+
+// FuzzVerifyFused is the acceptance side of the verifier's contract:
+// for ANY seeded random placement the differential generator produces
+// (pdg.RandomAssign, the PR-6 coin-flip mutator), the compiled program
+// must verify clean both pre-fusion (enforced inside compile.Compile
+// via the registered hook) and post-fusion. A seed that fails here is
+// either a compiler bug (Fuse computed an unsound mask) or a verifier
+// bug (the independent fixpoint disagrees with a correct mask) — both
+// are release blockers, which is why CI runs the 10s smoke.
+func FuzzVerifyFused(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Add(int64(-1))
+	f.Add(int64(7919 * 104729))
+
+	srcs := []struct{ name, src string }{
+		{"calc", calcTestSrc},
+		{"loop", loopTestSrc},
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		for _, s := range srcs {
+			// compileSrc compiles with the verifier on: a pre-fusion
+			// rejection fails the compile itself.
+			p := compileSrc(t, s.src, pdg.RandomAssign(seed), false)
+			stats := compile.Fuse(p)
+			if err := Program(p); err != nil {
+				t.Errorf("%s seed=%d: fused program rejected (fuse %s):\n%v", s.name, seed, stats, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package verify
+
+import (
+	"sort"
+
+	"pyxis/internal/compile"
+)
+
+// liveness recomputes every block's live-in slot set with an
+// independently written backward fixpoint and requires the stored
+// Block.LiveIn bitsets to be a SUPERSET of the recomputation. The
+// stored masks decide which slots the v1 transfer codec ships; a mask
+// that under-approximates drops a slot the resuming side still reads,
+// and the decoder zero-fills it — silent wire corruption, not an
+// error. Over-approximation merely ships dead bytes, so only the
+// subset direction is enforced. A nil stored bitset means "ship
+// everything" and is always sound; on a fused program (the only kind
+// the transfer codec consults) a nil mask on a live block is itself a
+// finding, because Fuse is specified to compute liveness for every
+// reachable block.
+func (v *checker) liveness() {
+	v.liveIn = make([]map[int]bool, len(v.p.Blocks))
+	for _, m := range v.p.MethodList {
+		v.livenessMethod(m)
+	}
+	for _, b := range v.p.Blocks {
+		m := v.methodOf[b.ID]
+		if m == nil {
+			continue // dead scaffolding; never resumed, never shipped
+		}
+		recomputed := v.liveIn[b.ID]
+		if b.LiveIn == nil {
+			if v.p.Fused {
+				v.addf(CheckLiveness, m, b.ID, "fused program block carries no LiveIn mask — transfers resuming here would ship blind")
+			}
+			continue
+		}
+		for _, s := range sortedSlots(recomputed) {
+			if !b.LiveAt(s) {
+				v.addf(CheckLiveness, m, b.ID,
+					"LiveIn mask drops slot %d, which is live on entry — a transfer resuming here would zero it", s)
+			}
+		}
+	}
+}
+
+// livenessMethod runs the backward fixpoint over m's blocks. The edge
+// transfer mirrors the runtime's resume semantics: an if reads its
+// condition; a call's continuation sees RetSlot freshly written (so it
+// is dead across the call) while the argument slots are read by the
+// call itself; a return reads the returned slot.
+func (v *checker) livenessMethod(m *compile.MethodInfo) {
+	ids := v.methodBlockIDs(m)
+	for _, id := range ids {
+		v.liveIn[id] = map[int]bool{}
+	}
+	// Iterate to fixpoint, sweeping in descending ID order (compiled
+	// programs emit roughly topologically, so the backward facts mostly
+	// converge in one sweep).
+	desc := append([]compile.BlockID(nil), ids...)
+	sort.Slice(desc, func(i, j int) bool { return desc[i] > desc[j] })
+	for changed := true; changed; {
+		changed = false
+		for _, id := range desc {
+			b := v.p.Blocks[id]
+			live := map[int]bool{}
+			switch b.Term.Kind {
+			case compile.TGoto:
+				for s := range v.liveIn[b.Term.Target] {
+					live[s] = true
+				}
+			case compile.TIf:
+				for s := range v.liveIn[b.Term.Then] {
+					live[s] = true
+				}
+				for s := range v.liveIn[b.Term.Else] {
+					live[s] = true
+				}
+				live[b.Term.Cond] = true
+			case compile.TCall:
+				for s := range v.liveIn[b.Term.Cont] {
+					live[s] = true
+				}
+				delete(live, b.Term.RetSlot)
+				for _, a := range b.Term.Args {
+					live[a] = true
+				}
+			case compile.TRet:
+				if b.Term.Val >= 0 {
+					live[b.Term.Val] = true
+				}
+			}
+			for i := len(b.Code) - 1; i >= 0; i-- {
+				defs, uses := opEffect(&b.Code[i])
+				for _, s := range defs {
+					delete(live, s)
+				}
+				for _, s := range uses {
+					live[s] = true
+				}
+			}
+			if !setsEqual(live, v.liveIn[id]) {
+				v.liveIn[id] = live
+				changed = true
+			}
+		}
+	}
+}
+
+func setsEqual(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if !b[s] {
+			return false
+		}
+	}
+	return true
+}

@@ -41,6 +41,7 @@ import (
 	"pyxis/internal/source"
 	"pyxis/internal/sqldb"
 	"pyxis/internal/val"
+	"pyxis/internal/verify"
 )
 
 // System is a loaded application: checked source plus the static
@@ -62,6 +63,13 @@ type System struct {
 	// compiler's raw block graph (the seed pipeline; benches use it to
 	// price fusion).
 	NoFuse bool
+	// NoVerify disables the independent program verifier
+	// (internal/verify) that otherwise checks every compiled program —
+	// pre-fusion inside compile.Compile and again after Fuse. The
+	// verifier re-derives structure, def-before-use, liveness masks and
+	// transfer legality from scratch; leave it on outside compile-heavy
+	// benchmark loops.
+	NoVerify bool
 }
 
 // Load parses, checks and statically analyzes a PyxJ program.
@@ -169,12 +177,24 @@ func (s *System) Partition(budget float64) (*Partition, error) {
 		return nil, err
 	}
 	px := pyxil.Generate(s.Analysis, g, place, pyxil.Options{NoReorder: s.NoReorder})
-	compiled, err := compile.Compile(px)
+	var copts []compile.Option
+	if s.NoVerify {
+		copts = append(copts, compile.NoVerify())
+	}
+	compiled, err := compile.Compile(px, copts...)
 	if err != nil {
 		return nil, err
 	}
 	if !s.NoFuse {
 		compile.Fuse(compiled)
+		// Fusion rewrites blocks in place and computes the liveness
+		// masks the transfer codec ships; re-verify the result so a
+		// fusion bug surfaces here instead of as wire corruption.
+		if !s.NoVerify {
+			if err := verify.Program(compiled); err != nil {
+				return nil, fmt.Errorf("pyxis: fused program failed verification: %w", err)
+			}
+		}
 	}
 	return &Partition{System: s, Place: place, PyxIL: px, Compiled: compiled, Report: rep}, nil
 }
